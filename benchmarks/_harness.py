@@ -1,0 +1,61 @@
+"""Shared helpers for the experiment benchmarks (E1-E10).
+
+Each bench file reproduces one entry of DESIGN.md §5's experiment index:
+it sweeps the workload/parameters, prints an aligned table of
+measured-vs-bound rows (run pytest with ``-s`` to see it live), writes the
+same table under ``benchmarks/results/``, and asserts the paper's
+qualitative claim (who wins, bounded ratio, factor ≈ 2, ...).  The
+``benchmark`` fixture wraps the sweep so ``pytest benchmarks/
+--benchmark-only`` also reports wall-clock for the simulation itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.reporting import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, table: Table, notes: str = "") -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = table.render()
+    if notes:
+        text += "\n\n" + notes.strip()
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text + "\n")
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run a sweep exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def random_valid_instance(rng, hp):
+    """A random matching instance satisfying the Invariant-1 degree bound.
+
+    (Mirrors the generator used by the unit tests: |U| ≤ ⌊H'/2⌋ overloaded
+    channels, each adjacent to ≥ ⌈H'/2⌉ of the H' channels.)
+    """
+    import numpy as np
+
+    from repro.core.matching import MatchingInstance
+
+    k = rng.integers(1, max(2, hp // 2 + 1))
+    need = (hp + 1) // 2
+    adj = np.zeros((k, hp), dtype=bool)
+    for i in range(k):
+        deg = rng.integers(need, hp + 1)
+        cols = rng.choice(hp, size=deg, replace=False)
+        adj[i, cols] = True
+    return MatchingInstance(
+        u_channels=tuple(range(k)),
+        buckets=tuple(range(k)),
+        adjacency=adj,
+        n_channels=hp,
+    )

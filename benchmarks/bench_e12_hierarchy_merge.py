@@ -1,0 +1,91 @@
+"""E12 — merge-based sorting loses on hierarchies (the Greed Sort remark).
+
+Paper: Greed Sort — merge-based — "is known to be optimal only for the
+parallel disk models and not for hierarchical memories" (Section 3); and
+generally "merge sort combined with disk striping is deterministic, but the
+number of I/Os used can be much larger than optimal" (Section 1).  On a
+hierarchy the structural reason is that an O(1)-way merge streams the whole
+dataset once per level — ``Θ(log(N/H))`` full-cost streams — while the
+distribution recursion's per-level cost shrinks with the (repositioned)
+subproblem footprint.
+
+Reproduction at laptop scale: the merge sort's ratio to the Theorem 2 bound
+*grows* with N (the extra log factor) while Balance Sort's stays flat, and
+the merge/balance time ratio rises steadily toward the crossover (the
+constant-factor lead merge starts with is eaten at a log rate).
+"""
+
+import pytest
+
+from repro import ParallelHierarchies, balance_sort_hierarchy, workloads
+from repro.analysis import bounds
+from repro.analysis.reporting import Table
+from repro.baselines import hierarchy_merge_sort
+from repro.hierarchies import PowerCost
+
+from _harness import report, run_once
+
+H = 64
+N_SWEEP = [4_000, 16_000, 64_000]
+ALPHA = 1.0
+
+
+def sweep():
+    rows = []
+    for n in N_SWEEP:
+        data = workloads.uniform(n, seed=25)
+        bound = bounds.theorem2_power_bound(n, H, ALPHA)
+
+        m1 = ParallelHierarchies(H, cost_fn=PowerCost(alpha=ALPHA))
+        merge = hierarchy_merge_sort(m1, data)
+
+        m2 = ParallelHierarchies(H, cost_fn=PowerCost(alpha=ALPHA))
+        balance = balance_sort_hierarchy(m2, data, check_invariants=False)
+
+        rows.append(
+            {
+                "N": n,
+                "merge time": round(merge.total_time),
+                "merge/bound": round(merge.total_time / bound, 2),
+                "balance time": round(balance.total_time),
+                "balance/bound": round(balance.total_time / bound, 2),
+                "merge/balance": round(merge.total_time / balance.total_time, 3),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_merge_vs_distribution_on_hierarchies(benchmark):
+    rows = run_once(benchmark, sweep)
+    t = Table(
+        ["N", "merge time", "merge/bound", "balance time", "balance/bound", "merge/balance"],
+        title=f"E12  striped merge sort vs Balance Sort on P-HMM f=x^{ALPHA}, H={H}",
+    )
+    for r in rows:
+        t.add_dict(r)
+
+    mb = [r["merge/balance"] for r in rows]
+    # crude crossover extrapolation: ratio grows ~linearly in log N
+    import math
+
+    if mb[-1] < 1 and mb[-1] > mb[0]:
+        per_quad = mb[-1] - mb[0]  # growth over the 16x sweep (2 quadruplings)
+        quads_needed = (1 - mb[-1]) / (per_quad / 2)
+        crossover = N_SWEEP[-1] * 4**quads_needed
+        note_x = f"extrapolated merge/balance crossover ≈ N = {crossover:,.0f}"
+    else:
+        note_x = "merge/balance ≥ 1 within the sweep"
+    report("e12_hierarchy_merge", t,
+           notes="Claims: merge/bound grows with N (the extra log(N/H) "
+                 "factor), balance/bound flat (Theorem 2 optimality); "
+                 + note_x + ".")
+
+    merge_ratio = [r["merge/bound"] for r in rows]
+    balance_ratio = [r["balance/bound"] for r in rows]
+    # merge's ratio to the optimal bound grows across the sweep...
+    assert merge_ratio[-1] > 1.5 * merge_ratio[0]
+    # ...while balance sort's stays in a tight band
+    assert max(balance_ratio) / min(balance_ratio) < 1.8
+    # and the merge/balance gap closes monotonically (the log factor at work)
+    assert mb[0] < mb[1] < mb[2]

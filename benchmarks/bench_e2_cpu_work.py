@@ -1,0 +1,73 @@
+"""E2 — Theorem 1 (internal processing on a PRAM interconnect).
+
+Paper claim: with a P-processor PRAM, Balance Sort's internal processing
+time is ``Θ((N/P)·log N)`` — simultaneously with the optimal I/O count.
+Reproduction: (a) total CPU *work* grows as ``N log N`` (independent of P);
+(b) charged parallel *time* scales down with P (Brent) until the depth
+terms dominate.
+"""
+
+import pytest
+
+from repro import ParallelDiskMachine, balance_sort_pdm, workloads
+from repro.analysis import bounds
+from repro.analysis.optimality import loglog_slope
+from repro.analysis.reporting import Table
+
+from _harness import report, run_once
+
+P_SWEEP = [1, 4, 16, 64]
+N_SWEEP = [8_000, 32_000]
+M, B, D = 512, 4, 8
+
+
+def sweep():
+    rows = []
+    for n in N_SWEEP:
+        for p in P_SWEEP:
+            machine = ParallelDiskMachine(memory=M, block=B, disks=D, processors=p)
+            data = workloads.uniform(n, seed=2)
+            res = balance_sort_pdm(machine, data, check_invariants=False)
+            bound = bounds.cpu_work_bound(n, p)
+            rows.append(
+                {
+                    "N": n,
+                    "P": p,
+                    "work": res.cpu["work"],
+                    "time": res.cpu["time"],
+                    "bound (N/P)logN": round(bound),
+                    "time/bound": round(res.cpu["time"] / bound, 2),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_cpu_time_vs_theorem1(benchmark):
+    rows = run_once(benchmark, sweep)
+
+    t = Table(["N", "P", "work", "time", "bound (N/P)logN", "time/bound"],
+              title="E2  internal processing vs Theorem 1's (N/P)·log N")
+    for r in rows:
+        t.add_dict(r)
+    report("e2_cpu_work", t,
+           notes="Claims: work is P-independent and ~N log N; time/bound "
+                 "bounded while P-fold speedup holds (Brent scheduling).")
+
+    for n in N_SWEEP:
+        sub = [r for r in rows if r["N"] == n]
+        works = [r["work"] for r in sub]
+        # work identical across P (the algorithm is deterministic)
+        assert max(works) == min(works)
+        # charged parallel time shrinks with P
+        times = [r["time"] for r in sub]
+        assert times[0] > times[1] > times[2]
+        # near-linear speedup from P=1 to P=4
+        assert times[0] / times[1] > 2.5
+    # work grows ~ N log N: log-log slope close to the bound's
+    p1 = [r for r in rows if r["P"] == 1]
+    slope_m = loglog_slope([r["N"] for r in p1], [r["work"] for r in p1])
+    slope_b = loglog_slope(
+        [r["N"] for r in p1], [bounds.cpu_work_bound(r["N"], 1) for r in p1]
+    )
+    assert abs(slope_m - slope_b) < 0.25

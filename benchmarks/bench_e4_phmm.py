@@ -1,0 +1,96 @@
+"""E4 — Theorem 2 (sorting time on P-HMM hierarchies).
+
+Paper claims: on H PRAM-interconnected HMM hierarchies Balance Sort is
+optimal — ``Θ((N/H)^{α+1} + (N/H)·log N)`` for ``f = x^α`` and the
+polylogarithmic form for ``f = log x``; on a hypercube the same holds up to
+the ``T(H)`` term.  Reproduction: sweep N per cost function, check the
+measured/bound ratio band, and show the hypercube interconnect premium.
+"""
+
+import pytest
+
+from repro import ParallelHierarchies, balance_sort_hierarchy, workloads
+from repro.analysis import bounds
+from repro.analysis.reporting import Table
+from repro.hierarchies import LogCost, PowerCost
+
+from _harness import report, run_once
+
+H = 64
+N_SWEEP = [3_000, 6_000, 12_000, 24_000]
+COSTS = [("log", None), ("x^0.5", 0.5), ("x^1", 1.0), ("x^2", 2.0)]
+
+
+def bound_for(n, alpha):
+    if alpha is None:
+        return bounds.theorem2_log_bound(n, H)
+    return bounds.theorem2_power_bound(n, H, alpha)
+
+
+def sweep():
+    rows = []
+    for label, alpha in COSTS:
+        cost = LogCost() if alpha is None else PowerCost(alpha=alpha)
+        for n in N_SWEEP:
+            machine = ParallelHierarchies(H, model="hmm", cost_fn=cost, interconnect="pram")
+            res = balance_sort_hierarchy(
+                machine, workloads.uniform(n, seed=4), check_invariants=False
+            )
+            rows.append(
+                {
+                    "f": label,
+                    "N": n,
+                    "time": round(res.total_time),
+                    "bound": round(bound_for(n, alpha)),
+                    "ratio": round(res.total_time / bound_for(n, alpha), 2),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_phmm_time_vs_theorem2(benchmark):
+    rows = run_once(benchmark, sweep)
+    t = Table(["f", "N", "time", "bound", "ratio"],
+              title=f"E4  P-HMM sorting time vs Theorem 2, H={H}, PRAM interconnect")
+    for r in rows:
+        t.add_dict(r)
+    report("e4_phmm", t,
+           notes="Claim: ratio band bounded per cost function (Theorem 2 "
+                 "optimality); polynomial f dominated by the (N/H)^(α+1) term.")
+
+    for label, _ in COSTS:
+        ratios = [r["ratio"] for r in rows if r["f"] == label]
+        assert max(ratios) / min(ratios) < 4.0, f"ratio drifts for f={label}"
+    # the alpha=2 machine must be far slower than the log machine at max N
+    t_log = [r["time"] for r in rows if r["f"] == "log"][-1]
+    t_sq = [r["time"] for r in rows if r["f"] == "x^2"][-1]
+    assert t_sq > 10 * t_log
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_hypercube_premium(benchmark):
+    """Theorem 2's hypercube variant: interconnect time grows by ~T(H)/log H."""
+
+    def run():
+        rows = []
+        for inter in ["pram", "hypercube"]:
+            machine = ParallelHierarchies(H, cost_fn=LogCost(), interconnect=inter)
+            res = balance_sort_hierarchy(
+                machine, workloads.uniform(8_000, seed=5), check_invariants=False
+            )
+            rows.append((inter, res.memory_time, res.interconnect_time, res.total_time))
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table(["interconnect", "memory time", "interconnect time", "total"],
+              title="E4b  PRAM vs hypercube interconnect, f=log x")
+    for r in rows:
+        t.add(r[0], round(r[1]), round(r[2]), round(r[3]))
+    expected = bounds.T_H(H) / bounds.T_H(H, interconnect="pram")
+    measured = rows[1][2] / rows[0][2]
+    report("e4b_hypercube", t,
+           notes=f"T(H)/log H = {expected:.2f}; measured interconnect "
+                 f"ratio = {measured:.2f} (memory time identical).")
+    assert rows[0][1] == rows[1][1]  # memory side unchanged
+    assert 0.5 * expected < measured < 2.0 * expected

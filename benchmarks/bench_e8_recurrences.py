@@ -1,0 +1,88 @@
+"""E8 — Lemmas 2-4 (the recurrence solutions, via growth-exponent fits).
+
+Paper claims: the recurrences of Sections 4.3-4.4 solve to the closed
+forms of Lemmas 2-4 (and the Section 5 I/O recurrence to Theorem 1's
+bound).  Reproduction: fit the log-log growth exponent of the measured
+costs over an N sweep and compare with the bound's exponent — matching
+slopes mean the recurrence solution has the right polynomial order.
+"""
+
+import pytest
+
+from repro import (
+    ParallelDiskMachine,
+    ParallelHierarchies,
+    balance_sort_hierarchy,
+    balance_sort_pdm,
+    workloads,
+)
+from repro.analysis import bounds
+from repro.analysis.optimality import loglog_slope
+from repro.analysis.reporting import Table
+from repro.hierarchies import LogCost, PowerCost
+
+from _harness import report, run_once
+
+N_SWEEP = [3_000, 6_000, 12_000, 24_000, 48_000]
+H = 64
+
+
+def sweep():
+    series = []
+
+    # Section 5 recurrence: T(N) = S·T(N/S) + O(N/DB) -> Theorem 1 bound
+    ios = []
+    for n in N_SWEEP:
+        m = ParallelDiskMachine(memory=512, block=4, disks=8)
+        ios.append(
+            balance_sort_pdm(m, workloads.uniform(n, seed=11), check_invariants=False).total_ios
+        )
+    series.append(("PDM I/Os", ios, [bounds.sort_io_bound(n, 512, 4, 8) for n in N_SWEEP]))
+
+    # Lemma 2 (P-HMM, f = log x)
+    times = []
+    for n in N_SWEEP:
+        m = ParallelHierarchies(H, cost_fn=LogCost())
+        times.append(
+            balance_sort_hierarchy(m, workloads.uniform(n, seed=12), check_invariants=False).total_time
+        )
+    series.append(("P-HMM f=log", times, [bounds.theorem2_log_bound(n, H) for n in N_SWEEP]))
+
+    # Lemma 3 (P-HMM, f = x^1)
+    times = []
+    for n in N_SWEEP:
+        m = ParallelHierarchies(H, cost_fn=PowerCost(alpha=1.0))
+        times.append(
+            balance_sort_hierarchy(m, workloads.uniform(n, seed=13), check_invariants=False).total_time
+        )
+    series.append(
+        ("P-HMM f=x^1", times, [bounds.theorem2_power_bound(n, H, 1.0) for n in N_SWEEP])
+    )
+
+    # Lemma 4 (P-BT, f = x^0.5 -> (N/H) log N)
+    times = []
+    for n in N_SWEEP:
+        m = ParallelHierarchies(H, model="bt", cost_fn=PowerCost(alpha=0.5))
+        times.append(
+            balance_sort_hierarchy(m, workloads.uniform(n, seed=14), check_invariants=False).total_time
+        )
+    series.append(("P-BT f=x^0.5", times, [bounds.theorem3_bound(n, H, 0.5) for n in N_SWEEP]))
+    return series
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_recurrence_growth_exponents(benchmark):
+    series = run_once(benchmark, sweep)
+    t = Table(["recurrence", "measured slope", "bound slope", "delta"],
+              title="E8  log-log growth exponents: measured vs Lemmas 2-4")
+    deltas = []
+    for name, measured, bound in series:
+        sm = loglog_slope(N_SWEEP, measured)
+        sb = loglog_slope(N_SWEEP, bound)
+        deltas.append(abs(sm - sb))
+        t.add(name, round(sm, 3), round(sb, 3), round(sm - sb, 3))
+    report("e8_recurrences", t,
+           notes="Claim: each measured growth exponent matches its lemma's "
+                 "closed form (|delta| small).")
+    for name_delta, d in zip(series, deltas):
+        assert d < 0.3, f"slope mismatch for {name_delta[0]}: {d}"

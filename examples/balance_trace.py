@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Watch the balancing happen: the X and A matrices, round by round.
+
+This example feeds an adversarial stream (every incoming block belongs to
+the bucket that *wants* to pile onto one disk) through the Balance engine
+and prints the histogram matrix ``X`` and auxiliary matrix ``A`` at a few
+checkpoints.  Things to notice:
+
+* ``A`` never shows a value above 1 after a round completes (Invariant 2);
+* every row of ``X`` stays within +1 of its median (Theorem 4's mechanism);
+* the swap counter ticks exactly when the adversarial pattern would
+  otherwise have skewed a bucket — the matching at work.
+
+Run:  python examples/balance_trace.py
+"""
+
+import numpy as np
+
+from repro import workloads
+from repro.analysis.trace import BalanceTracer, render_matrix
+from repro.core.balance import BalanceEngine
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.records import composite_keys
+
+
+def main() -> None:
+    machine = ParallelDiskMachine(memory=65536, block=4, disks=8)
+    storage = VirtualDisks(machine, 4)  # H' = 4 channels
+    data = workloads.adversarial_striping(4000, seed=5, period=4)
+
+    ck = np.sort(composite_keys(data))
+    pivots = ck[np.linspace(0, ck.size - 1, 5).astype(int)[1:-1]]  # S = 4
+
+    engine = BalanceEngine(storage, pivots, matcher="derandomized")
+    tracer = BalanceTracer.attach(engine)
+
+    # Feed exactly one track (H'·VB records) at a time: with the lane-striped
+    # adversarial input every round then tries to pin bucket i to channel i —
+    # the worst case for a naive placer.
+    checkpoints = [2, 8, 32]
+    chunk = storage.n_virtual * storage.virtual_block_size
+    for i in range(0, data.shape[0], chunk):
+        part = data[i : i + chunk]
+        machine.mem_acquire(part.shape[0])
+        engine.feed(part)
+        engine.run_rounds(drain_below=0)
+        while checkpoints and tracer.n_rounds >= checkpoints[0]:
+            cp = checkpoints.pop(0)
+            snap = tracer.snapshots[cp - 1]
+            print(f"after round {snap.round_index} "
+                  f"(swaps so far: {snap.blocks_swapped}):")
+            print("X (blocks of bucket b on channel h):")
+            print(render_matrix(snap.histogram))
+            print("A = max(0, X - row median):")
+            print(render_matrix(snap.auxiliary))
+            print()
+    engine.flush()
+
+    summary = tracer.summary()
+    print("trace summary:")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    print(
+        "\nThe adversarial stream tried to put every bucket on one channel;\n"
+        f"after {summary['rounds']} rounds and {summary['total_swaps']} swaps the worst\n"
+        f"bucket reads back within {summary['worst_balance_factor']:.2f}x of optimal "
+        "(Theorem 4 guarantees ~2x).\n\n"
+        "Note the columns can still be lopsided (the matcher may park every\n"
+        "swap on one channel): the median rule only promises each BUCKET is\n"
+        "readable in ~2x the optimal parallel rounds — exactly what Theorem 4\n"
+        "claims, no more.  This input drives the bound to its boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""External sort-merge join on parallel disks — a database scenario.
+
+The paper's introduction motivates external sorting with exactly this kind
+of workload (large transaction systems such as the TWA reservation system
+[GiS], RAID-style disk arrays [PGK]).  Here two relations that do not fit
+in memory — an `orders` table and a `payments` table keyed by order id —
+are each externally sorted with Balance Sort and then merge-joined with a
+single streaming pass, the textbook sort-merge join.
+
+What to look at in the output:
+
+* both sorts are deterministic — rerunning gives identical I/O counts;
+* the join phase costs one extra streaming pass over each relation;
+* the skewed payment distribution (a few hot orders, Zipf-like) does not
+  degrade the disk balance: the location matrices keep every bucket
+  readable at ~full parallelism (Theorem 4).
+
+Run:  python examples/database_merge_join.py
+"""
+
+import numpy as np
+
+from repro import ParallelDiskMachine, balance_sort_pdm
+from repro.analysis.reporting import Table
+from repro.core.streams import peek_run
+from repro.records import make_records
+from repro.util import assert_sorted
+
+
+def build_relations(n_orders: int, n_payments: int, seed: int):
+    """Synthetic orders (unique ids) and payments (skewed toward hot orders)."""
+    rng = np.random.default_rng(seed)
+    order_ids = rng.permutation(n_orders).astype(np.uint64)
+    # payments reference orders with Zipf-ish skew: a few orders get many
+    hot = rng.zipf(1.6, size=n_payments) % n_orders
+    payment_order_ids = hot.astype(np.uint64)
+    return make_records(order_ids), make_records(payment_order_ids)
+
+
+def merge_join_count(sorted_a: np.ndarray, sorted_b: np.ndarray) -> int:
+    """Count join matches between two key-sorted relations (streaming)."""
+    a_keys = sorted_a["key"]
+    b_keys = sorted_b["key"]
+    # For each distinct key in a, multiply the occurrence counts.
+    keys_a, counts_a = np.unique(a_keys, return_counts=True)
+    keys_b, counts_b = np.unique(b_keys, return_counts=True)
+    common, ia, ib = np.intersect1d(keys_a, keys_b, return_indices=True)
+    return int((counts_a[ia] * counts_b[ib]).sum())
+
+
+def external_sort(machine: ParallelDiskMachine, relation: np.ndarray, label: str):
+    result = balance_sort_pdm(machine, relation)
+    out = peek_run(result.storage, result.output)
+    assert_sorted(out, label)
+    return result, out
+
+
+def main() -> None:
+    orders, payments = build_relations(n_orders=20_000, n_payments=40_000, seed=11)
+
+    m1 = ParallelDiskMachine(memory=1024, block=4, disks=8)
+    res_orders, sorted_orders = external_sort(m1, orders, "orders")
+
+    m2 = ParallelDiskMachine(memory=1024, block=4, disks=8)
+    res_payments, sorted_payments = external_sort(m2, payments, "payments")
+
+    matches = merge_join_count(sorted_orders, sorted_payments)
+    # the join's own I/O cost: one streaming read of each sorted relation
+    join_ios = -(-orders.shape[0] // (m1.D * m1.B)) + -(
+        -payments.shape[0] // (m2.D * m2.B)
+    )
+
+    t = Table(["phase", "records", "parallel I/Os", "balance factor"],
+              title="Sort-merge join on 8 parallel disks")
+    t.add("sort orders", orders.shape[0], res_orders.total_ios,
+          round(res_orders.max_balance_factor, 2))
+    t.add("sort payments (Zipf-skewed)", payments.shape[0], res_payments.total_ios,
+          round(res_payments.max_balance_factor, 2))
+    t.add("merge-join streaming pass", orders.shape[0] + payments.shape[0], join_ios, "-")
+    t.print()
+    print(f"join produced {matches:,} (order, payment) matches")
+    print(
+        "\nSkew check: the payments relation is heavily skewed, yet its "
+        f"balance factor is {res_payments.max_balance_factor:.2f} — the "
+        "deterministic balancing keeps every bucket spread across the disks."
+    )
+
+
+if __name__ == "__main__":
+    main()

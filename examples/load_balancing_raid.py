@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The balance technique as a general load balancer (beyond sorting).
+
+The paper's conclusion: "we expect our balance technique to be quite useful
+as large-scale parallel memories are built, not only for sorting but also
+for other load-balancing applications on parallel disks and parallel memory
+hierarchies."
+
+This example uses the histogram/auxiliary-matrix machinery directly — no
+sorting — to place streams of variable-rate *file writes* onto a disk
+array.  Each "file" is a bucket; each full block of a file must land on
+some disk; reading a file back later wants its blocks spread evenly.  We
+compare three placement policies on an adversarial write trace in which a
+few files produce most of the blocks in bursts:
+
+* ``input-order``  — write each block to the next disk in arrival order
+  (what a naive striping controller does per stream);
+* ``random``       — uniform random disk per block ([ViSa]-style);
+* ``balanced``     — the paper's matrices + Fast-Partial-Match.
+
+The metric is Theorem 4's balance factor: (parallel reads needed to fetch
+the file) / (optimal reads).  The deterministic balancer guarantees ≤ ~2.
+
+Run:  python examples/load_balancing_raid.py
+"""
+
+import numpy as np
+
+from repro import workloads
+from repro.analysis.reporting import Table
+from repro.core.balance import BalanceEngine
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.records import composite_keys, make_records
+
+
+def write_trace(n_files: int, n_blocks: int, seed: int) -> np.ndarray:
+    """File id per block write, bursty: long runs of the same hot file."""
+    rng = np.random.default_rng(seed)
+    ids = []
+    while len(ids) < n_blocks:
+        f = int(rng.zipf(1.3)) % n_files
+        burst = int(rng.integers(1, 12))
+        ids.extend([f] * burst)
+    return np.array(ids[:n_blocks])
+
+
+def run_policy(policy: str, file_ids: np.ndarray, n_disks: int, vb: int, seed: int):
+    """Place one block per trace entry; return worst per-file balance factor."""
+    machine = ParallelDiskMachine(memory=64 * vb, block=vb // 2, disks=2 * n_disks)
+    storage = VirtualDisks(machine, n_disks)
+    n_files = int(file_ids.max()) + 1
+
+    if policy == "balanced":
+        # Encode "file id" as the sort key so the engine's partitioner puts
+        # each block in its file's bucket: pivots at 1, 2, ..., n_files-1.
+        pivots_records = make_records(np.arange(1, n_files, dtype=np.uint64))
+        pivots = composite_keys(pivots_records)
+        # force pivot rids to 0 so every key k maps to bucket k
+        pivots = (np.arange(1, n_files, dtype=np.uint64) << np.uint64(24))
+        engine = BalanceEngine(storage, pivots, matcher="derandomized")
+        for f in file_ids:
+            block = make_records(np.full(vb, f, dtype=np.uint64))
+            machine.mem_acquire(vb)
+            engine.feed(block)
+            engine.run_rounds(drain_below=2 * n_disks)
+        engine.flush()
+        x = engine.matrices.X
+    else:
+        rng = np.random.default_rng(seed)
+        x = np.zeros((n_files, n_disks), dtype=np.int64)
+        cursor = 0
+        last_f = -1
+        for f in file_ids:
+            if policy == "random":
+                d = int(rng.integers(0, n_disks))
+            else:  # input-order: per-stream striping restarts at disk 0
+                if f != last_f:
+                    cursor = 0
+                    last_f = int(f)
+                d = cursor % n_disks
+                cursor += 1
+            x[f, d] += 1
+
+    factors = []
+    for f in range(n_files):
+        total = x[f].sum()
+        if total == 0:
+            continue
+        factors.append(x[f].max() / -(-total // n_disks))
+    return max(factors), float(np.mean(factors))
+
+
+def main() -> None:
+    n_disks, vb = 8, 8
+    trace = write_trace(n_files=24, n_blocks=3000, seed=33)
+
+    t = Table(
+        ["policy", "worst file balance factor", "mean factor"],
+        title=f"Placing {trace.size} block writes of 24 files on {n_disks} disks",
+    )
+    for policy in ["input-order", "random", "balanced"]:
+        worst, mean = run_policy(policy, trace, n_disks, vb, seed=34)
+        t.add(policy, round(worst, 2), round(mean, 2))
+    t.print()
+    print(
+        "input-order placement lets bursty files pile onto few disks;\n"
+        "randomization helps on average but has a tail; the deterministic\n"
+        "balancer guarantees every file reads back within ~2x of optimal\n"
+        "(Theorem 4) — and it is a worst-case guarantee, not an expectation."
+    )
+
+
+if __name__ == "__main__":
+    main()

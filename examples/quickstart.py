@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: external-sort 50,000 records on 8 parallel disks.
+
+Runs Balance Sort (Nodine & Vitter, SPAA'93) on the simulated parallel disk
+model, verifies the output, and prints the measured parallel-I/O count next
+to the Theorem 1 lower-bound expression — the paper's headline claim is
+that the two stay within a constant factor of each other, deterministically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ParallelDiskMachine, balance_sort_pdm, workloads
+from repro.analysis import bounds
+from repro.analysis.reporting import Table
+from repro.core.streams import peek_run
+from repro.util import assert_is_permutation, assert_sorted
+
+
+def main() -> None:
+    # A machine with M=1024 records of memory, 4-record blocks, 8 disks —
+    # tiny numbers so the structure is visible; every ratio below is
+    # scale-free.
+    machine = ParallelDiskMachine(memory=1024, block=4, disks=8)
+    data = workloads.uniform(50_000, seed=7)
+
+    result = balance_sort_pdm(machine, data)
+
+    out = peek_run(result.storage, result.output)
+    assert_sorted(out, "quickstart output")
+    assert_is_permutation(out, data, "quickstart output")
+    print(f"sorted {result.n_records:,} records — output verified\n")
+
+    bound = bounds.sort_io_bound(result.n_records, machine.M, machine.B, machine.D)
+    t = Table(["metric", "value"], title="Balance Sort on the parallel disk model")
+    t.add("records (N)", result.n_records)
+    t.add("memory (M) / block (B) / disks (D)", f"{machine.M} / {machine.B} / {machine.D}")
+    t.add("parallel I/Os measured", result.total_ios)
+    t.add("Theorem 1 bound  (N/DB)·log(N/B)/log(M/B)", round(bound, 1))
+    t.add("measured / bound", round(result.total_ios / bound, 2))
+    t.add("recursion depth", result.recursion_depth)
+    t.add("blocks rebalanced by Fast-Partial-Match", result.blocks_swapped)
+    t.add("matching invocations (all deterministic)", result.match_calls)
+    t.add("worst bucket balance factor (Theorem 4 ≈ 2)", round(result.max_balance_factor, 2))
+    t.add("CPU work charged (ops)", result.cpu["work"])
+    t.print()
+
+    print(
+        "The measured/bound ratio is a small constant — rerun with other N\n"
+        "and it stays flat: that is Theorem 1's optimality, reproduced."
+    )
+
+
+if __name__ == "__main__":
+    main()

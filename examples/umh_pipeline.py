@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The Uniform Memory Hierarchy (Figure 3c) — buses, blocks, and P-UMH sort.
+
+Two views of the UMH model [ACF] that the paper's Section 3 extends:
+
+1. the *bus-level machine* (`repro.hierarchies.umh.UMH`): level ``l`` holds
+   ``α·ρ^l`` blocks of ``ρ^l`` records; the bus between levels ``l`` and
+   ``l+1`` moves one level-``l`` block in ``ρ^l/b(l)`` time, all buses in
+   parallel.  We walk a block down from level 3 to the base, showing the
+   per-bus time accounting and the pipelining effect (elapsed time = the
+   busiest bus, not the sum);
+2. the *P-UMH sort*: Balance Sort runs unchanged on H UMH hierarchies via
+   the streaming-cost model — the Section 3 claim that the paper's
+   techniques derandomize the [ViN] P-UMH algorithms.
+
+Run:  python examples/umh_pipeline.py
+"""
+
+import numpy as np
+
+from repro import ParallelHierarchies, balance_sort_hierarchy, workloads
+from repro.analysis.reporting import Table
+from repro.core.streams import peek_run
+from repro.hierarchies import UMH
+from repro.records import make_records
+from repro.util import assert_is_permutation, assert_sorted
+
+
+def bus_level_walk() -> None:
+    """Move a level-3 block to the base, one sub-block split at a time."""
+    u = UMH(rho=2, alpha=2, levels=5)
+    payload = make_records(np.arange(8, dtype=np.uint64))  # a level-3 block
+    u.put_block(3, 0, payload)
+
+    # Split the block downwards: 3 -> 2 -> 1 -> 0 (follow sub-block 0).
+    u.transfer(bus=2, lower_frame=0, upper_frame=0, sub_index=0, direction="down")
+    u.transfer(bus=1, lower_frame=0, upper_frame=0, sub_index=0, direction="down")
+    u.transfer(bus=0, lower_frame=0, upper_frame=0, sub_index=0, direction="down")
+
+    t = Table(["bus", "block size moved", "busy time"],
+              title="Bus activity moving one record path from level 3 to base")
+    for bus in range(3):
+        t.add(bus, u.levels[bus].block_size, u.bus_time[bus])
+    t.print()
+    print(f"elapsed (busiest bus, buses overlap): {u.time}")
+    print(f"total bus work (if serialized):       {u.total_bus_work}")
+    print(f"base level now holds record key {int(u.get_block(0, 0)['key'][0])}\n")
+
+
+def pumh_sort() -> None:
+    """Deterministic Balance Sort on the P-UMH machine."""
+    machine = ParallelHierarchies(64, model="umh", interconnect="pram")
+    data = workloads.zipf_like(8000, seed=42)
+    res = balance_sort_hierarchy(machine, data)
+    out = peek_run(res.storage, res.output)
+    assert_sorted(out)
+    assert_is_permutation(out, data)
+
+    t = Table(["metric", "value"], title="Balance Sort on P-UMH (H=64, Zipf-skewed input)")
+    t.add("records", res.n_records)
+    t.add("model time (memory + interconnect)", round(res.total_time))
+    t.add("parallel memory steps", res.parallel_steps)
+    t.add("matching invocations (deterministic)", res.match_calls)
+    t.add("matcher fallbacks", res.match_fallbacks)
+    t.add("worst bucket balance factor", round(res.max_balance_factor, 2))
+    t.print()
+    print(
+        "Section 3's claim, operational: the same deterministic balancing\n"
+        "engine drives the UMH hierarchies — no randomization anywhere."
+    )
+
+
+if __name__ == "__main__":
+    bus_level_walk()
+    pumh_sort()

@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml.  Modern pips build editable installs
+through PEP 517, which requires ``wheel``; on an offline machine without it,
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to the
+legacy ``setup.py develop`` path this file enables.
+"""
+
+from setuptools import setup
+
+setup()

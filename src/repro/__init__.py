@@ -1,0 +1,59 @@
+"""Balance Sort — deterministic distribution sort for parallel disks and
+parallel memory hierarchies.
+
+A from-scratch reproduction of
+
+    Mark H. Nodine and Jeffrey Scott Vitter,
+    "Deterministic Distribution Sort in Shared and Distributed Memory
+    Multiprocessors" (extended abstract), SPAA 1993, pp. 120-129.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ParallelDiskMachine, balance_sort_pdm, workloads
+    from repro.core.streams import peek_run
+
+    machine = ParallelDiskMachine(memory=512, block=4, disks=8)
+    data = workloads.uniform(50_000, seed=0)
+    result = balance_sort_pdm(machine, data)
+    print(result.total_ios, "parallel I/Os")
+    sorted_records = peek_run(result.storage, result.output)
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — Balance Sort itself (Algorithms 1-7).
+* :mod:`repro.pdm` — the parallel disk model machine (Figure 2).
+* :mod:`repro.pram` / :mod:`repro.hypercube` — the interconnects.
+* :mod:`repro.hierarchies` — HMM / BT / UMH and P-HMM / P-BT (Figures 3-4).
+* :mod:`repro.baselines` — striped merge sort, randomized [ViSa], Greed
+  Sort [NoV].
+* :mod:`repro.analysis` — Theorem 1-3 bounds, ratio fits, reporting.
+* :mod:`repro.workloads` — seeded input generators.
+"""
+
+from . import analysis, baselines, core, hierarchies, hypercube, pdm, pram, records, util, workloads
+from .core import balance_sort_hierarchy, balance_sort_pdm
+from .hierarchies import ParallelHierarchies
+from .pdm import ParallelDiskMachine
+from .records import make_records
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "hierarchies",
+    "hypercube",
+    "pdm",
+    "pram",
+    "records",
+    "util",
+    "workloads",
+    "balance_sort_pdm",
+    "balance_sort_hierarchy",
+    "ParallelDiskMachine",
+    "ParallelHierarchies",
+    "make_records",
+    "__version__",
+]

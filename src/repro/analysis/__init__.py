@@ -1,0 +1,5 @@
+"""Closed-form bounds, optimality-ratio fits, reporting, and engine tracing."""
+
+from . import bounds, optimality, reporting, trace
+
+__all__ = ["bounds", "optimality", "reporting", "trace"]

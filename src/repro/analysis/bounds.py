@@ -1,0 +1,107 @@
+"""Closed-form bounds from the paper (Theorems 1–3 and Equation (1)).
+
+All formulas use the paper's ``log z = max{1, log₂ z}`` (footnote 1) and
+return the Θ-expression *without* constant factors — benchmarks report the
+ratio ``measured / bound`` and check it stays bounded (optimal) or grows
+(suboptimal baseline), which is what an asymptotic reproduction can verify.
+
+Where the scanned extended abstract is ambiguous (parts of the Theorem 2
+``f = log x`` line are garbled in every available scan), the encoding
+follows the most natural reading of the recurrence in Section 4.3; the
+benchmark reports shape trends, not constants, so the conclusions are
+insensitive to the exact polylog reading — EXPERIMENTS.md records this.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "paper_log",
+    "sort_io_bound",
+    "striped_merge_sort_ios",
+    "cpu_work_bound",
+    "theorem2_power_bound",
+    "theorem2_log_bound",
+    "theorem3_bound",
+    "T_H",
+]
+
+from ..hypercube.sharesort import T_H  # re-export: the T(H) the theorems use
+
+
+def paper_log(x: float) -> float:
+    """``log z = max{1, log₂ z}`` (footnote 1)."""
+    return max(1.0, math.log2(max(x, 1.0)))
+
+
+def sort_io_bound(n: int, m: int, b: int, d: int) -> float:
+    """Equation (1) / Theorem 1: Θ((N/DB)·log(N/B)/log(M/B)) parallel I/Os."""
+    if n <= 0:
+        return 1.0
+    return (n / (d * b)) * paper_log(n / b) / paper_log(m / b)
+
+
+def striped_merge_sort_ios(n: int, m: int, b: int, d: int) -> float:
+    """Disk-striped 2-way merge sort: Θ((N/DB)·log(N/M)) I/Os.
+
+    Striping turns the D disks into one disk of block size ``B' = DB``;
+    merge sort then pays a full read+write per merge level, and there are
+    ``log₂(N/M)`` levels after run formation — larger than optimal by the
+    ``log(M/B)``-ish factor Section 1 describes (the gap the paper's
+    deterministic algorithm closes).
+    """
+    if n <= 0:
+        return 1.0
+    levels = 1.0 + max(0.0, math.log2(max(n / m, 1.0)))
+    return (n / (d * b)) * levels
+
+
+def cpu_work_bound(n: int, p: int = 1) -> float:
+    """Theorem 1's internal processing: Θ((N/P)·log N) time, Θ(N log N) work."""
+    if n <= 0:
+        return 1.0
+    return (n / p) * paper_log(n)
+
+
+def theorem2_power_bound(n: int, h: int, alpha: float) -> float:
+    """Theorem 2, ``f(x) = x^α``: Θ((N/H)^{α+1} + (N/H)·log N)."""
+    if n <= 0:
+        return 1.0
+    nh = n / h
+    return nh ** (alpha + 1) + nh * paper_log(n)
+
+
+def theorem2_log_bound(n: int, h: int) -> float:
+    """Theorem 2, ``f(x) = log x``: Θ((N/H)·log(N/H)·log N) (see module note)."""
+    if n <= 0:
+        return 1.0
+    nh = n / h
+    return nh * paper_log(nh) * paper_log(n)
+
+
+def theorem2_hypercube_extra(n: int, h: int) -> float:
+    """Hypercube T(H) term of Theorem 2: (N/(H log H))·log N·T(H)."""
+    if n <= 0:
+        return 1.0
+    return (n / (h * paper_log(h))) * paper_log(n) * T_H(h)
+
+
+def theorem3_bound(n: int, h: int, alpha: float | None) -> float:
+    """Theorem 3 (P-BT with EREW PRAM), by cost-function regime.
+
+    ``alpha=None`` means ``f = log x``.
+
+    * ``f = log x``        → Θ((N/H)·log N)
+    * ``x^α, 0 < α < 1``   → Θ((N/H)·log N)
+    * ``x^α, α = 1``       → Θ((N/H)·(log²(N/H) + log N))
+    * ``x^α, α > 1``       → Θ((N/H)^α + (N/H)·log N)
+    """
+    if n <= 0:
+        return 1.0
+    nh = n / h
+    if alpha is None or alpha < 1:
+        return nh * paper_log(n)
+    if alpha == 1:
+        return nh * (paper_log(nh) ** 2 + paper_log(n))
+    return nh**alpha + nh * paper_log(n)

@@ -1,0 +1,73 @@
+"""Measured-vs-bound ratio analysis over parameter sweeps.
+
+An algorithm *matches* a Θ-bound when ``measured / bound`` stays within a
+constant band as the swept parameter grows; it *misses* the bound when the
+ratio drifts.  :func:`ratio_series` computes the band, :func:`loglog_slope`
+fits the growth exponent (measured ~ n^slope on a log-log axis), and
+:func:`is_flat` applies the tolerance the experiment suite uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["RatioSeries", "ratio_series", "loglog_slope", "is_flat"]
+
+
+@dataclass
+class RatioSeries:
+    """Ratios of measured values against a closed-form bound."""
+
+    xs: list
+    measured: list
+    bound: list
+    ratios: list
+
+    @property
+    def spread(self) -> float:
+        """max ratio / min ratio — 1.0 means perfectly proportional."""
+        lo, hi = min(self.ratios), max(self.ratios)
+        return hi / lo if lo > 0 else math.inf
+
+    @property
+    def trend(self) -> float:
+        """last ratio / first ratio — > 1 means the bound is being outgrown."""
+        return self.ratios[-1] / self.ratios[0] if self.ratios[0] > 0 else math.inf
+
+
+def ratio_series(
+    xs: Sequence, measured: Sequence[float], bound_fn: Callable[..., float]
+) -> RatioSeries:
+    """Evaluate ``bound_fn(x)`` per point and form measured/bound ratios.
+
+    ``xs`` entries may be scalars or tuples (splatted into ``bound_fn``).
+    """
+    if len(xs) != len(measured) or not xs:
+        raise ValueError("xs and measured must be equal-length and non-empty")
+    bound = [
+        bound_fn(*x) if isinstance(x, tuple) else bound_fn(x) for x in xs
+    ]
+    ratios = [m / b if b else math.inf for m, b in zip(measured, bound)]
+    return RatioSeries(list(xs), list(measured), bound, ratios)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (the growth exponent)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    if den == 0:
+        raise ValueError("xs are all equal")
+    return num / den
+
+
+def is_flat(series: RatioSeries, spread_tolerance: float = 3.0) -> bool:
+    """True when the ratio band stays within ``spread_tolerance``×."""
+    return series.spread <= spread_tolerance

@@ -1,0 +1,67 @@
+"""Aligned-text tables for the benchmark harness.
+
+Every experiment bench prints its rows through :class:`Table`, so
+EXPERIMENTS.md and the bench output share one format:
+
+    N        D   measured   bound    ratio
+    4096     8   186        151.7    1.23
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Compact human-readable formatting for table cells."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+class Table:
+    """Column-aligned text table accumulated row by row."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add(self, *values) -> None:
+        """Append one row (one value per column)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_value(v) for v in values])
+
+    def add_dict(self, row: dict) -> None:
+        """Append a row given as a mapping keyed by column name."""
+        self.add(*[row[c] for c in self.columns])
+
+    def render(self) -> str:
+        """Format the table as aligned text."""
+        widths = [
+            max(len(c), *(len(r[i]) for r in self.rows)) if self.rows else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("-" * len(self.title))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        for r in self.rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors render
+        """Print the rendered table surrounded by blank lines."""
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,28 @@
+"""Baselines the paper positions Balance Sort against (Section 1).
+
+* :mod:`~repro.baselines.striped_mergesort` — merge sort over *fully
+  striped* disks: deterministic but suboptimal by a multiplicative
+  ``log(M/B)/log(M/DB)`` factor (the paper: "the number of I/Os used can be
+  much larger than optimal, by a multiplicative factor of log(M/B)").
+* :mod:`~repro.baselines.randomized_vs` — the randomized distribution sort
+  of Vitter and Shriver [ViSa]: I/O-optimal in expectation, the algorithm
+  Balance Sort derandomizes.
+* :mod:`~repro.baselines.greed_sort` — Greed Sort [NoV]: the earlier
+  deterministic optimal PDM sort (merge-based), "known to be optimal only
+  for the parallel disk models and not for hierarchical memories".
+* :mod:`~repro.baselines.internal` — plain in-memory reference sorts.
+"""
+
+from .striped_mergesort import striped_merge_sort
+from .randomized_vs import randomized_distribution_sort
+from .greed_sort import greed_sort
+from .hierarchy_mergesort import hierarchy_merge_sort
+from .internal import numpy_sort_records
+
+__all__ = [
+    "striped_merge_sort",
+    "randomized_distribution_sort",
+    "greed_sort",
+    "hierarchy_merge_sort",
+    "numpy_sort_records",
+]

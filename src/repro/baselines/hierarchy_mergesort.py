@@ -1,0 +1,180 @@
+"""Merge sort with hierarchy striping — the baseline Balance Sort beats on
+parallel memory hierarchies.
+
+Two of the paper's claims motivate this module:
+
+* Section 1: merge sort + striping is deterministic but pays an extra
+  logarithmic factor over optimal;
+* Sections 1 and 6: Greed Sort — a *merge-based* deterministic algorithm —
+  "does not seem to yield optimal sorting bounds on memory hierarchies";
+  "the Greed Sort technique ... is known to be optimal only for the
+  parallel disk models and not for hierarchical memories" (Section 3).
+
+The structural reason is machine-independent: a 2-way (or any O(1)-way)
+merge must stream the *entire* dataset once per merge level, and there are
+``Θ(log(N/H))`` levels; on an HMM hierarchy each full stream of n records
+costs ``Θ((n/H)·f(n/H))``-class time, so the total picks up a full
+``log(N/H)`` factor that Balance Sort's ``√N``-way distribution avoids
+(its recursion depth is ``O(log log N)``).  The E12 benchmark measures
+exactly this gap growing with N while Balance Sort's ratio stays flat.
+
+Implementation: the H hierarchies are *fully striped* (one virtual channel
+of H-record blocks via :class:`~repro.hierarchies.parallel.VirtualHierarchies`
+with ``n_virtual=1``); run formation sorts ``3H``-record loads at the base
+level (charged ``T(H)`` per base batch, as in Algorithm 1's base case), and
+each merge pass streams the runs through the base with the safe-boundary
+two-pointer merge, every block motion charged through the storage layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..hierarchies.parallel import ParallelHierarchies, VirtualHierarchies
+from ..records import composite_keys, sort_records
+from ..core.streams import (
+    OrderedRun,
+    load_ordered_run,
+    read_run_batches,
+    write_ordered_run,
+)
+
+__all__ = ["hierarchy_merge_sort", "HierarchyMergeSortResult"]
+
+
+@dataclass
+class HierarchyMergeSortResult:
+    output: OrderedRun
+    n_records: int
+    storage: VirtualHierarchies
+    memory_time: float
+    interconnect_time: float
+    total_time: float
+    merge_passes: int
+    fan_in: int
+
+
+def hierarchy_merge_sort(
+    machine: ParallelHierarchies,
+    records: np.ndarray | None = None,
+    *,
+    run: OrderedRun | None = None,
+    fan_in: int = 2,
+) -> HierarchyMergeSortResult:
+    """Binary (or small-R) merge sort over fully striped hierarchies."""
+    if fan_in < 2:
+        raise ParameterError("fan-in must be at least 2")
+    storage = VirtualHierarchies(machine, n_virtual=1)
+    if (records is None) == (run is None):
+        raise ParameterError("provide exactly one of records / run")
+    if run is None:
+        run = load_ordered_run(storage, records)
+    n = run.n_records
+    h = machine.h
+
+    # --- run formation: sort 3H-record loads at the base level ------------
+    load_size = 3 * h
+    runs: list[OrderedRun] = []
+    buffer: list[np.ndarray] = []
+    buffered = 0
+
+    def emit(chunks, size):
+        if size == 0:
+            return
+        load = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        batches = -(-load.shape[0] // h)
+        machine.charge_base_sort(rounds=batches)
+        if batches > 1:  # binary merge of the ≤3 base-sorted lists
+            machine.charge_interconnect(2 * (load.shape[0] / h + math.log2(max(2, h))))
+        runs.append(write_ordered_run(storage, sort_records(load)))
+
+    for chunk in read_run_batches(storage, run, free=True):
+        buffer.append(chunk)
+        buffered += chunk.shape[0]
+        if buffered >= load_size:
+            emit(buffer, buffered)
+            buffer, buffered = [], 0
+    emit(buffer, buffered)
+
+    if not runs:
+        return HierarchyMergeSortResult(
+            output=OrderedRun(blocks=[], n_records=0), n_records=0, storage=storage,
+            memory_time=machine.memory_time, interconnect_time=machine.interconnect_time,
+            total_time=machine.total_time, merge_passes=0, fan_in=fan_in,
+        )
+
+    # --- merge passes ------------------------------------------------------
+    passes = 0
+    while len(runs) > 1:
+        passes += 1
+        merged = []
+        for i in range(0, len(runs), fan_in):
+            merged.append(_merge(machine, storage, runs[i : i + fan_in]))
+        runs = merged
+
+    return HierarchyMergeSortResult(
+        output=runs[0],
+        n_records=n,
+        storage=storage,
+        memory_time=machine.memory_time,
+        interconnect_time=machine.interconnect_time,
+        total_time=machine.total_time,
+        merge_passes=passes,
+        fan_in=fan_in,
+    )
+
+
+def _merge(machine, storage, in_runs: list[OrderedRun]) -> OrderedRun:
+    """Safe-boundary streamed merge of R runs over the striped channel."""
+    if len(in_runs) == 1:
+        return in_runs[0]
+    streams = [read_run_batches(storage, rn, free=True) for rn in in_runs]
+    buffers: list[np.ndarray | None] = [next(s, None) for s in streams]
+    vb = storage.virtual_block_size
+    out_parts: list[np.ndarray] = []
+    out_blocks = []
+    out_count = 0
+
+    total = sum(rn.n_records for rn in in_runs)
+    # interconnect cost of the merge itself: the base level advances H
+    # records per comparison round
+    machine.charge_interconnect(total / machine.h + math.log2(max(2, machine.h)))
+
+    def flush(final=False):
+        nonlocal out_parts, out_count
+        if not out_parts:
+            return
+        data = np.concatenate(out_parts)
+        cut = data.shape[0] if final else (data.shape[0] // vb) * vb
+        if cut == 0:
+            out_parts = [data]
+            return
+        written = write_ordered_run(storage, data[:cut])
+        out_blocks.extend(written.blocks)
+        out_count += cut
+        out_parts = [data[cut:]] if cut < data.shape[0] else []
+
+    while True:
+        for i in range(len(buffers)):
+            if buffers[i] is not None and buffers[i].size == 0:
+                buffers[i] = next(streams[i], None)
+        live = [i for i in range(len(buffers)) if buffers[i] is not None]
+        if not live:
+            break
+        boundary = min(composite_keys(buffers[i])[-1] for i in live)
+        emit_parts = []
+        for i in live:
+            b = buffers[i]
+            cut = int(np.searchsorted(composite_keys(b), boundary, side="right"))
+            if cut:
+                emit_parts.append(b[:cut])
+                buffers[i] = b[cut:]
+        block = np.concatenate(emit_parts)
+        out_parts.append(block[np.argsort(composite_keys(block), kind="stable")])
+        flush()
+    flush(final=True)
+    return OrderedRun(blocks=out_blocks, n_records=out_count)

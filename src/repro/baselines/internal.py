@@ -1,0 +1,45 @@
+"""In-memory reference sorts (correctness anchors for tests and examples)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import RECORD_DTYPE, argsort_records
+
+__all__ = ["numpy_sort_records", "python_merge_sort"]
+
+
+def numpy_sort_records(records: np.ndarray) -> np.ndarray:
+    """Sort a record array in composite (key, rid) order via NumPy."""
+    if records.dtype != RECORD_DTYPE:
+        raise TypeError(f"expected record array, got {records.dtype}")
+    return records[argsort_records(records)]
+
+
+def python_merge_sort(values: list) -> list:
+    """Plain bottom-up merge sort over any comparable list (tiny reference).
+
+    Used in tests as an independently implemented oracle (no NumPy in the
+    comparison path).
+    """
+    items = list(values)
+    width = 1
+    n = len(items)
+    while width < n:
+        out = []
+        for lo in range(0, n, 2 * width):
+            a = items[lo : lo + width]
+            b = items[lo + width : lo + 2 * width]
+            i = j = 0
+            while i < len(a) and j < len(b):
+                if b[j] < a[i]:
+                    out.append(b[j])
+                    j += 1
+                else:
+                    out.append(a[i])
+                    i += 1
+            out.extend(a[i:])
+            out.extend(b[j:])
+        items = out
+        width *= 2
+    return items

@@ -1,0 +1,203 @@
+"""Command-line interface: run sorts and comparisons without writing code.
+
+Examples::
+
+    python -m repro sort --n 20000 --memory 1024 --block 4 --disks 8
+    python -m repro sort --n 20000 --matcher randomized --workload zipf
+    python -m repro compare --n 20000 --memory 512 --block 4 --disks 8
+    python -m repro hierarchy --n 8000 --h 64 --model bt --cost 0.5
+    python -m repro workloads
+
+Every command prints an aligned table (the same formatter the benchmark
+harness uses) plus the Theorem 1/2/3 reference bound where applicable, and
+verifies the output before reporting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import workloads
+from .analysis import bounds
+from .analysis.reporting import Table
+from .baselines import (
+    greed_sort,
+    randomized_distribution_sort,
+    striped_merge_sort,
+)
+from .core.sort_hierarchy import balance_sort_hierarchy
+from .core.sort_pdm import balance_sort_pdm
+from .core.streams import peek_run
+from .hierarchies import LogCost, ParallelHierarchies, PowerCost, UMHCost
+from .pdm import ParallelDiskMachine
+from .util import assert_is_permutation, assert_sorted
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Balance Sort (Nodine & Vitter, SPAA'93) — simulators and sorts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_args(p):
+        p.add_argument("--n", type=int, default=20_000, help="records to sort")
+        p.add_argument("--memory", type=int, default=1024, help="M: records in internal memory")
+        p.add_argument("--block", type=int, default=4, help="B: records per block")
+        p.add_argument("--disks", type=int, default=8, help="D: number of disks")
+        p.add_argument("--workload", default="uniform", choices=sorted(workloads.GENERATORS))
+        p.add_argument("--seed", type=int, default=0)
+
+    p_sort = sub.add_parser("sort", help="Balance Sort on the parallel disk model")
+    add_machine_args(p_sort)
+    p_sort.add_argument(
+        "--matcher", default="derandomized",
+        choices=["derandomized", "randomized", "greedy", "mincost"],
+    )
+    p_sort.add_argument("--processors", type=int, default=1, help="P: CPUs")
+    p_sort.add_argument("--buckets", type=int, default=None, help="override S")
+    p_sort.add_argument("--virtual-disks", type=int, default=None, help="override D'")
+
+    p_cmp = sub.add_parser("compare", help="all four PDM algorithms side by side")
+    add_machine_args(p_cmp)
+
+    p_h = sub.add_parser("hierarchy", help="Balance Sort on P-HMM / P-BT / P-UMH")
+    p_h.add_argument("--n", type=int, default=8_000)
+    p_h.add_argument("--h", type=int, default=64, help="H: number of hierarchies")
+    p_h.add_argument("--model", default="hmm", choices=["hmm", "bt", "umh"])
+    p_h.add_argument("--cost", default="log",
+                     help="'log', 'umh', or a float exponent alpha for x^alpha")
+    p_h.add_argument("--interconnect", default="pram", choices=["pram", "hypercube"])
+    p_h.add_argument("--workload", default="uniform", choices=sorted(workloads.GENERATORS))
+    p_h.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("workloads", help="list the available workload generators")
+    return parser
+
+
+def _cost_fn(spec: str):
+    if spec == "log":
+        return LogCost()
+    if spec == "umh":
+        return UMHCost()
+    return PowerCost(alpha=float(spec))
+
+
+def cmd_sort(args) -> int:
+    """Run Balance Sort on a PDM machine and print the measurements."""
+    machine = ParallelDiskMachine(
+        memory=args.memory, block=args.block, disks=args.disks, processors=args.processors
+    )
+    data = workloads.by_name(args.workload, args.n, seed=args.seed)
+    res = balance_sort_pdm(
+        machine, data, matcher=args.matcher, buckets=args.buckets,
+        virtual_disks=args.virtual_disks,
+    )
+    out = peek_run(res.storage, res.output)
+    assert_sorted(out)
+    assert_is_permutation(out, data)
+    bound = bounds.sort_io_bound(args.n, args.memory, args.block, args.disks)
+    t = Table(["metric", "value"], title="Balance Sort (parallel disk model)")
+    t.add("records", res.n_records)
+    t.add("workload", args.workload)
+    t.add("parallel I/Os", res.total_ios)
+    t.add("Theorem 1 bound", round(bound, 1))
+    t.add("ratio", round(res.total_ios / bound, 2))
+    t.add("CPU work / time", f"{res.cpu['work']} / {res.cpu['time']}")
+    t.add("recursion depth", res.recursion_depth)
+    t.add("blocks swapped", res.blocks_swapped)
+    t.add("balance factor", round(res.max_balance_factor, 2))
+    t.add("output verified", True)
+    t.print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run the four PDM algorithms on one input and print the comparison."""
+    from .pdm import DISK_1993, DISK_NVME
+
+    data = workloads.by_name(args.workload, args.n, seed=args.seed)
+    bound = bounds.sort_io_bound(args.n, args.memory, args.block, args.disks)
+    algs = [
+        ("balance (this paper)", lambda m: balance_sort_pdm(m, data, check_invariants=False)),
+        ("greed sort [NoV]", lambda m: greed_sort(m, data)),
+        ("randomized [ViSa]", lambda m: randomized_distribution_sort(m, data)),
+        ("striped merge sort", lambda m: striped_merge_sort(m, data)),
+    ]
+    t = Table(
+        ["algorithm", "parallel I/Os", "ratio to bound",
+         "est. 1993 HDD", "est. NVMe", "verified"],
+        title=f"N={args.n} M={args.memory} B={args.block} D={args.disks} ({args.workload})",
+    )
+    for name, fn in algs:
+        machine = ParallelDiskMachine(
+            memory=args.memory, block=args.block, disks=args.disks
+        )
+        res = fn(machine)
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out, name)
+        t.add(
+            name, res.total_ios, round(res.total_ios / bound, 2),
+            f"{DISK_1993.estimate_seconds(machine.stats, args.block):.1f}s",
+            f"{DISK_NVME.estimate_seconds(machine.stats, args.block) * 1e3:.0f}ms",
+            True,
+        )
+    t.print()
+    return 0
+
+
+def cmd_hierarchy(args) -> int:
+    """Run Balance Sort on a parallel memory hierarchy machine."""
+    machine = ParallelHierarchies(
+        args.h, model=args.model, cost_fn=_cost_fn(args.cost),
+        interconnect=args.interconnect,
+    )
+    data = workloads.by_name(args.workload, args.n, seed=args.seed)
+    res = balance_sort_hierarchy(machine, data)
+    out = peek_run(res.storage, res.output)
+    assert_sorted(out)
+    assert_is_permutation(out, data)
+    t = Table(["metric", "value"],
+              title=f"Balance Sort (P-{args.model.upper()}, f={args.cost}, {args.interconnect})")
+    t.add("records", res.n_records)
+    t.add("memory time", round(res.memory_time, 1))
+    t.add("interconnect time", round(res.interconnect_time, 1))
+    t.add("total time", round(res.total_time, 1))
+    t.add("parallel steps", res.parallel_steps)
+    t.add("base-case calls", res.base_case_calls)
+    t.add("balance factor", round(res.max_balance_factor, 2))
+    t.add("output verified", True)
+    t.print()
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    """List the available workload generators with a sample."""
+    t = Table(["name", "sample keys (n=6, seed=0)"], title="workload generators")
+    for name in sorted(workloads.GENERATORS):
+        sample = workloads.by_name(name, 6, seed=0)["key"]
+        t.add(name, " ".join(str(int(k) % 10**6) for k in sample))
+    t.print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "sort": cmd_sort,
+        "compare": cmd_compare,
+        "hierarchy": cmd_hierarchy,
+        "workloads": cmd_workloads,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Alternative auxiliary-matrix definitions (ablations).
+
+Section 4.1 mentions that "recently, an alternative definition of auxiliary
+matrix was proposed that has a similar effect of making each bucket balanced
+within a factor of 2; the term ``a_bh`` is defined to be 1 when the number
+of blocks per bucket is more than twice the desired evenly-balanced number"
+[Arg, January 1993, private communication — Lars Arge].
+
+:func:`compute_aux_arge` implements that rule so the E10 ablation can
+compare it with the paper's median rule on identical placement traces.  To
+slot it into the engine, wrap an engine subclass or compare offline on
+histogram snapshots; the ablation benchmark does the latter plus a full
+engine run via :class:`ArgeBalanceMatrices`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvariantViolation
+from .matrices import BalanceMatrices
+
+__all__ = ["compute_aux_arge", "ArgeBalanceMatrices"]
+
+
+def compute_aux_arge(histogram: np.ndarray) -> np.ndarray:
+    """[Arg] rule: flag entries above twice the even share.
+
+    ``a_bh = 2`` when ``x_bh > 2·⌈(Σ_h x_bh)/H'⌉`` (flagged for rebalancing,
+    encoded as 2 so the engine's machinery treats it like the median rule's
+    overload marker), ``0`` when at or below the even share, else ``1``.
+    """
+    hist = np.asarray(histogram)
+    totals = hist.sum(axis=1, keepdims=True)
+    even = -(-totals // hist.shape[1])  # ceil of the evenly-balanced number
+    aux = np.ones_like(hist)
+    aux[hist > 2 * even] = 2
+    aux[hist <= even] = 0
+    return aux
+
+
+class ArgeBalanceMatrices(BalanceMatrices):
+    """Balance matrices using the [Arg] auxiliary rule instead of medians.
+
+    Drop-in replacement consumed by the E10 ablation: the engine's
+    rebalancing loop sees the same {0,1,2} alphabet, but 2s now mean "more
+    than twice the even share".  The Invariant-1 degree guarantee holds a
+    fortiori: at least half the channels are at or below the even share...
+    more precisely at least ⌈H'/2⌉ channels are at or below twice the
+    average, and every channel at or below the exact even share maps to 0.
+    """
+
+    def refresh_aux(self) -> np.ndarray:
+        """Recompute ``A`` with the [Arg] rule instead of Algorithm 4."""
+        self.A = compute_aux_arge(self.X)
+        return self.A
+
+    def check_invariant_2(self) -> None:
+        """After a processed track nothing exceeds twice the even share."""
+        if int(self.A.max(initial=0)) > 1:
+            rows, cols = np.nonzero(self.A > 1)
+            raise InvariantViolation(
+                f"[Arg] Invariant violated: overloads remain at "
+                f"{list(zip(rows.tolist(), cols.tolist()))}"
+            )

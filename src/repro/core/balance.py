@@ -1,0 +1,411 @@
+"""The Balance / Rebalance / Rearrange engine (Algorithms 3, 5, 6).
+
+One engine drives every machine in the paper: it is written against the
+storage contract shared by :class:`repro.pdm.striping.VirtualDisks`
+(parallel disks, Section 5) and
+:class:`repro.hierarchies.parallel.VirtualHierarchies` (parallel memory
+hierarchies, Section 4) — ``n_virtual`` channels, ``virtual_block_size``
+records per block, ``parallel_write`` / ``parallel_read`` moving at most one
+block per channel per step, plus memory-ledger hooks.
+
+Per processing round (one "track" of Algorithm 3):
+
+1. up to ``H'`` queued full virtual blocks are *tentatively* assigned to
+   distinct channels in arrival order (at most one new block per channel —
+   the property that keeps auxiliary-matrix entries in {0, 1, 2});
+2. the histogram ``X`` is updated and ``A`` recomputed (Algorithm 4);
+3. channels whose new block drove an entry of ``A`` to 2 go through
+   **Rebalance** (Algorithm 5): while at least ⌊H'/2⌋ such channels remain,
+   **Rearrange** (Algorithm 6) matches them against channels whose row
+   entry is 0 (``Fast-Partial-Match``) and swaps the blocks over;
+4. blocks still overloading after Rebalance are *unprocessed*: their
+   histogram counts are withdrawn and they conceptually rejoin the input
+   (the front of the queue) — after which ``A`` is binary (Invariant 2);
+5. the placed blocks are written out: the untouched ones in one parallel
+   step, each Rearrange batch in its own parallel step (as in the paper,
+   where Rearrange uses separate parallel memory references).
+
+The engine checks Invariants 1 and 2 every round (disable with
+``check_invariants=False`` for big benchmark runs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvariantViolation, ParameterError
+from ..records import composite_keys, pad_records
+from .matching import (
+    MatchingInstance,
+    MatchResult,
+    derandomized_partial_match,
+    greedy_match,
+    greedy_mincost_match,
+    randomized_partial_match,
+)
+from .matrices import BalanceMatrices
+
+__all__ = ["BalanceEngine", "BlockRef", "BucketRun", "EngineStats", "read_bucket_run"]
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """A stored virtual block plus how many true records it holds.
+
+    ``fill < block size`` only for a pass's final (padded) blocks; carrying
+    the fill lets runs be sliced into groups (Algorithm 2) without reading
+    anything back.
+    """
+
+    address: object
+    fill: int
+
+
+@dataclass
+class BucketRun:
+    """One bucket's blocks after a distribution pass.
+
+    ``chains[h]`` lists the bucket's :class:`BlockRef`\\ s on channel ``h``
+    (the location-matrix chain); ``n_records`` counts true records
+    (padding excluded).
+    """
+
+    bucket: int
+    chains: list
+    n_records: int
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(len(chain) for chain in self.chains)
+
+    @property
+    def max_blocks_on_channel(self) -> int:
+        return max((len(c) for c in self.chains), default=0)
+
+    def block_refs(self) -> list:
+        """All the bucket's blocks as a flat list (chain order)."""
+        return [ref for chain in self.chains for ref in chain]
+
+
+@dataclass
+class EngineStats:
+    """Balance-engine activity counters (inputs to the CPU-cost accounting)."""
+
+    rounds: int = 0
+    blocks_placed: int = 0
+    blocks_swapped: int = 0
+    blocks_unprocessed: int = 0
+    match_calls: int = 0
+    match_fallbacks: int = 0
+    write_steps: int = 0
+    records_fed: int = 0
+    pad_records: int = 0
+
+
+_MATCHERS: dict[str, Callable] = {}
+
+
+class BalanceEngine:
+    """Distribute a record stream into S buckets, balanced across channels.
+
+    Parameters
+    ----------
+    storage:
+        A ``VirtualDisks`` / ``VirtualHierarchies``-style backend.
+    pivots:
+        ``S−1`` sorted composite keys (see
+        :func:`repro.records.composite_keys`); bucket ``i`` receives
+        composite keys in ``(pivots[i−1], pivots[i]]`` half-open style via
+        ``searchsorted(..., side="right")``.
+    matcher:
+        ``"derandomized"`` (Theorem 5, the paper's deterministic default),
+        ``"randomized"`` (Algorithm 7), ``"greedy"``, or ``"mincost"``
+        (Section 6 conjecture); or a callable ``(MatchingInstance,
+        BalanceMatrices, rng) -> MatchResult``.
+    """
+
+    def __init__(
+        self,
+        storage,
+        pivots: np.ndarray,
+        matcher: str | Callable = "derandomized",
+        rng: np.random.Generator | None = None,
+        check_invariants: bool = True,
+    ):
+        pivots = np.asarray(pivots, dtype=np.uint64)
+        if pivots.size and np.any(pivots[1:] < pivots[:-1]):
+            raise ParameterError("pivots must be sorted ascending")
+        self.storage = storage
+        self.pivots = pivots
+        self.n_buckets = int(pivots.size) + 1
+        self.n_channels = storage.n_virtual
+        self.block_size = storage.virtual_block_size
+        self.matrices = BalanceMatrices(self.n_buckets, self.n_channels)
+        if not callable(matcher) and matcher not in (
+            "derandomized", "randomized", "greedy", "mincost",
+        ):
+            raise ParameterError(f"unknown matcher {matcher!r}")
+        self.matcher = matcher
+        self.rng = rng or np.random.default_rng(0)
+        self.check_invariants = check_invariants
+        self.stats = EngineStats()
+        self._partials: list[list[np.ndarray]] = [[] for _ in range(self.n_buckets)]
+        self._partial_sizes = np.zeros(self.n_buckets, dtype=np.int64)
+        self._queue: deque = deque()  # (bucket, block) awaiting placement
+        self._bucket_records = np.zeros(self.n_buckets, dtype=np.int64)
+        self._finished = False
+
+    # ---------------------------------------------------------------- feed
+
+    def feed(self, records: np.ndarray) -> None:
+        """Partition records into buckets and enqueue full virtual blocks.
+
+        (Algorithm 3, steps 1–2: partition the track's records and collect
+        them into virtual blocks, all elements of a block from one bucket.)
+        """
+        if self._finished:
+            raise ParameterError("engine already finished")
+        if records.size == 0:
+            return
+        self.stats.records_fed += int(records.size)
+        buckets = np.searchsorted(self.pivots, composite_keys(records), side="right")
+        order = np.argsort(buckets, kind="stable")
+        sorted_recs = records[order]
+        sorted_buckets = buckets[order]
+        boundaries = np.searchsorted(sorted_buckets, np.arange(self.n_buckets + 1))
+        vb = self.block_size
+        for b in range(self.n_buckets):
+            chunk = sorted_recs[boundaries[b] : boundaries[b + 1]]
+            if chunk.size == 0:
+                continue
+            self._bucket_records[b] += int(chunk.size)
+            self._partials[b].append(chunk)
+            self._partial_sizes[b] += chunk.size
+            while self._partial_sizes[b] >= vb:
+                block = self._carve_block(b)
+                self._queue.append((b, block, self.block_size))
+
+    def _carve_block(self, b: int) -> np.ndarray:
+        """Take exactly one virtual block's worth from bucket b's partials."""
+        vb = self.block_size
+        parts = []
+        need = vb
+        while need > 0:
+            head = self._partials[b][0]
+            if head.shape[0] <= need:
+                parts.append(head)
+                need -= head.shape[0]
+                self._partials[b].pop(0)
+            else:
+                parts.append(head[:need])
+                self._partials[b][0] = head[need:]
+                need = 0
+        self._partial_sizes[b] -= vb
+        return np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+
+    @property
+    def queued_blocks(self) -> int:
+        return len(self._queue)
+
+    # -------------------------------------------------------------- rounds
+
+    def run_rounds(self, drain_below: int = 0, drain: bool = False) -> None:
+        """Place queued blocks round by round until ≤ ``drain_below`` remain.
+
+        ``drain=False`` keeps the paper's Rebalance batching (2s are left
+        unprocessed below the ⌊H'/2⌋ threshold — an amortization of the
+        matching cost that needs a steady block supply); ``drain=True``
+        lowers the threshold to 1 so every 2 is matched away, which the
+        endgame needs for guaranteed progress once fewer than ⌊H'/2⌋ blocks
+        remain in flight.  A no-progress guard switches a stuck round to
+        drain mode automatically (a handful of tail blocks can otherwise
+        bounce as "unprocessed" forever when the queue is nearly empty).
+        """
+        while len(self._queue) > drain_below:
+            before = (len(self._queue), self.stats.blocks_placed)
+            self._round(drain=drain)
+            if (len(self._queue), self.stats.blocks_placed) == before:
+                self._round(drain=True)
+
+    def _round(self, drain: bool = False) -> None:
+        """One track of Algorithm 3 (steps 2–9)."""
+        k = min(self.n_channels, len(self._queue))
+        if k == 0:
+            return
+        self.stats.rounds += 1
+        # Tentative placement: block j -> channel j (arrival order, at most
+        # one new block per channel — the {0,1,2} aux-matrix property).
+        placements = []
+        for channel in range(k):
+            bucket, block, fill = self._queue.popleft()
+            placements.append(
+                {"bucket": bucket, "block": block, "fill": fill,
+                 "channel": channel, "swapped": False, "dropped": False}
+            )
+            self.matrices.add_block(bucket, channel)
+        self.matrices.refresh_aux()
+        if self.check_invariants:
+            self.matrices.check_invariant_1()
+
+        # A channel can legally end up holding two of this round's blocks
+        # (its own tentative block plus a swapped-in block of another
+        # bucket; they are written in separate parallel steps), so index
+        # placements by (channel, bucket).
+        by_slot = {(p["channel"], p["bucket"]): p for p in placements}
+        swap_batches: list[list] = []
+
+        # Rebalance (Algorithm 5): resolve 2s while at least ⌊H'/2⌋ remain
+        # (every 2 when draining).
+        threshold = 1 if drain else max(1, self.n_channels // 2)
+        twos = self.matrices.channels_with_two()
+        while len(twos) >= threshold:
+            take = max(1, self.n_channels // 2)
+            batch = self._rearrange(twos[:take], by_slot)
+            swap_batches.append(batch)
+            twos = self.matrices.channels_with_two()
+
+        # Remaining 2s: unprocessed — conceptually written back to the input.
+        for h in twos:
+            b = self.matrices.bucket_with_two(h)
+            p = by_slot.pop((h, b), None)
+            if p is None:
+                raise InvariantViolation(
+                    f"2 at channel {h} (bucket {b}) not caused by this round's block"
+                )
+            self.matrices.remove_block(b, h)
+            p["dropped"] = True
+            self._queue.appendleft((b, p["block"], p["fill"]))
+            self.stats.blocks_unprocessed += 1
+        self.matrices.refresh_aux()
+        if self.check_invariants:
+            self.matrices.check_invariant_2()
+
+        # Write: untouched blocks in one parallel step, then each Rearrange
+        # batch in its own parallel step (separate memory references, as in
+        # the paper's Algorithm 6 line 5).
+        live = [p for p in placements if not p["dropped"]]
+        self._write_batch([p for p in live if not p["swapped"]])
+        for batch in swap_batches:
+            self._write_batch([p for p in batch if not p["dropped"]])
+
+    def _rearrange(self, u_set: Sequence[int], by_slot: dict) -> list:
+        """Algorithm 6: match overloaded channels to zero channels and swap."""
+        instance = MatchingInstance.from_matrices(self.matrices, list(u_set))
+        if self.check_invariants:
+            instance.check_degree_invariant()
+        result = self._run_matcher(instance)
+        self.stats.match_calls += 1
+        if result.used_fallback:
+            self.stats.match_fallbacks += 1
+        bucket_of = dict(zip(instance.u_channels, instance.buckets))
+        batch = []
+        for u, v in result.pairs:
+            b = bucket_of[u]
+            p = by_slot.pop((u, b), None)
+            if p is None:
+                raise InvariantViolation(
+                    f"swap source (channel {u}, bucket {b}) has no block this round"
+                )
+            self.matrices.remove_block(b, u)
+            self.matrices.add_block(b, v)
+            p["channel"] = v
+            p["swapped"] = True
+            # Swapped blocks never re-enter by_slot: only tentative blocks
+            # can carry a 2 (swaps remove 2s and never create them), so no
+            # later lookup targets a swapped block.
+            batch.append(p)
+            self.stats.blocks_swapped += 1
+        self.matrices.refresh_aux()
+        return batch
+
+    def _run_matcher(self, instance: MatchingInstance) -> MatchResult:
+        if callable(self.matcher):
+            return self.matcher(instance, self.matrices, self.rng)
+        if self.matcher == "derandomized":
+            return derandomized_partial_match(instance)
+        if self.matcher == "randomized":
+            return randomized_partial_match(instance, self.rng)
+        if self.matcher == "greedy":
+            return greedy_match(instance)
+        if self.matcher == "mincost":
+            return greedy_mincost_match(instance, self.matrices.X)
+        raise ParameterError(f"unknown matcher {self.matcher!r}")
+
+    def _write_batch(self, batch: list) -> None:
+        if not batch:
+            return
+        items = [(p["channel"], p["block"]) for p in batch]
+        # Distribution output parks out of the compaction zone on hierarchy
+        # backends (a no-op on disks): buckets are repositioned to the front
+        # before their recursion (see streams.reposition_run).
+        addresses = self.storage.parallel_write(items, park=True)
+        for p, addr in zip(batch, addresses):
+            self.matrices.record_location(
+                p["bucket"], p["channel"], BlockRef(address=addr, fill=p["fill"])
+            )
+        self.stats.write_steps += 1
+        self.stats.blocks_placed += len(batch)
+
+    # --------------------------------------------------------------- flush
+
+    def flush(self) -> list[BucketRun]:
+        """Pad partial blocks, place everything, and return the bucket runs."""
+        if self._finished:
+            raise ParameterError("engine already finished")
+        vb = self.block_size
+        for b in range(self.n_buckets):
+            if self._partial_sizes[b] > 0:
+                tail = np.concatenate(self._partials[b])
+                true_n = tail.shape[0]
+                padded = pad_records(tail, vb)
+                n_pad = padded.shape[0] - true_n
+                self.storage.acquire_memory(n_pad)
+                self.stats.pad_records += n_pad
+                self._partials[b] = []
+                self._partial_sizes[b] = 0
+                for i in range(0, padded.shape[0], vb):
+                    fill = min(vb, max(0, true_n - i))
+                    self._queue.append((b, padded[i : i + vb], fill))
+        self.run_rounds(drain_below=0, drain=True)
+        self._finished = True
+        return [
+            BucketRun(
+                bucket=b,
+                chains=[list(chain) for chain in self.matrices.L[b]],
+                n_records=int(self._bucket_records[b]),
+            )
+            for b in range(self.n_buckets)
+        ]
+
+    @property
+    def bucket_record_counts(self) -> np.ndarray:
+        return self._bucket_records.copy()
+
+
+def read_bucket_run(storage, run: BucketRun, free: bool = True):
+    """Stream a bucket back: ≤1 block per channel per parallel read.
+
+    Yields record arrays (padding stripped, ledger adjusted); the number of
+    parallel reads is ``run.max_blocks_on_channel`` — the quantity Theorem 4
+    bounds at ~2× optimal.  When ``free`` is set the blocks are recycled
+    after reading.
+    """
+    from ..records import strip_pad_records
+
+    chains = [list(c) for c in run.chains]
+    while any(chains):
+        refs = [chain.pop(0) for chain in chains if chain]
+        batch = [r.address for r in refs]
+        blocks = storage.parallel_read(batch)
+        if free:
+            storage.free(batch)
+        merged = np.concatenate(blocks)
+        trimmed = strip_pad_records(merged)
+        n_pad = merged.shape[0] - trimmed.shape[0]
+        if n_pad:
+            storage.release_memory(n_pad)
+        yield trimmed

@@ -1,0 +1,164 @@
+"""The Balance Sort bookkeeping matrices (Section 4.1).
+
+Three ``S × H'`` matrices steer the load balancer:
+
+* the **histogram matrix** ``X = {x_bh}`` — how many virtual blocks of
+  bucket ``b`` sit on virtual hierarchy/disk ``h``;
+* the **auxiliary matrix** ``A = {a_bh}`` — ``a_bh = max(0, x_bh − m_b)``,
+  where ``m_b`` is the paper-median (⌈H'/2⌉-th smallest) of row ``b`` of
+  ``X`` (Algorithm 4, ``ComputeAux``);
+* the **location matrix** ``L = {l_bh}`` — where bucket ``b``'s blocks live
+  on channel ``h`` (the paper chains blocks by "last location written"; we
+  store the chain explicitly).
+
+The invariants the balancer maintains:
+
+* **Invariant 1** — at least ⌈H'/2⌉ entries of every row of ``A`` are 0
+  (a consequence of the median), which gives every overloaded block enough
+  matching candidates;
+* **Invariant 2** — after each track is (conceptually) processed, ``A`` is
+  binary, so ``x_bh ≤ m_b + 1`` for all ``h``; by the definition of the
+  median this caps any channel at roughly twice the bucket's fair share —
+  **Theorem 4**: reading bucket ``b`` takes at most a factor of about 2
+  more parallel reads than optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import InvariantViolation, ParameterError
+from ..util.order_stats import paper_median_rows
+
+__all__ = ["BalanceMatrices", "compute_aux"]
+
+
+def compute_aux(histogram: np.ndarray) -> np.ndarray:
+    """Algorithm 4 (``ComputeAux``): ``a_bh = max(0, x_bh − m_b)``.
+
+    ``m_b`` is the ⌈H'/2⌉-th smallest entry of row ``b`` (paper footnote 3).
+    """
+    medians = paper_median_rows(histogram)
+    return np.maximum(0, histogram - medians[:, None])
+
+
+@dataclass
+class BalanceMatrices:
+    """State of one distribution pass: X, A, and L for S buckets × H' channels."""
+
+    n_buckets: int
+    n_channels: int
+
+    def __post_init__(self) -> None:
+        if self.n_buckets < 1 or self.n_channels < 1:
+            raise ParameterError("need at least one bucket and one channel")
+        self.X = np.zeros((self.n_buckets, self.n_channels), dtype=np.int64)
+        self.A = np.zeros_like(self.X)
+        # L: per (bucket, channel) chain of block addresses, newest last.
+        self.L: list[list[list]] = [
+            [[] for _ in range(self.n_channels)] for _ in range(self.n_buckets)
+        ]
+
+    # ------------------------------------------------------------ updates
+
+    def add_block(self, bucket: int, channel: int) -> None:
+        """Count a (tentative) placement of one block of ``bucket`` on ``channel``."""
+        self.X[bucket, channel] += 1
+
+    def remove_block(self, bucket: int, channel: int) -> None:
+        """Withdraw a tentative placement (unprocessed block, or a swap source)."""
+        if self.X[bucket, channel] <= 0:
+            raise InvariantViolation(
+                f"histogram underflow at bucket {bucket}, channel {channel}"
+            )
+        self.X[bucket, channel] -= 1
+
+    def record_location(self, bucket: int, channel: int, address) -> None:
+        """Append a written block's address to the L chain."""
+        self.L[bucket][channel].append(address)
+
+    def refresh_aux(self) -> np.ndarray:
+        """Recompute ``A`` from ``X`` (Algorithm 4) and validate its range."""
+        self.A = compute_aux(self.X)
+        if int(self.A.max(initial=0)) > 2:
+            raise InvariantViolation(
+                "auxiliary matrix entry exceeds 2 — more than one new block "
+                "per channel per round?"
+            )
+        return self.A
+
+    # --------------------------------------------------------- inspection
+
+    def channels_with_two(self) -> list[int]:
+        """Channels whose column of ``A`` contains a 2 (each has exactly one).
+
+        Raises if a channel has 2s in more than one bucket row, which would
+        break the paper's uniqueness assumption (Algorithm 6's ``b[h]``).
+        """
+        rows, cols = np.nonzero(self.A == 2)
+        if len(set(cols.tolist())) != cols.size:
+            raise InvariantViolation("a channel holds 2s for two buckets at once")
+        return cols.tolist()
+
+    def bucket_with_two(self, channel: int) -> int:
+        """The unique bucket ``b`` with ``a_b,channel == 2``."""
+        rows = np.nonzero(self.A[:, channel] == 2)[0]
+        if rows.size != 1:
+            raise InvariantViolation(
+                f"expected exactly one 2 on channel {channel}, found {rows.size}"
+            )
+        return int(rows[0])
+
+    def zero_channels_for_bucket(self, bucket: int) -> np.ndarray:
+        """Channels ``h'`` with ``a_b,h' == 0`` — legal swap targets."""
+        return np.nonzero(self.A[bucket] == 0)[0]
+
+    def bucket_sizes_blocks(self) -> np.ndarray:
+        """Blocks per bucket (row sums of X)."""
+        return self.X.sum(axis=1)
+
+    # ---------------------------------------------------------- invariants
+
+    def check_invariant_1(self) -> None:
+        """≥ ⌈H'/2⌉ zeros in every row of A."""
+        need = (self.n_channels + 1) // 2
+        zeros = (self.A == 0).sum(axis=1)
+        bad = np.nonzero(zeros < need)[0]
+        if bad.size:
+            raise InvariantViolation(
+                f"Invariant 1 violated on bucket rows {bad.tolist()}: "
+                f"fewer than {need} zeros"
+            )
+
+    def check_invariant_2(self) -> None:
+        """A is binary after the track is conceptually processed."""
+        if int(self.A.max(initial=0)) > 1:
+            rows, cols = np.nonzero(self.A > 1)
+            raise InvariantViolation(
+                f"Invariant 2 violated: 2s remain at {list(zip(rows.tolist(), cols.tolist()))}"
+            )
+
+    def balance_factor(self, bucket: int) -> float:
+        """Theorem 4 metric: (parallel reads needed) / (optimal parallel reads).
+
+        Reads needed = max blocks of the bucket on any channel; optimal =
+        ⌈total/H'⌉.
+        """
+        row = self.X[bucket]
+        total = int(row.sum())
+        if total == 0:
+            return 1.0
+        optimal = -(-total // self.n_channels)
+        return float(row.max()) / optimal
+
+    def max_balance_factor(self) -> float:
+        """Worst Theorem-4 factor over non-empty buckets."""
+        factors = [
+            self.balance_factor(b)
+            for b in range(self.n_buckets)
+            if self.X[b].sum() > 0
+        ]
+        return max(factors, default=1.0)

@@ -1,0 +1,232 @@
+"""Run abstractions: how datasets live on a balance-storage backend.
+
+Both Balance Sort variants (disks, Section 5; hierarchies, Section 4) view a
+dataset as a collection of *virtual blocks* on the backend's channels, each
+tracked as a :class:`~repro.core.balance.BlockRef` (address + true record
+count, so padded tails never need reading to be accounted):
+
+* an :class:`OrderedRun` has a defined logical order (block 0's records
+  precede block 1's ...) — the shape of the initial input, of sorted
+  outputs, and of the sorted groups Algorithm 2 produces.  Blocks are laid
+  round-robin across channels, so streaming it costs one parallel step per
+  ``H'`` blocks (full bandwidth).
+* a :class:`~repro.core.balance.BucketRun` is a bucket's unordered
+  per-channel chains — the location-matrix view.  Streaming it takes
+  ``max_blocks_on_channel`` parallel reads, the quantity Theorem 4 bounds.
+
+Both go through ``read_run_batches``: a generator of record chunks, each
+produced by one parallel read, padding stripped and the memory ledger
+adjusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..records import RECORD_DTYPE, pad_records, strip_pad_records
+from .balance import BlockRef, BucketRun, read_bucket_run
+
+__all__ = [
+    "OrderedRun",
+    "as_ordered_run",
+    "load_ordered_run",
+    "write_ordered_run",
+    "read_run_batches",
+    "read_run_all",
+    "reposition_run",
+    "peek_run",
+    "concat_runs",
+]
+
+
+@dataclass
+class OrderedRun:
+    """A dataset with a defined logical block order on a storage backend."""
+
+    blocks: list  # BlockRefs in logical order; address.vdisk is the channel
+    n_records: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def slice_blocks(self, start: int, stop: int) -> "OrderedRun":
+        """A sub-run over blocks [start, stop); record count from the fills."""
+        blocks = self.blocks[start:stop]
+        return OrderedRun(blocks=blocks, n_records=sum(r.fill for r in blocks))
+
+
+def as_ordered_run(run) -> OrderedRun:
+    """View any run as an OrderedRun (bucket chains flatten in chain order)."""
+    if isinstance(run, OrderedRun):
+        return run
+    if isinstance(run, BucketRun):
+        return OrderedRun(blocks=run.block_refs(), n_records=run.n_records)
+    raise ParameterError(f"unknown run type {type(run).__name__}")
+
+
+def _round_robin_items(storage, records: np.ndarray, start_channel: int = 0):
+    """Split records into virtual blocks, channel ``(i + start) mod H'``."""
+    vb = storage.virtual_block_size
+    padded = pad_records(records, vb)
+    items = []
+    fills = []
+    n = records.shape[0]
+    for i in range(0, padded.shape[0], vb):
+        ch = (i // vb + start_channel) % storage.n_virtual
+        items.append((ch, padded[i : i + vb]))
+        fills.append(min(vb, max(0, n - i)))
+    return items, fills, padded.shape[0] - n
+
+
+def load_ordered_run(storage, records: np.ndarray) -> OrderedRun:
+    """Place input on the backend without cost (the problem's given state)."""
+    items, fills, _ = _round_robin_items(storage, records)
+    addresses = storage.load_initial(items)
+    blocks = [BlockRef(a, f) for a, f in zip(addresses, fills)]
+    return OrderedRun(blocks=blocks, n_records=int(records.shape[0]))
+
+
+def write_ordered_run(
+    storage, records: np.ndarray, start_channel: int = 0, park: bool = False
+) -> OrderedRun:
+    """Write in-memory records out as a round-robin run (charged).
+
+    Issues one parallel write per ``H'`` blocks; on a ledgered backend the
+    records must already be held in memory (padding is acquired here).
+    ``start_channel`` staggers the round-robin phase — runs that will later
+    be merged in lockstep (Greed Sort) must not all place their k-th block
+    on the same disk.  ``park`` requests out-of-the-front placement on
+    hierarchy backends (sorted outputs; see :func:`reposition_run`).
+    """
+    items, fills, n_pad = _round_robin_items(storage, records, start_channel)
+    storage.acquire_memory(n_pad)
+    blocks = []
+    hp = storage.n_virtual
+    for i in range(0, len(items), hp):
+        addresses = storage.parallel_write(items[i : i + hp], park=park)
+        blocks.extend(
+            BlockRef(a, f) for a, f in zip(addresses, fills[i : i + hp])
+        )
+    return OrderedRun(blocks=blocks, n_records=int(records.shape[0]))
+
+
+def read_run_batches(storage, run, free: bool = False):
+    """Stream any run back as record chunks, one parallel read per chunk."""
+    if isinstance(run, BucketRun):
+        yield from read_bucket_run(storage, run, free=free)
+        return
+    if not isinstance(run, OrderedRun):
+        raise ParameterError(f"unknown run type {type(run).__name__}")
+    i = 0
+    n = len(run.blocks)
+    remaining = run.n_records
+    while i < n:
+        # Greedy batch: consecutive blocks until a channel repeats.
+        refs = []
+        seen = set()
+        while i < n and run.blocks[i].address.vdisk not in seen:
+            seen.add(run.blocks[i].address.vdisk)
+            refs.append(run.blocks[i])
+            i += 1
+        blocks = storage.parallel_read([r.address for r in refs])
+        if free:
+            storage.free([r.address for r in refs])
+        merged = np.concatenate(blocks)
+        trimmed = strip_pad_records(merged)
+        n_pad = merged.shape[0] - trimmed.shape[0]
+        if trimmed.shape[0] != sum(r.fill for r in refs):
+            raise ParameterError(
+                f"block fill bookkeeping error: read {trimmed.shape[0]} records, "
+                f"refs promised {sum(r.fill for r in refs)}"
+            )
+        if n_pad:
+            storage.release_memory(n_pad)
+        remaining -= trimmed.shape[0]
+        yield trimmed
+    if remaining != 0:
+        raise ParameterError(
+            f"run bookkeeping error: {remaining} records unaccounted for"
+        )
+
+
+def read_run_all(storage, run, free: bool = False) -> np.ndarray:
+    """Materialize a whole run in memory (base cases; N must fit)."""
+    chunks = list(read_run_batches(storage, run, free=free))
+    if not chunks:
+        return np.empty(0, dtype=RECORD_DTYPE)
+    return np.concatenate(chunks)
+
+
+def reposition_run(storage, run) -> OrderedRun:
+    """Rewrite a run into the lowest free addresses (one read+write stream).
+
+    Section 4.4's bucket repositioning, made operational for every
+    hierarchy model: after a distribution pass the bucket's blocks sit at
+    high (expensive) addresses; the recursion is only charged its own
+    subproblem's footprint if the data first moves to the front.  The freed
+    source addresses recycle lowest-first, so the rewritten run occupies
+    ``[0, N_b/(H'·VB))`` per channel.  Costs one streamed read plus one
+    streamed write — within the constant factor the paper's recurrences
+    allow (for P-BT it is the generalized-transposition step of [ACSa]).
+    """
+    blocks = []
+    total = 0
+    start = 0
+    hp = storage.n_virtual
+    pending: list[np.ndarray] = []
+    pending_n = 0
+    vb = storage.virtual_block_size
+
+    def flush(final=False):
+        nonlocal pending, pending_n, start, total
+        if pending_n == 0:
+            return
+        width = hp * vb
+        take = pending_n if final else (pending_n // width) * width
+        if take == 0:
+            return
+        data = np.concatenate(pending) if len(pending) > 1 else pending[0]
+        head, tail = data[:take], data[take:]
+        written = write_ordered_run(storage, head, start_channel=start)
+        blocks.extend(written.blocks)
+        start = (start + len(written.blocks)) % hp
+        total += head.shape[0]
+        pending = [tail] if tail.size else []
+        pending_n = int(tail.shape[0]) if tail.size else 0
+
+    for chunk in read_run_batches(storage, run, free=True):
+        pending.append(chunk)
+        pending_n += chunk.shape[0]
+        flush()
+    flush(final=True)
+    return OrderedRun(blocks=blocks, n_records=total)
+
+
+def peek_run(storage, run) -> np.ndarray:
+    """Materialize a run without I/O charges or ledger effects (validation).
+
+    Works on both run types; an :class:`OrderedRun` comes back in logical
+    order, a bucket run in chain order.
+    """
+    refs = as_ordered_run(run).blocks
+    if not refs:
+        return np.empty(0, dtype=RECORD_DTYPE)
+    return strip_pad_records(np.concatenate([storage.peek(r.address) for r in refs]))
+
+
+def concat_runs(runs: list[OrderedRun]) -> OrderedRun:
+    """Concatenate sorted runs whose records are in increasing order.
+
+    Padding mid-run (each sub-run's final block) is harmless: readers strip
+    padding per block and the BlockRef fills keep the counts exact.
+    """
+    blocks = []
+    total = 0
+    for r in runs:
+        blocks.extend(r.blocks)
+        total += r.n_records
+    return OrderedRun(blocks=blocks, n_records=total)

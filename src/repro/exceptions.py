@@ -1,0 +1,46 @@
+"""Exception hierarchy for the Balance Sort reproduction.
+
+Every machine simulator in this package *enforces* its model's rules (one
+block per disk per I/O, internal-memory capacity, EREW access exclusivity,
+hypercube adjacency, ...) rather than trusting callers.  Violations raise
+subclasses of :class:`ModelViolation` so tests can assert that illegal
+schedules are rejected, not silently mis-counted.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelViolation(ReproError):
+    """An operation violated the rules of the machine model being simulated."""
+
+
+class DiskContentionError(ModelViolation):
+    """More than one block was addressed to a single disk in one parallel I/O."""
+
+
+class CapacityError(ModelViolation):
+    """Internal memory (or a storage region) would exceed its capacity."""
+
+
+class AddressError(ModelViolation):
+    """An address is outside the allocated region or misaligned to a block."""
+
+
+class ConcurrencyViolation(ModelViolation):
+    """An EREW PRAM step attempted concurrent access to one memory cell."""
+
+
+class TopologyError(ModelViolation):
+    """A message was sent between processors that are not adjacent."""
+
+
+class InvariantViolation(ReproError):
+    """A Balance Sort invariant (Invariant 1 or 2 of the paper) failed."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Machine or algorithm parameters are out of the model's legal range."""

@@ -1,0 +1,37 @@
+"""Memory-hierarchy substrates: HMM, BT, UMH and their parallel variants.
+
+Figure 3 of the paper shows the three multilevel hierarchy models:
+
+* **HMM** [AAC] — access to memory location ``x`` costs ``f(x)``; the
+  "well-behaved" cost functions are ``f(x) = log x`` and ``f(x) = x^α``.
+* **BT** [ACSa] — HMM plus block transfer: locations ``x, x-1, ..., x-ℓ``
+  for cost ``f(x) + ℓ``; also source of the "touch" pipeline the P-BT sort
+  uses.
+* **UMH** [ACF] — uniform levels: level ``l`` holds ``ρ^l`` blocks of
+  ``ρ^l`` items; the bus between levels ``l`` and ``l+1`` moves one level-l
+  block in ``ρ^l / b(l)`` time.
+
+Figure 4's parallel variants (P-HMM, P-BT, P-UMH) attach ``H`` hierarchies
+to ``H`` interconnected processors at the base level
+(:class:`~repro.hierarchies.parallel.ParallelHierarchies`), with partial
+striping into ``H' = H^{1/3}`` virtual hierarchies.
+"""
+
+from .cost import CostFunction, LogCost, PowerCost, UMHCost, well_behaved
+from .hmm import HMM
+from .bt import BT
+from .umh import UMH
+from .parallel import ParallelHierarchies, VirtualHierarchies
+
+__all__ = [
+    "CostFunction",
+    "LogCost",
+    "PowerCost",
+    "UMHCost",
+    "well_behaved",
+    "HMM",
+    "BT",
+    "UMH",
+    "ParallelHierarchies",
+    "VirtualHierarchies",
+]

@@ -1,0 +1,100 @@
+"""The Hierarchical Memory Model (HMM) of Aggarwal et al. [AAC].
+
+One address space; touching location ``x`` (1-indexed) costs ``f(x)``.
+Figure 3a depicts ``HMM_{log x}``: each layer twice the previous, the n-th
+layer costing n per access.  The machine stores records in a flat growable
+array and charges ``f`` per touched location; there is no block transfer —
+that is the BT model's extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AddressError
+from ..records import RECORD_DTYPE
+from .cost import CostFunction, LogCost
+
+__all__ = ["HMM"]
+
+
+class HMM:
+    """A single HMM hierarchy with cost function ``f``.
+
+    Attributes
+    ----------
+    cost:
+        Accumulated access cost (the model's time).
+    """
+
+    GROWTH = 1024
+
+    def __init__(self, cost_fn: CostFunction | None = None, capacity: int = 0):
+        self.f = cost_fn or LogCost()
+        self._data = np.zeros(max(capacity, self.GROWTH), dtype=RECORD_DTYPE)
+        self._valid = np.zeros(self._data.shape[0], dtype=bool)
+        self.cost = 0.0
+        self.accesses = 0
+
+    # --------------------------------------------------------------- store
+
+    def _ensure(self, upto: int) -> None:
+        if upto >= self._data.shape[0]:
+            new_size = max(upto + 1, 2 * self._data.shape[0])
+            data = np.zeros(new_size, dtype=RECORD_DTYPE)
+            valid = np.zeros(new_size, dtype=bool)
+            data[: self._data.shape[0]] = self._data
+            valid[: self._valid.shape[0]] = self._valid
+            self._data, self._valid = data, valid
+
+    def write(self, addresses: np.ndarray, records: np.ndarray) -> None:
+        """Store records at the given 0-indexed addresses, charging Σ f(x+1)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return
+        if addresses.min() < 0:
+            raise AddressError("negative address")
+        self._ensure(int(addresses.max()))
+        self._data[addresses] = records
+        self._valid[addresses] = True
+        self._charge(addresses)
+
+    def read(self, addresses: np.ndarray) -> np.ndarray:
+        """Fetch records from 0-indexed addresses, charging Σ f(x+1)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return np.empty(0, dtype=RECORD_DTYPE)
+        if addresses.min() < 0 or int(addresses.max()) >= self._data.shape[0]:
+            raise AddressError("address out of range")
+        if not np.all(self._valid[addresses]):
+            raise AddressError("read of unwritten HMM location")
+        self._charge(addresses)
+        return self._data[addresses].copy()
+
+    def load_initial(self, records: np.ndarray, start: int = 0) -> None:
+        """Place input data without charging cost (the problem's given state)."""
+        n = records.shape[0]
+        self._ensure(start + n)
+        self._data[start : start + n] = records
+        self._valid[start : start + n] = True
+
+    def peek(self, addresses: np.ndarray) -> np.ndarray:
+        """Inspect without charging (tests/validators)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        return self._data[addresses].copy()
+
+    # --------------------------------------------------------------- cost
+
+    def _charge(self, addresses: np.ndarray) -> None:
+        self.cost += float(self.f(addresses + 1).sum())
+        self.accesses += int(addresses.size)
+
+    def charge_scan(self, start: int, length: int) -> None:
+        """Charge for touching ``length`` consecutive locations from ``start``."""
+        self.cost += self.f.scan_cost(start, length)
+        self.accesses += max(length, 0)
+
+    def reset_cost(self) -> None:
+        """Zero the access-cost counters (between experiment phases)."""
+        self.cost = 0.0
+        self.accesses = 0

@@ -1,0 +1,330 @@
+"""Parallel memory hierarchies (Figure 4): H hierarchies + an interconnect.
+
+``H`` same-kind hierarchies (HMM, BT, or UMH-style cost accounting) have
+their base levels attached to ``H`` processors connected as an EREW PRAM or
+a hypercube.  Elapsed memory time is charged per *parallel step*: when the
+hierarchies perform accesses simultaneously, the step costs the maximum of
+the per-hierarchy access costs.  Interconnect time accumulates separately
+(sorting H base-level items costs ``T(H)``: ``log H`` on a PRAM,
+``log H (log log H)²`` on a hypercube — see
+:func:`repro.hypercube.sharesort.T_H`).
+
+:class:`VirtualHierarchies` implements the paper's **partial hierarchy
+striping** (Section 4.1): the ``H`` hierarchies are grouped into
+``H' = H^{1/3}`` *virtual hierarchies*, and a *virtual block* of
+``H/H'`` records is striped one record per member hierarchy at a common
+local address.  It exposes the same ``parallel_write`` / ``parallel_read``
+interface as :class:`repro.pdm.striping.VirtualDisks`, so the Balance
+engine (:mod:`repro.core.balance`) drives disks and hierarchies
+identically — the paper's central portability claim.
+
+Addresses are recycled lowest-first (a free-list per virtual hierarchy), so
+a subproblem of n records occupies the first O(n/H') addresses — the
+working-set assumption under which the paper's recurrences (Lemmas 2–4)
+hold.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import AddressError, DiskContentionError, ParameterError
+from ..hypercube.sharesort import T_H
+from ..records import RECORD_DTYPE, argsort_records
+from .bt import BT, touch_cost, transpose_cost
+from .cost import CostFunction, LogCost
+from .hmm import HMM
+
+__all__ = [
+    "ParallelHierarchies",
+    "VirtualHierarchies",
+    "VirtualBlockAddress",
+    "EffectiveBTCost",
+    "default_virtual_hierarchy_count",
+]
+
+
+def default_virtual_hierarchy_count(h: int) -> int:
+    """The paper's ``H' = H^{1/3}`` (largest divisor of H not exceeding it)."""
+    target = max(1, round(h ** (1.0 / 3.0)))
+    for candidate in range(min(target, h), 0, -1):
+        if h % candidate == 0:
+            return candidate
+    return 1
+
+
+@dataclass(frozen=True)
+class VirtualBlockAddress:
+    """Address of one virtual block: virtual hierarchy and local address."""
+
+    vdisk: int  # named vdisk for interface-compatibility with VirtualDisks
+    slot: int
+
+
+class ParallelHierarchies:
+    """H hierarchies of one kind with an interconnect at the base level."""
+
+    def __init__(
+        self,
+        h: int,
+        model: str = "hmm",
+        cost_fn: CostFunction | None = None,
+        interconnect: str = "pram",
+    ):
+        if h < 1:
+            raise ParameterError("H must be >= 1")
+        if model not in ("hmm", "bt", "umh"):
+            raise ParameterError(f"model must be 'hmm', 'bt' or 'umh', got {model!r}")
+        if interconnect not in ("pram", "hypercube"):
+            raise ParameterError(f"interconnect must be 'pram' or 'hypercube'")
+        self.h = int(h)
+        self.model = model
+        if model == "umh" and cost_fn is None:
+            from .cost import UMHCost
+
+            cost_fn = UMHCost()
+        self.cost_fn = cost_fn or LogCost()
+        self.interconnect = interconnect
+        cls = BT if model == "bt" else HMM
+        self.hierarchies = [cls(self.cost_fn) for _ in range(self.h)]
+        #: Elapsed memory time: sum over parallel steps of the max hierarchy cost.
+        self.memory_time = 0.0
+        #: Accumulated interconnect (sorting/routing/compute) time.
+        self.interconnect_time = 0.0
+        self.parallel_steps = 0
+
+    # ----------------------------------------------------------- stepping
+
+    def parallel_step(self, per_hierarchy_costs: Sequence[float]) -> None:
+        """Charge one simultaneous memory step: elapsed += max(costs)."""
+        if per_hierarchy_costs:
+            self.memory_time += max(per_hierarchy_costs)
+            self.parallel_steps += 1
+
+    def charge_interconnect(self, time: float) -> None:
+        """Accumulate interconnect (sorting/routing/compute) time."""
+        self.interconnect_time += float(time)
+
+    def sort_time(self) -> float:
+        """``T(H)`` for this interconnect."""
+        return T_H(self.h, interconnect=self.interconnect)
+
+    def charge_base_sort(self, rounds: int = 1) -> None:
+        """Charge ``rounds`` interconnect sorts of H base-level items."""
+        self.charge_interconnect(rounds * self.sort_time())
+
+    @property
+    def total_time(self) -> float:
+        """The model's elapsed time: memory steps + interconnect activity."""
+        return self.memory_time + self.interconnect_time
+
+    def reset_costs(self) -> None:
+        """Zero every cost counter (between experiment phases)."""
+        self.memory_time = 0.0
+        self.interconnect_time = 0.0
+        self.parallel_steps = 0
+        for hier in self.hierarchies:
+            hier.reset_cost()
+
+    def snapshot(self) -> dict:
+        """Current counters as a plain dict (for reporting)."""
+        return {
+            "H": self.h,
+            "model": self.model,
+            "cost": self.cost_fn.name,
+            "interconnect": self.interconnect,
+            "memory_time": self.memory_time,
+            "interconnect_time": self.interconnect_time,
+            "total_time": self.total_time,
+            "parallel_steps": self.parallel_steps,
+        }
+
+
+class EffectiveBTCost(CostFunction):
+    """Per-record streaming cost on a BT hierarchy (Section 4.4).
+
+    The [ACSa] "touch" pipeline streams ``n`` in-order records through the
+    base at ``touch_cost(n)``, i.e. an *effective* per-record cost of
+    ``log log x`` for ``f = x^α, α < 1`` (the case the paper concentrates
+    on — "we get the same recurrence as for the P-HMM model, using an
+    effective cost function f(x) = log log x"), ``log x`` for ``α = 1``,
+    and ``x^{α−1}`` for ``α > 1``.  ``f = log x`` hierarchies stream at
+    ``log log`` too (an upper-bound charge; see DESIGN.md §2).
+    """
+
+    def __init__(self, base: CostFunction):
+        object.__setattr__(self, "name", f"bt-effective({base.name})")
+        object.__setattr__(self, "base", base)
+
+    def __call__(self, addresses) -> np.ndarray:
+        x = np.maximum(np.asarray(addresses, dtype=np.float64), 2.0)
+        alpha = getattr(self.base, "alpha", None)
+        if alpha is None or alpha < 1:
+            return np.maximum(1.0, np.log2(np.maximum(np.log2(x), 2.0)))
+        if alpha == 1:
+            return np.maximum(1.0, np.log2(x))
+        return x ** (alpha - 1)
+
+
+class VirtualHierarchies:
+    """Partial striping of a :class:`ParallelHierarchies` into H' groups.
+
+    Interface-compatible with :class:`repro.pdm.striping.VirtualDisks`:
+    ``n_virtual``, ``virtual_block_size``, ``parallel_write``,
+    ``parallel_read``, ``free``, ``load_initial`` — the contract the
+    Balance engine consumes.
+
+    A virtual block of ``H/H'`` records is striped one record per member
+    hierarchy at a common local address, so a parallel step touching one
+    block per channel costs ``max_blocks f(slot + 1)`` (the group's
+    hierarchies work simultaneously, each accessing one location).  On a BT
+    machine pass ``effective_cost=EffectiveBTCost(machine.cost_fn)`` to
+    charge the touch-pipeline streaming rate instead of raw ``f``.
+    """
+
+    def __init__(
+        self,
+        machine: ParallelHierarchies,
+        n_virtual: int | None = None,
+        effective_cost: CostFunction | None = None,
+    ):
+        h = machine.h
+        n_virtual = n_virtual or default_virtual_hierarchy_count(h)
+        if n_virtual < 1 or h % n_virtual != 0:
+            raise ParameterError(f"H={h} must be divisible by H'={n_virtual}")
+        self.machine = machine
+        self.n_virtual = int(n_virtual)
+        self.group = h // self.n_virtual
+        self.cost_fn = effective_cost or machine.cost_fn
+        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        # Dual-ended free pool per virtual hierarchy: low allocations
+        # compact subproblems to the front (the working-set discipline the
+        # paper's recurrences assume), "parked" allocations take the highest
+        # recycled slot (or extend the frontier) so in-flight distribution
+        # output and sorted results stay out of the compaction zone.
+        self._free_min: list[list[int]] = [[] for _ in range(self.n_virtual)]
+        self._free_max: list[list[int]] = [[] for _ in range(self.n_virtual)]
+        self._free_set: list[set] = [set() for _ in range(self.n_virtual)]
+        self._frontier = [0] * self.n_virtual
+
+    @property
+    def virtual_block_size(self) -> int:
+        """Records per virtual block: one per member hierarchy = H/H'."""
+        return self.group
+
+    def _alloc(self, v: int, park: bool = False) -> int:
+        """Take a free slot: lowest free (default) or highest free / frontier.
+
+        The free *set* is authoritative; the two heaps are advisory indexes
+        into it (entries going stale when the twin heap served the slot).
+        """
+        free = self._free_set[v]
+        heap = self._free_max[v] if park else self._free_min[v]
+        while heap:
+            slot = -heap[0] if park else heap[0]
+            if slot in free:
+                heapq.heappop(heap)
+                free.discard(slot)
+                return slot
+            heapq.heappop(heap)  # stale entry
+        addr = self._frontier[v]
+        self._frontier[v] += 1
+        return addr
+
+    def _check_block(self, v: int, data: np.ndarray) -> None:
+        if not 0 <= v < self.n_virtual:
+            raise ParameterError(f"virtual hierarchy {v} out of range")
+        if data.shape[0] != self.group:
+            raise ParameterError(
+                f"virtual block must hold {self.group} records, got {data.shape[0]}"
+            )
+
+    def parallel_write(
+        self, items: Sequence[tuple[int, np.ndarray]], park: bool = False
+    ) -> list[VirtualBlockAddress]:
+        """Write ≤1 virtual block per virtual hierarchy — one parallel step.
+
+        ``park=True`` places the blocks at the highest recycled addresses
+        (or the frontier): used for distribution output and sorted results
+        so they stay clear of the front, where repositioned subproblems
+        compact (DESIGN.md §4; the working-set discipline of the paper's
+        recurrences).
+        """
+        if not items:
+            return []
+        vs = [v for v, _ in items]
+        if len(set(vs)) != len(vs):
+            raise DiskContentionError("two virtual blocks addressed to one virtual hierarchy")
+        costs = []
+        addresses = []
+        for v, data in items:
+            self._check_block(v, data)
+            slot = self._alloc(v, park=park)
+            self._blocks[(v, slot)] = data.copy()
+            addresses.append(VirtualBlockAddress(vdisk=v, slot=slot))
+            costs.append(float(self.cost_fn(np.array([slot + 1]))[0]))
+        self.machine.parallel_step(costs)
+        return addresses
+
+    def parallel_read(self, addresses: Sequence[VirtualBlockAddress]) -> list[np.ndarray]:
+        """Read ≤1 virtual block per virtual hierarchy — one parallel step."""
+        if not addresses:
+            return []
+        vs = [a.vdisk for a in addresses]
+        if len(set(vs)) != len(vs):
+            raise DiskContentionError("two virtual blocks read from one virtual hierarchy")
+        out = []
+        costs = []
+        for a in addresses:
+            try:
+                out.append(self._blocks[(a.vdisk, a.slot)].copy())
+            except KeyError:
+                raise AddressError(f"read of unwritten virtual block {a}") from None
+            costs.append(float(self.cost_fn(np.array([a.slot + 1]))[0]))
+        self.machine.parallel_step(costs)
+        return out
+
+    def free(self, addresses: Sequence[VirtualBlockAddress]) -> None:
+        """Recycle virtual-block addresses (served from either pool end)."""
+        for a in addresses:
+            if self._blocks.pop((a.vdisk, a.slot), None) is not None:
+                if a.slot not in self._free_set[a.vdisk]:
+                    self._free_set[a.vdisk].add(a.slot)
+                    heapq.heappush(self._free_min[a.vdisk], a.slot)
+                    heapq.heappush(self._free_max[a.vdisk], -a.slot)
+
+    def load_initial(self, blocks: Sequence[tuple[int, np.ndarray]]) -> list[VirtualBlockAddress]:
+        """Place input blocks without charging cost (the problem's given state)."""
+        addresses = []
+        for v, data in blocks:
+            self._check_block(v, data)
+            slot = self._alloc(v)
+            self._blocks[(v, slot)] = data.copy()
+            addresses.append(VirtualBlockAddress(vdisk=v, slot=slot))
+        return addresses
+
+    def peek(self, address: VirtualBlockAddress) -> np.ndarray:
+        """Inspect a virtual block without charging (tests/validators only)."""
+        try:
+            return self._blocks[(address.vdisk, address.slot)].copy()
+        except KeyError:
+            raise AddressError(f"peek of unwritten virtual block {address}") from None
+
+    def footprint(self, v: int) -> int:
+        """Current high-water address on channel v (working-set diagnostics)."""
+        return self._frontier[v]
+
+    # Ledger hooks (no-ops: HMM/BT have no hard memory capacity — the cost
+    # function plays that role), present for engine/backend interchangeability.
+    def acquire_memory(self, n_records: int) -> None:
+        """No-op: the cost function, not a capacity, limits hierarchies."""
+        pass
+
+    def release_memory(self, n_records: int) -> None:
+        """No-op counterpart of :meth:`acquire_memory`."""
+        pass

@@ -1,0 +1,158 @@
+"""The Uniform Memory Hierarchy (UMH) of Alpern, Carter, and Feig [ACF].
+
+``UMH_{α,ρ,b(l)}``: memory level ``l`` (l = 0, 1, ...) consists of
+``α·ρ^l`` blocks, each of ``ρ^l`` items; the bus between level ``l`` and
+level ``l+1`` moves one level-``l`` block in ``ρ^l / b(l)`` time, and all
+buses can run simultaneously.  The paper's Balance Sort techniques also
+derandomize the P-UMH algorithms of [ViN] (Section 3); the model here is
+operational (block moves with per-bus time accounting) so the P-UMH variant
+can be exercised, though — like the paper — we concentrate on P-HMM and
+P-BT for the sort itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import AddressError, CapacityError, ParameterError
+from ..records import RECORD_DTYPE
+
+__all__ = ["UMH"]
+
+
+@dataclass
+class _Level:
+    """One UMH level: ``n_blocks`` block frames of ``block_size`` items."""
+
+    block_size: int
+    n_blocks: int
+    blocks: dict = field(default_factory=dict)  # frame index -> record array
+
+
+class UMH:
+    """A UMH machine with ``levels`` levels and aspect ratio ``alpha``.
+
+    Parameters
+    ----------
+    rho:
+        Branching factor ρ ≥ 2; level ``l`` has blocks of ``ρ^l`` items.
+    alpha:
+        Blocks per level = ``alpha·ρ^l``.
+    bandwidth:
+        ``b(l)``: bus ``l`` moves a level-l block in ``ρ^l / b(l)`` time.
+        Defaults to 1 (the hardest case).
+    """
+
+    def __init__(
+        self,
+        rho: int = 2,
+        alpha: int = 2,
+        levels: int = 12,
+        bandwidth: Callable[[int], float] | None = None,
+    ):
+        if rho < 2:
+            raise ParameterError("rho must be >= 2")
+        if alpha < 1 or levels < 1:
+            raise ParameterError("alpha and levels must be >= 1")
+        self.rho = rho
+        self.alpha = alpha
+        self.bandwidth = bandwidth or (lambda l: 1.0)
+        self.levels = [
+            _Level(block_size=rho**l, n_blocks=alpha * rho**l) for l in range(levels)
+        ]
+        #: Per-bus busy time; total time is the max (buses run in parallel).
+        self.bus_time = np.zeros(levels - 1, dtype=np.float64)
+        self.moves = 0
+
+    def capacity(self, level: int) -> int:
+        """Records that fit on one level."""
+        lv = self.levels[level]
+        return lv.block_size * lv.n_blocks
+
+    # ------------------------------------------------------------- blocks
+
+    def put_block(self, level: int, frame: int, records: np.ndarray) -> None:
+        """Install a block at a level frame directly (initial placement)."""
+        lv = self._level(level)
+        self._check_frame(lv, frame)
+        if records.shape[0] != lv.block_size:
+            raise ParameterError(
+                f"level {level} blocks hold {lv.block_size} items, got {records.shape[0]}"
+            )
+        lv.blocks[frame] = records.copy()
+
+    def get_block(self, level: int, frame: int) -> np.ndarray:
+        """Inspect a block without a bus transfer (tests)."""
+        lv = self._level(level)
+        if frame not in lv.blocks:
+            raise AddressError(f"no block at level {level} frame {frame}")
+        return lv.blocks[frame].copy()
+
+    def transfer(self, bus: int, lower_frame: int, upper_frame: int, sub_index: int, direction: str) -> None:
+        """Move one level-``bus`` block across bus ``bus``.
+
+        ``direction="down"`` copies sub-block ``sub_index`` of the level-
+        ``bus+1`` block in ``upper_frame`` into level-``bus`` frame
+        ``lower_frame``; ``"up"`` copies the level-``bus`` block in
+        ``lower_frame`` into sub-block ``sub_index`` of ``upper_frame``
+        (creating the upper block zero-filled if absent).  Time charged on
+        bus ``bus``: ``ρ^bus / b(bus)``.
+        """
+        if not 0 <= bus < len(self.levels) - 1:
+            raise AddressError(f"bus {bus} out of range")
+        lower, upper = self.levels[bus], self.levels[bus + 1]
+        self._check_frame(lower, lower_frame)
+        self._check_frame(upper, upper_frame)
+        if not 0 <= sub_index < self.rho:
+            raise AddressError(f"sub-block index {sub_index} out of range [0, {self.rho})")
+        size = lower.block_size
+        if direction == "down":
+            if upper_frame not in upper.blocks:
+                raise AddressError("transfer down from empty frame")
+            src = upper.blocks[upper_frame][sub_index * size : (sub_index + 1) * size]
+            lower.blocks[lower_frame] = src.copy()
+        elif direction == "up":
+            if lower_frame not in lower.blocks:
+                raise AddressError("transfer up from empty frame")
+            if upper_frame not in upper.blocks:
+                blank = np.zeros(upper.block_size, dtype=RECORD_DTYPE)
+                upper.blocks[upper_frame] = blank
+            upper.blocks[upper_frame][sub_index * size : (sub_index + 1) * size] = (
+                lower.blocks[lower_frame]
+            )
+        else:
+            raise ParameterError(f"direction must be 'up' or 'down', got {direction!r}")
+        self.bus_time[bus] += lower.block_size / float(self.bandwidth(bus))
+        self.moves += 1
+
+    def _level(self, level: int) -> _Level:
+        if not 0 <= level < len(self.levels):
+            raise AddressError(f"level {level} out of range")
+        return self.levels[level]
+
+    @staticmethod
+    def _check_frame(lv: _Level, frame: int) -> None:
+        if not 0 <= frame < lv.n_blocks:
+            raise CapacityError(f"frame {frame} out of range [0, {lv.n_blocks})")
+
+    # --------------------------------------------------------------- cost
+
+    @property
+    def time(self) -> float:
+        """Elapsed time: buses run simultaneously, so the busiest bus governs."""
+        return float(self.bus_time.max()) if self.bus_time.size else 0.0
+
+    @property
+    def total_bus_work(self) -> float:
+        return float(self.bus_time.sum())
+
+    def fetch_cost(self, n: int) -> float:
+        """Closed-form cost of pipelining n records from level ⌈log_ρ n⌉ to base."""
+        if n <= 0:
+            return 0.0
+        top = max(1, math.ceil(math.log(max(n, self.rho), self.rho)))
+        return sum((self.rho**l) / self.bandwidth(l) for l in range(top))

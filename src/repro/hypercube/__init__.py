@@ -1,0 +1,21 @@
+"""Hypercube interconnect substrate.
+
+Theorems 2 and 3 give hypercube bounds in terms of ``T(H)``, the time to
+sort ``H`` items on an ``H``-processor hypercube, for which the best known
+deterministic value is ``O(log H (log log H)²)`` (Cypher–Plaxton Sharesort
+[CyP]) — ``O(log H log log H)`` with precomputation.  This package provides:
+
+* :class:`~repro.hypercube.network.Hypercube` — the topology with per-step
+  communication accounting and adjacency enforcement;
+* :mod:`~repro.hypercube.bitonic` — an operational bitonic sorter whose
+  every compare-exchange step crosses a real hypercube dimension;
+* :mod:`~repro.hypercube.routing` — monotone routing;
+* :mod:`~repro.hypercube.sharesort` — the charged ``T(H)`` cost models.
+"""
+
+from .network import Hypercube
+from .bitonic import bitonic_sort
+from .routing import monotone_route
+from .sharesort import sharesort_time, sharesort, T_H
+
+__all__ = ["Hypercube", "bitonic_sort", "monotone_route", "sharesort_time", "sharesort", "T_H"]

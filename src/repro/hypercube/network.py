@@ -1,0 +1,135 @@
+"""Hypercube topology with communication-step accounting.
+
+An ``H = 2^d`` node hypercube connects processors whose ids differ in one
+bit.  All communication in this simulator goes through
+:meth:`Hypercube.exchange_dim` (every node swaps a value with its neighbor
+across one dimension — the primitive that bitonic sort, dimension-ordered
+routing, and tree reductions are built from), so adjacency is enforced by
+construction and ``comm_steps``/``messages`` count exactly the network's
+activity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ParameterError, TopologyError
+
+__all__ = ["Hypercube"]
+
+
+@dataclass
+class Hypercube:
+    """An ``H``-processor hypercube (``H`` a power of two).
+
+    Attributes
+    ----------
+    comm_steps:
+        Number of parallel communication steps executed (each step uses each
+        link at most once).
+    messages:
+        Total point-to-point messages sent.
+    compute_steps:
+        Local computation steps charged alongside communication.
+    """
+
+    processors: int
+    comm_steps: int = 0
+    messages: int = 0
+    compute_steps: int = 0
+    _log: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        h = self.processors
+        if h < 1 or (h & (h - 1)) != 0:
+            raise ParameterError(f"hypercube size must be a power of two, got {h}")
+        self.dimension = int(math.log2(h))
+
+    # -- topology ---------------------------------------------------------
+
+    def neighbor(self, node: int, dim: int) -> int:
+        """Neighbor of ``node`` across dimension ``dim``."""
+        self._check_node(node)
+        self._check_dim(dim)
+        return node ^ (1 << dim)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True when nodes a and b differ in exactly one bit."""
+        self._check_node(a)
+        self._check_node(b)
+        x = a ^ b
+        return x != 0 and (x & (x - 1)) == 0
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.processors:
+            raise TopologyError(f"node {node} out of range [0, {self.processors})")
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < self.dimension:
+            raise TopologyError(f"dimension {dim} out of range [0, {self.dimension})")
+
+    # -- communication primitives ------------------------------------------
+
+    def exchange_dim(self, values: np.ndarray, dim: int) -> np.ndarray:
+        """One parallel step: every node receives its dim-neighbor's value.
+
+        ``values[i]`` is node i's datum; the returned array holds, at
+        position i, the value previously at ``i XOR 2^dim``.
+        """
+        self._check_dim(dim)
+        if values.shape[0] != self.processors:
+            raise TopologyError(
+                f"expected one value per node ({self.processors}), got {values.shape[0]}"
+            )
+        idx = np.arange(self.processors) ^ (1 << dim)
+        self.comm_steps += 1
+        self.messages += self.processors
+        return values[idx]
+
+    def send(self, src: int, dst: int, value):
+        """Point-to-point send along one link (must be adjacent): one step."""
+        if not self.are_adjacent(src, dst):
+            raise TopologyError(f"nodes {src} and {dst} are not hypercube-adjacent")
+        self.comm_steps += 1
+        self.messages += 1
+        return value
+
+    def charge_compute(self, steps: int = 1) -> None:
+        """Charge local computation time (uniform across nodes)."""
+        self.compute_steps += int(steps)
+
+    # -- collectives (built from dimension exchanges) -----------------------
+
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum over all nodes via d dimension-exchange rounds."""
+        acc = np.asarray(values).copy()
+        for dim in range(self.dimension):
+            acc = acc + self.exchange_dim(acc, dim)
+            self.charge_compute(1)
+        return acc
+
+    def broadcast(self, root: int, value):
+        """Broadcast from root along a binomial tree: d comm steps."""
+        self._check_node(root)
+        self.comm_steps += self.dimension
+        self.messages += self.processors - 1
+        return np.full(self.processors, value)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.comm_steps = 0
+        self.messages = 0
+        self.compute_steps = 0
+        self._log.clear()
+
+    def snapshot(self) -> dict:
+        """Current counters as a plain dict (for reporting)."""
+        return {
+            "processors": self.processors,
+            "comm_steps": self.comm_steps,
+            "messages": self.messages,
+            "compute_steps": self.compute_steps,
+        }

@@ -1,0 +1,73 @@
+"""Charged ``T(H)`` models for hypercube sorting.
+
+Theorems 2 and 3 express hypercube bounds via ``T(H)``, "the time needed to
+sort H items on an H-processor hypercube", quoting
+``T(H) = O(log H (log log H)²)`` — the deterministic Sharesort of Cypher and
+Plaxton [CyP] — and ``O(log H log log H)`` when precomputation is allowed
+(Section 4.3).  Reimplementing Sharesort is out of scope (DESIGN.md §7);
+these charged models supply the ``T(H)`` the theorems consume, and the
+operational :func:`~repro.hypercube.bitonic.bitonic_sort`
+(``T(H) = O(log² H)``) is available when step-exact execution matters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..records import RECORD_DTYPE, argsort_records
+from .network import Hypercube
+
+__all__ = ["T_H", "sharesort_time", "sharesort"]
+
+#: Constant factor for the charged Sharesort time.
+SHARESORT_CONSTANT = 1
+
+
+def _loglog(h: int) -> float:
+    lg = max(1.0, math.log2(max(h, 2)))
+    return max(1.0, math.log2(max(lg, 2.0)))
+
+
+def T_H(h: int, precomputation: bool = False, interconnect: str = "hypercube") -> float:
+    """The paper's ``T(H)``: PRAM ``log H``; hypercube Sharesort bounds.
+
+    Parameters
+    ----------
+    h:
+        Number of processors (= items sorted).
+    precomputation:
+        Hypercube only: ``O(log H log log H)`` when allowed (Section 4.3).
+    interconnect:
+        ``"pram"`` gives Cole's ``T(H) = O(log H)``.
+    """
+    lg = max(1.0, math.log2(max(h, 2)))
+    if interconnect == "pram":
+        return lg
+    ll = _loglog(h)
+    if precomputation:
+        return SHARESORT_CONSTANT * lg * ll
+    return SHARESORT_CONSTANT * lg * ll * ll
+
+
+def sharesort_time(h: int, precomputation: bool = False) -> float:
+    """Alias for ``T_H(h)`` on a hypercube."""
+    return T_H(h, precomputation=precomputation)
+
+
+def sharesort(network: Hypercube, values: np.ndarray) -> np.ndarray:
+    """Sort one value per node, charging the Sharesort ``T(H)`` step count.
+
+    The data motion is performed directly (NumPy sort); the network is
+    charged ``ceil(T(H))`` communication steps — the substitution documented
+    in DESIGN.md §2.
+    """
+    h = network.processors
+    if values.shape[0] != h:
+        raise ValueError(f"need one value per node ({h})")
+    network.comm_steps += int(math.ceil(T_H(h)))
+    network.messages += h * int(math.ceil(_loglog(h)))
+    if values.dtype == RECORD_DTYPE:
+        return values[argsort_records(values)]
+    return np.sort(values)

@@ -1,0 +1,260 @@
+"""The parallel disk machine: D disks, block size B, memory M, P CPUs.
+
+Model rules enforced here (everything the lower bounds of [AgV]/[ViSb]
+assume):
+
+* one parallel I/O moves at most one block per disk
+  (:class:`~repro.exceptions.DiskContentionError` otherwise);
+* every transferred block holds exactly ``B`` records;
+* internal memory never holds more than ``M`` records (a ledger that
+  algorithms check blocks in and out of);
+* parameters satisfy ``M < N`` is the caller's business, but ``1 ≤ DB ≤
+  M/2`` and ``1 ≤ P ≤ M`` are validated at construction (Section 1).
+
+Disks are unbounded collections of B-record blocks addressed by
+``(disk, slot)``; the machine never interprets record contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import (
+    AddressError,
+    CapacityError,
+    DiskContentionError,
+    ParameterError,
+)
+from ..pram.machine import PRAM, Variant
+from ..records import RECORD_DTYPE
+
+__all__ = ["BlockAddress", "IOStats", "ParallelDiskMachine"]
+
+
+@dataclass(frozen=True)
+class BlockAddress:
+    """Physical address of one block: which disk, which slot on it."""
+
+    disk: int
+    slot: int
+
+
+@dataclass
+class IOStats:
+    """I/O counters: the paper's primary performance measure.
+
+    ``full_width_writes`` counts write I/Os that touched *every* disk —
+    full-stripe writes, the pattern Section 6 highlights as friendly to
+    error-checking/correcting protocols (a parity block can be computed
+    over a full stripe without read-modify-write).
+    """
+
+    read_ios: int = 0
+    write_ios: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    full_width_writes: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Parallel I/O operations performed (reads + writes)."""
+        return self.read_ios + self.write_ios
+
+    @property
+    def write_width_fraction(self) -> float:
+        """Fraction of write I/Os that were full stripes."""
+        return self.full_width_writes / self.write_ios if self.write_ios else 1.0
+
+    def snapshot(self) -> dict:
+        """Current counters as a plain dict (for reporting)."""
+        return {
+            "read_ios": self.read_ios,
+            "write_ios": self.write_ios,
+            "total_ios": self.total_ios,
+            "blocks_read": self.blocks_read,
+            "blocks_written": self.blocks_written,
+            "full_width_writes": self.full_width_writes,
+        }
+
+
+class ParallelDiskMachine:
+    """Simulator for the parallel disk model of Figure 2.
+
+    Parameters
+    ----------
+    memory:
+        ``M``, number of records that fit in internal memory.
+    block:
+        ``B``, records per block.
+    disks:
+        ``D``, number of independent disks.
+    processors:
+        ``P``, number of internal CPUs (metered by an attached PRAM).
+    pram_variant:
+        Concurrency discipline of the interconnect ("EREW"/"CREW"/"CRCW").
+    """
+
+    def __init__(
+        self,
+        memory: int,
+        block: int,
+        disks: int,
+        processors: int = 1,
+        pram_variant: str | Variant = Variant.EREW,
+    ) -> None:
+        if block < 1 or disks < 1:
+            raise ParameterError(f"need B >= 1 and D >= 1, got B={block}, D={disks}")
+        if disks * block > memory // 2:
+            raise ParameterError(
+                f"model requires D·B <= M/2 (got D·B={disks * block}, M={memory})"
+            )
+        if not 1 <= processors <= memory:
+            raise ParameterError(f"model requires 1 <= P <= M (got P={processors}, M={memory})")
+        self.M = int(memory)
+        self.B = int(block)
+        self.D = int(disks)
+        self.P = int(processors)
+        self.cpu = PRAM(processors, pram_variant)
+        self.stats = IOStats()
+        self._disks: list[dict[int, np.ndarray]] = [dict() for _ in range(self.D)]
+        self._mem_used = 0
+        self._alloc_ptr = 0
+
+    # ------------------------------------------------------------------ I/O
+
+    def read_blocks(self, addresses: Sequence[BlockAddress]) -> list[np.ndarray]:
+        """One parallel read I/O: fetch one block from each addressed disk.
+
+        Raises :class:`DiskContentionError` if two addresses share a disk,
+        and :class:`CapacityError` if memory cannot hold the fetched records.
+        """
+        addresses = list(addresses)
+        if not addresses:
+            return []
+        self._check_contention(addresses)
+        blocks = []
+        for addr in addresses:
+            store = self._disk_store(addr)
+            if addr.slot not in store:
+                raise AddressError(f"read of unwritten block {addr}")
+            blocks.append(store[addr.slot].copy())
+        self.mem_acquire(len(addresses) * self.B)
+        self.stats.read_ios += 1
+        self.stats.blocks_read += len(addresses)
+        return blocks
+
+    def write_blocks(self, writes: Sequence[tuple[BlockAddress, np.ndarray]]) -> None:
+        """One parallel write I/O: store one block on each addressed disk.
+
+        The written records leave internal memory (the ledger is released).
+        Blocks must contain exactly ``B`` records of the record dtype.
+        """
+        writes = list(writes)
+        if not writes:
+            return
+        self._check_contention([addr for addr, _ in writes])
+        for addr, data in writes:
+            if data.dtype != RECORD_DTYPE:
+                raise TypeError(f"blocks must have record dtype, got {data.dtype}")
+            if data.shape != (self.B,):
+                raise AddressError(
+                    f"block must hold exactly B={self.B} records, got shape {data.shape}"
+                )
+            self._disk_store(addr)[addr.slot] = data.copy()
+        self.mem_release(len(writes) * self.B)
+        self.stats.write_ios += 1
+        self.stats.blocks_written += len(writes)
+        if len(writes) == self.D:
+            self.stats.full_width_writes += 1
+
+    def _check_contention(self, addresses: Iterable[BlockAddress]) -> None:
+        seen: set[int] = set()
+        for addr in addresses:
+            if addr.disk in seen:
+                raise DiskContentionError(
+                    f"two blocks addressed to disk {addr.disk} in one I/O"
+                )
+            seen.add(addr.disk)
+
+    def _disk_store(self, addr: BlockAddress) -> dict[int, np.ndarray]:
+        if not 0 <= addr.disk < self.D:
+            raise AddressError(f"disk {addr.disk} out of range [0, {self.D})")
+        if addr.slot < 0:
+            raise AddressError(f"negative slot in {addr}")
+        return self._disks[addr.disk]
+
+    def peek_block(self, addr: BlockAddress) -> np.ndarray:
+        """Inspect a block without an I/O (for tests/validators only)."""
+        store = self._disk_store(addr)
+        if addr.slot not in store:
+            raise AddressError(f"peek of unwritten block {addr}")
+        return store[addr.slot].copy()
+
+    def free_block(self, addr: BlockAddress) -> None:
+        """Drop a block from a disk (reclaims simulator memory, no I/O cost)."""
+        store = self._disk_store(addr)
+        store.pop(addr.slot, None)
+
+    # ------------------------------------------------------- memory ledger
+
+    @property
+    def memory_in_use(self) -> int:
+        """Records currently checked out of the ledger (held in memory)."""
+        return self._mem_used
+
+    @property
+    def memory_free(self) -> int:
+        return self.M - self._mem_used
+
+    def mem_acquire(self, n_records: int) -> None:
+        """Claim internal memory for ``n_records``; raises on overflow."""
+        if n_records < 0:
+            raise ParameterError("cannot acquire negative memory")
+        if self._mem_used + n_records > self.M:
+            raise CapacityError(
+                f"memory overflow: {self._mem_used} + {n_records} > M={self.M}"
+            )
+        self._mem_used += n_records
+
+    def mem_release(self, n_records: int) -> None:
+        """Return ``n_records`` of internal memory to the ledger."""
+        if n_records < 0:
+            raise ParameterError("cannot release negative memory")
+        if n_records > self._mem_used:
+            raise CapacityError(
+                f"memory underflow: releasing {n_records} with only {self._mem_used} in use"
+            )
+        self._mem_used -= n_records
+
+    # -------------------------------------------------------------- misc
+
+    def next_free_slot(self, disk: int) -> int:
+        """Smallest unused slot index on ``disk`` (simple allocator)."""
+        store = self._disks[disk]
+        return max(store.keys(), default=-1) + 1
+
+    def allocate_slots(self, n_slots: int) -> int:
+        """Reserve ``n_slots`` consecutive slots on every disk (bump allocator).
+
+        Returns the starting slot.  Keeps independently created files and
+        regions from overlapping on the simulated disks.
+        """
+        if n_slots < 0:
+            raise ParameterError("cannot allocate negative slots")
+        start = self._alloc_ptr
+        self._alloc_ptr += n_slots
+        return start
+
+    def reset_stats(self) -> None:
+        """Zero the I/O and CPU counters (between experiment phases)."""
+        self.stats = IOStats()
+        self.cpu.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelDiskMachine(M={self.M}, B={self.B}, D={self.D}, P={self.P}, "
+            f"ios={self.stats.total_ios})"
+        )

@@ -1,0 +1,178 @@
+"""Disk striping and partial striping.
+
+*Full striping* (Section 1) synchronizes all D disks so they behave as one
+disk with block size ``B' = DB`` — the deterministic-but-suboptimal
+technique the striped-merge-sort baseline uses.
+
+*Partial striping* (Section 4.1 / Section 5) groups the ``D`` physical
+disks into ``D'`` *virtual disks* of ``D/D'`` disks each, giving virtual
+blocks of ``B·D/D'`` records.  Balance Sort needs the number of independent
+units small enough for its matching machinery (the paper uses
+``H' = H^{1/3}``) while keeping full hardware parallelism within each unit.
+
+:class:`VirtualDisks` exposes exactly the two operations Balance Sort
+needs, each costing one parallel I/O on the underlying machine (contention
+rules still enforced there):
+
+* write at most one virtual block to each of a set of distinct virtual
+  disks;
+* read at most one virtual block from each of a set of distinct virtual
+  disks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DiskContentionError, ParameterError
+from .machine import BlockAddress, ParallelDiskMachine
+
+__all__ = ["VirtualBlockAddress", "VirtualDisks", "fully_striped_view", "default_virtual_disk_count"]
+
+
+def default_virtual_disk_count(d: int) -> int:
+    """The paper's partial-striping choice: ``D' = ⌊D^{1/3}⌋``-style.
+
+    We take the largest divisor of ``D`` not exceeding ``ceil(D^{1/3})``
+    when ``D`` has one; the cube-root scale is what makes the derandomized
+    matching affordable (``H = (H')³`` processors run the ``(H')²`` copies).
+    """
+    if d < 1:
+        raise ParameterError("D must be positive")
+    target = max(1, round(d ** (1.0 / 3.0)))
+    for candidate in range(min(target, d), 0, -1):
+        if d % candidate == 0:
+            return candidate
+    return 1
+
+
+@dataclass(frozen=True)
+class VirtualBlockAddress:
+    """Address of one virtual block: virtual disk and physical slot."""
+
+    vdisk: int
+    slot: int
+
+
+class VirtualDisks:
+    """Partial-striping view: D physical disks as D' virtual disks."""
+
+    def __init__(self, machine: ParallelDiskMachine, n_virtual: int):
+        if n_virtual < 1 or machine.D % n_virtual != 0:
+            raise ParameterError(
+                f"D={machine.D} must be divisible by D'={n_virtual}"
+            )
+        self.machine = machine
+        self.n_virtual = int(n_virtual)
+        self.group = machine.D // self.n_virtual
+
+    @property
+    def virtual_block_size(self) -> int:
+        """Records per virtual block: B · (D / D')."""
+        return self.machine.B * self.group
+
+    def _physical(self, addr: VirtualBlockAddress) -> list[BlockAddress]:
+        base = addr.vdisk * self.group
+        return [BlockAddress(disk=base + j, slot=addr.slot) for j in range(self.group)]
+
+    def parallel_write(
+        self, items: Sequence[tuple[int, np.ndarray]], park: bool = False
+    ) -> list[VirtualBlockAddress]:
+        """Write ≤1 virtual block per virtual disk — one parallel I/O.
+
+        ``items`` is a sequence of ``(vdisk, data)`` with ``data`` exactly
+        one virtual block of records.  Returns the address of each written
+        block (slots are bump-allocated per write so blocks never collide).
+        ``park`` is accepted for interface parity with the hierarchy
+        backend and ignored: disk I/O cost is address-independent.
+        """
+        if not items:
+            return []
+        vdisks = [v for v, _ in items]
+        if len(set(vdisks)) != len(vdisks):
+            raise DiskContentionError("two virtual blocks addressed to one virtual disk")
+        vb = self.virtual_block_size
+        b = self.machine.B
+        slot = self.machine.allocate_slots(1)
+        addresses = []
+        writes = []
+        for v, data in items:
+            if not 0 <= v < self.n_virtual:
+                raise ParameterError(f"virtual disk {v} out of range [0, {self.n_virtual})")
+            if data.shape[0] != vb:
+                raise ParameterError(
+                    f"virtual block must hold {vb} records, got {data.shape[0]}"
+                )
+            addr = VirtualBlockAddress(vdisk=v, slot=slot)
+            addresses.append(addr)
+            for j, phys in enumerate(self._physical(addr)):
+                writes.append((phys, data[j * b : (j + 1) * b]))
+        self.machine.write_blocks(writes)
+        return addresses
+
+    def parallel_read(self, addresses: Sequence[VirtualBlockAddress]) -> list[np.ndarray]:
+        """Read ≤1 virtual block per virtual disk — one parallel I/O."""
+        if not addresses:
+            return []
+        vdisks = [a.vdisk for a in addresses]
+        if len(set(vdisks)) != len(vdisks):
+            raise DiskContentionError("two virtual blocks read from one virtual disk")
+        phys: list[BlockAddress] = []
+        for addr in addresses:
+            phys.extend(self._physical(addr))
+        blocks = self.machine.read_blocks(phys)
+        vb_blocks = []
+        for i in range(len(addresses)):
+            vb_blocks.append(np.concatenate(blocks[i * self.group : (i + 1) * self.group]))
+        return vb_blocks
+
+    def peek(self, address: VirtualBlockAddress) -> np.ndarray:
+        """Inspect a virtual block without an I/O (tests/validators only)."""
+        return np.concatenate(
+            [self.machine.peek_block(phys) for phys in self._physical(address)]
+        )
+
+    def free(self, addresses: Sequence[VirtualBlockAddress]) -> None:
+        """Drop virtual blocks from the disks (no I/O cost)."""
+        for addr in addresses:
+            for phys in self._physical(addr):
+                self.machine.free_block(phys)
+
+    def load_initial(self, blocks: Sequence[tuple[int, np.ndarray]]) -> list[VirtualBlockAddress]:
+        """Place input blocks on the disks without charging I/Os.
+
+        External sorting starts with the data resident on disk (Section 1);
+        the initial layout is part of the problem statement, not the
+        algorithm's cost.
+        """
+        vb = self.virtual_block_size
+        b = self.machine.B
+        addresses = []
+        for v, data in blocks:
+            if data.shape[0] != vb:
+                raise ParameterError(
+                    f"virtual block must hold {vb} records, got {data.shape[0]}"
+                )
+            addr = VirtualBlockAddress(vdisk=v, slot=self.machine.allocate_slots(1))
+            for j, phys in enumerate(self._physical(addr)):
+                self.machine._disks[phys.disk][phys.slot] = data[j * b : (j + 1) * b].copy()
+            addresses.append(addr)
+        return addresses
+
+    # Memory-ledger hooks used by the backend-agnostic Balance engine when
+    # it materializes padding records (hierarchies have no ledger).
+    def acquire_memory(self, n_records: int) -> None:
+        """Claim internal memory on the underlying machine's ledger."""
+        self.machine.mem_acquire(n_records)
+
+    def release_memory(self, n_records: int) -> None:
+        """Return internal memory to the underlying machine's ledger."""
+        self.machine.mem_release(n_records)
+
+
+def fully_striped_view(machine: ParallelDiskMachine) -> VirtualDisks:
+    """All D disks as a single logical disk with block size B' = DB."""
+    return VirtualDisks(machine, n_virtual=1)

@@ -1,0 +1,16 @@
+"""PRAM substrate: cost-accounted data-parallel machine and primitives.
+
+The paper's internal-processing results (Theorem 1's ``Θ((N/P) log N)`` work
+bound, the ``O(log H)`` matching time of Section 4.2) are statements about
+PRAM *operation counts*, not wall-clock.  :class:`repro.pram.machine.PRAM`
+executes vectorized NumPy primitives while charging ``work`` (total
+operations) and ``time`` (parallel steps under Brent scheduling,
+``ceil(work/P) + depth``) for each.  EREW access discipline is enforced at
+the primitive level: primitives that would require concurrent reads or
+writes raise unless the machine is CREW/CRCW.
+"""
+
+from .machine import PRAM, Variant
+from . import primitives, radix, routing, sorting
+
+__all__ = ["PRAM", "Variant", "primitives", "radix", "routing", "sorting"]

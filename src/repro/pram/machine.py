@@ -1,0 +1,121 @@
+"""PRAM cost accountant.
+
+A :class:`PRAM` does not itself move data — the primitives in
+:mod:`repro.pram.primitives` do, using vectorized NumPy — it *meters* them.
+Each primitive reports its total ``work`` (operation count over all
+processors) and its ``depth`` (longest dependency chain).  Under Brent's
+scheduling principle a machine with ``P`` processors executes such a step in
+at most ``ceil(work / P) + depth`` parallel time, which is the charge we
+apply.  This makes ``time`` an upper-bound model and ``work`` exact, matching
+how the paper states its internal-processing bounds.
+
+Variants:
+
+* ``EREW`` — exclusive read, exclusive write (the interconnect assumed by
+  Theorems 2 and 3 and by Cole's merge sort);
+* ``CREW`` — concurrent read allowed;
+* ``CRCW`` — both concurrent; the paper requires CRCW for the parallel disk
+  model when ``log(M/B) = o(log M)`` (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import ConcurrencyViolation, ParameterError
+
+__all__ = ["Variant", "PRAM", "StepRecord"]
+
+
+class Variant(enum.Enum):
+    """PRAM concurrency discipline."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CRCW = "CRCW"
+
+    @property
+    def concurrent_read(self) -> bool:
+        return self in (Variant.CREW, Variant.CRCW)
+
+    @property
+    def concurrent_write(self) -> bool:
+        return self is Variant.CRCW
+
+
+@dataclass
+class StepRecord:
+    """One charged primitive invocation (kept when tracing is enabled)."""
+
+    label: str
+    work: int
+    depth: int
+    time: int
+
+
+@dataclass
+class PRAM:
+    """Cost-accounted PRAM with ``processors`` CPUs.
+
+    Attributes
+    ----------
+    work:
+        Total operations executed so far (exact, machine-independent).
+    time:
+        Parallel time steps charged so far (Brent upper bound).
+    """
+
+    processors: int
+    variant: Variant = Variant.EREW
+    trace: bool = False
+    work: int = 0
+    time: int = 0
+    steps: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ParameterError(f"need >= 1 processor, got {self.processors}")
+        if isinstance(self.variant, str):
+            self.variant = Variant(self.variant.upper())
+
+    def charge(self, work: int, depth: int, label: str = "") -> int:
+        """Charge one primitive: ``time += ceil(work/P) + depth``.
+
+        Returns the time charged for this step.
+        """
+        if work < 0 or depth < 0:
+            raise ParameterError("work and depth must be non-negative")
+        step_time = math.ceil(work / self.processors) + depth
+        self.work += work
+        self.time += step_time
+        if self.trace:
+            self.steps.append(StepRecord(label, work, depth, step_time))
+        return step_time
+
+    def require_concurrent_read(self, context: str = "") -> None:
+        """Raise unless this machine permits concurrent reads."""
+        if not self.variant.concurrent_read:
+            raise ConcurrencyViolation(
+                f"concurrent read needed{f' for {context}' if context else ''} "
+                f"but machine is {self.variant.value}"
+            )
+
+    def require_concurrent_write(self, context: str = "") -> None:
+        """Raise unless this machine permits concurrent writes."""
+        if not self.variant.concurrent_write:
+            raise ConcurrencyViolation(
+                f"concurrent write needed{f' for {context}' if context else ''} "
+                f"but machine is {self.variant.value}"
+            )
+
+    def reset(self) -> None:
+        """Zero the counters (between experiment phases)."""
+        self.work = 0
+        self.time = 0
+        self.steps.clear()
+
+    def snapshot(self) -> dict:
+        """Current counters as a plain dict (for reporting)."""
+        return {"processors": self.processors, "work": self.work, "time": self.time}

@@ -1,0 +1,154 @@
+"""Data-parallel PRAM primitives with cost charging.
+
+Every function takes the :class:`~repro.pram.machine.PRAM` first, performs
+the operation with vectorized NumPy (views, no gratuitous copies — per the
+scientific-Python optimization guides), and charges the canonical
+work/depth of the standard EREW algorithm for that primitive:
+
+==============================  ============  ===========
+primitive                       work          depth
+==============================  ============  ===========
+elementwise map                 n             1
+prefix scan                     2n            2·ceil(log n)
+segmented scan                  3n            2·ceil(log n)
+broadcast (1 → n)               n             ceil(log n)
+pack / compact                  3n            2·ceil(log n)
+partition among s pivots        n·ceil(log s) ceil(log s)
+concurrent-write resolution     sort + scan (Section 4.2 recipe)
+==============================  ============  ===========
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ConcurrencyViolation
+from .machine import PRAM
+
+__all__ = [
+    "log2_ceil",
+    "elementwise",
+    "prefix_sum",
+    "segmented_prefix_sum",
+    "broadcast",
+    "compact",
+    "partition_by_pivots",
+    "resolve_concurrent_writes",
+]
+
+
+def log2_ceil(n: int) -> int:
+    """``max(1, ceil(log2 n))`` — the paper's ``log`` is ``max{1, log2}``."""
+    if n <= 2:
+        return 1
+    return int(math.ceil(math.log2(n)))
+
+
+def elementwise(machine: PRAM, arr: np.ndarray, fn, label: str = "map") -> np.ndarray:
+    """Apply ``fn`` to every element: work n, depth 1."""
+    out = fn(arr)
+    machine.charge(work=int(arr.size), depth=1, label=label)
+    return out
+
+
+def prefix_sum(machine: PRAM, arr: np.ndarray, inclusive: bool = True) -> np.ndarray:
+    """Parallel prefix sum (scan): work 2n, depth 2·log n (EREW-safe)."""
+    n = int(arr.size)
+    out = np.cumsum(arr)
+    if not inclusive:
+        out = np.concatenate([[0], out[:-1]]).astype(out.dtype)
+    machine.charge(work=2 * n, depth=2 * log2_ceil(max(n, 1)), label="scan")
+    return out
+
+
+def segmented_prefix_sum(machine: PRAM, arr: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum restarted at each new segment id.
+
+    ``segment_ids`` must be non-decreasing (segments are contiguous), as in
+    the Section 4.2 concurrent-write recipe where messages are pre-sorted by
+    destination.
+    """
+    n = int(arr.size)
+    if n == 0:
+        return arr.copy()
+    if np.any(segment_ids[1:] < segment_ids[:-1]):
+        raise ValueError("segment ids must be non-decreasing (contiguous segments)")
+    total = np.cumsum(arr)
+    # Subtract, from each position, the cumulative total before its segment.
+    first = np.concatenate([[True], segment_ids[1:] != segment_ids[:-1]])
+    starts = np.flatnonzero(first)
+    seg_offsets = np.empty(starts.size, dtype=total.dtype)
+    seg_offsets[0] = 0
+    seg_offsets[1:] = total[starts[1:] - 1]
+    seg_index = np.cumsum(first) - 1
+    out = total - seg_offsets[seg_index]
+    machine.charge(work=3 * n, depth=2 * log2_ceil(n), label="segmented-scan")
+    return out
+
+
+def broadcast(machine: PRAM, value, n: int) -> np.ndarray:
+    """Replicate one value to n processors: EREW doubling tree."""
+    out = np.full(n, value)
+    machine.charge(work=int(n), depth=log2_ceil(max(n, 1)), label="broadcast")
+    return out
+
+
+def compact(machine: PRAM, arr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Pack the elements where ``mask`` is True into a dense prefix (scan + scatter)."""
+    out = arr[mask]
+    n = int(arr.size)
+    machine.charge(work=3 * n, depth=2 * log2_ceil(max(n, 1)), label="compact")
+    return out
+
+
+def partition_by_pivots(machine: PRAM, keys: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+    """Bucket index of each key among ``s`` sorted pivots (binary search each).
+
+    This is the paper's "partition DB elements among sqrt(M/B) sorted
+    partition elements" step (Theorem 1): work ``n·log s``, depth ``log s``.
+    ``pivots`` must be sorted ascending; bucket ``i`` receives keys in
+    ``(pivots[i-1], pivots[i]]``-style half-open ranges via ``searchsorted``.
+    """
+    n = int(keys.size)
+    s = int(pivots.size) + 1
+    buckets = np.searchsorted(pivots, keys, side="right")
+    machine.charge(work=n * log2_ceil(s), depth=log2_ceil(s), label="partition")
+    return buckets
+
+
+def resolve_concurrent_writes(
+    machine: PRAM, destinations: np.ndarray, priorities: np.ndarray | None = None
+):
+    """Simulate a priority concurrent write on a weaker machine (Section 4.2).
+
+    The paper's recipe: sort the messages by destination, run a segmented
+    prefix per unique key to find each segment's winner, keep only the first
+    message per segment, and monotone-route winners to their destinations.
+    Returns ``(winner_index_per_destination_order, unique_destinations)``
+    where winners are the positions (in the original arrays) of the
+    smallest-priority message for each distinct destination.
+
+    On a CRCW machine the same result is charged at constant depth instead.
+    """
+    n = int(destinations.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=destinations.dtype)
+    if priorities is None:
+        priorities = np.arange(n)
+    if machine.variant.concurrent_write:
+        # Native CRCW priority write: one step.
+        machine.charge(work=n, depth=1, label="crcw-write")
+    else:
+        # sort by (destination, priority): charged as an EREW sort
+        depth = log2_ceil(n)
+        machine.charge(work=n * depth, depth=depth, label="sort-by-dest")
+        # segmented prefix + monotone route
+        machine.charge(work=3 * n, depth=2 * depth, label="segmented-prefix")
+        machine.charge(work=n, depth=depth, label="monotone-route")
+    order = np.lexsort((priorities, destinations))
+    d_sorted = destinations[order]
+    first = np.concatenate([[True], d_sorted[1:] != d_sorted[:-1]])
+    winners = order[first]
+    return winners, d_sorted[first]

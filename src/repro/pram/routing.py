@@ -1,0 +1,58 @@
+"""Monotone routing on a PRAM.
+
+The paper uses monotone routing ([Lei, Section 3.4.3]) three times: to pack
+unprocessed virtual blocks out of the way (Algorithm 3, step 9), to route
+reassigned blocks in Rearrange (Algorithm 6, step 4), and inside the
+concurrent-write simulation (Section 4.2).  A routing instance is *monotone*
+when the destination sequence of the (packed) sources is strictly
+increasing — exactly what the block-compaction uses — and then it runs in
+``O(log n)`` time with ``n`` processors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConcurrencyViolation
+from .machine import PRAM
+from .primitives import log2_ceil
+
+__all__ = ["monotone_route", "is_monotone_instance"]
+
+
+def is_monotone_instance(src: np.ndarray, dst: np.ndarray) -> bool:
+    """True when sources and destinations are each strictly increasing."""
+    return bool(
+        np.all(np.diff(src) > 0) and np.all(np.diff(dst) > 0)
+    ) if src.size > 1 else True
+
+
+def monotone_route(
+    machine: PRAM,
+    array: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Move ``array[src[i]] -> out[dst[i]]`` for a monotone instance.
+
+    Charges ``O(log n)`` depth and ``O(n)`` work.  Destinations must be
+    distinct (they are, in a monotone instance); on an EREW machine duplicate
+    destinations raise :class:`ConcurrencyViolation`.
+    """
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have equal length")
+    if not is_monotone_instance(src, dst):
+        raise ValueError("not a monotone routing instance (indices must increase)")
+    if dst.size and not machine.variant.concurrent_write:
+        # monotone ⇒ distinct, but guard against caller bugs explicitly
+        if np.unique(dst).size != dst.size:
+            raise ConcurrencyViolation("duplicate destinations on EREW machine")
+    n = int(max(array.size, dst.max() + 1 if dst.size else 0))
+    if out is None:
+        out = array.copy()
+    out[dst] = array[src]
+    machine.charge(work=max(n, 1), depth=log2_ceil(max(n, 2)), label="monotone-route")
+    return out

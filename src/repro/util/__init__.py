@@ -1,0 +1,22 @@
+"""Shared utilities: order statistics, pairwise-independent hashing, validation."""
+
+from .order_stats import paper_median, select_kth, median_of_medians
+from .pairwise import PairwiseSpace, next_prime
+from .validation import (
+    assert_is_permutation,
+    assert_sorted,
+    is_sorted,
+    is_permutation,
+)
+
+__all__ = [
+    "paper_median",
+    "select_kth",
+    "median_of_medians",
+    "PairwiseSpace",
+    "next_prime",
+    "assert_is_permutation",
+    "assert_sorted",
+    "is_sorted",
+    "is_permutation",
+]

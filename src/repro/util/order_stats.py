@@ -1,0 +1,90 @@
+"""Order statistics with the paper's median convention.
+
+Footnote 3 of the paper: "We use the convention that the median is always the
+⌈D/2⌉-th smallest element, rather than the convention in statistics that it
+is the average of the two middle elements if D is even."
+
+:func:`paper_median` implements exactly that.  :func:`median_of_medians` is
+the deterministic linear-time selection of Blum–Floyd–Pratt–Rivest–Tarjan
+[BFP], which the paper cites for its deterministic selection steps; we keep
+an operational version (useful for step-counted runs) alongside the NumPy
+``partition`` fast path used everywhere performance matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["paper_median", "select_kth", "median_of_medians"]
+
+
+def paper_median(values: np.ndarray) -> int:
+    """The ⌈n/2⌉-th smallest element (1-indexed), per the paper's footnote 3.
+
+    For ``n = 4`` this is the 2nd smallest; for ``n = 5`` the 3rd smallest.
+    """
+    values = np.asarray(values)
+    n = values.shape[-1]
+    if n == 0:
+        raise ValueError("median of empty array")
+    k = (n + 1) // 2  # ⌈n/2⌉, 1-indexed rank
+    return select_kth(values, k)
+
+
+def select_kth(values: np.ndarray, k: int) -> int:
+    """The k-th smallest element, 1-indexed, via ``np.partition`` (O(n))."""
+    values = np.asarray(values)
+    n = values.shape[-1]
+    if not 1 <= k <= n:
+        raise ValueError(f"rank k={k} out of range for n={n}")
+    if values.ndim == 1:
+        return int(np.partition(values, k - 1)[k - 1])
+    raise ValueError("select_kth expects a 1-D array")
+
+
+def paper_median_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise paper median of a 2-D matrix (vectorized).
+
+    Used by ``ComputeAux`` (Algorithm 4): ``m_b`` is the paper-median of row
+    ``b`` of the histogram matrix.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    n = matrix.shape[1]
+    k = (n + 1) // 2  # 1-indexed
+    return np.partition(matrix, k - 1, axis=1)[:, k - 1]
+
+
+def median_of_medians(values, k: int) -> int:
+    """Deterministic linear-time selection of the k-th smallest (1-indexed).
+
+    Classic BFPRT with groups of 5.  Operational (pure Python) so tests can
+    confirm the deterministic pipeline the paper relies on; not used on hot
+    paths.
+    """
+    vals = list(values)
+    n = len(vals)
+    if not 1 <= k <= n:
+        raise ValueError(f"rank k={k} out of range for n={n}")
+    return _mom_select(vals, k)
+
+
+def _mom_select(vals: list, k: int) -> int:
+    while True:
+        n = len(vals)
+        if n <= 10:
+            vals.sort()
+            return vals[k - 1]
+        medians = [sorted(vals[i : i + 5])[(min(5, n - i) - 1) // 2] for i in range(0, n, 5)]
+        pivot = _mom_select(medians, (len(medians) + 1) // 2)
+        lo = [v for v in vals if v < pivot]
+        eq = [v for v in vals if v == pivot]
+        hi = [v for v in vals if v > pivot]
+        if k <= len(lo):
+            vals = lo
+        elif k <= len(lo) + len(eq):
+            return pivot
+        else:
+            k -= len(lo) + len(eq)
+            vals = hi

@@ -1,0 +1,93 @@
+"""Pairwise-independent probability space for Luby-style derandomization.
+
+Section 4.2 of the paper derandomizes ``Fast-Partial-Match`` using the
+techniques of Luby [Luba, Lubb]: the randomized matcher's analysis uses only
+pairwise independence, so its random choices can be drawn from the small
+sample space ``{ h_{a,b}(u) = (a·u + b) mod p : (a, b) ∈ Z_p × Z_p }`` over a
+prime ``p``, which has only ``p²`` points.  Some point of the space must
+achieve at least the expected number of matches; the paper finds it
+"exhaustively in parallel" using its ``H = (H')³`` processors — here we
+enumerate the same space.
+
+The family is exactly pairwise independent when ``a`` ranges over all of
+``Z_p`` (including 0) and values are taken in ``Z_p``; mapping into a smaller
+range ``[0, m)`` by ``mod m`` keeps near-uniformity, and the matcher's
+correctness test (Theorem 5) is asserted empirically over the whole space in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["next_prime", "PairwiseSpace"]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # next odd >= n
+    while not _is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+class PairwiseSpace:
+    """The sample space ``{(a, b) ∈ Z_p²}`` of hash functions ``h(u) = (a·u+b) mod p``.
+
+    Parameters
+    ----------
+    universe:
+        Inputs ``u`` are in ``[0, universe)``; ``p`` is the smallest prime
+        ``>= universe``.
+    """
+
+    def __init__(self, universe: int):
+        if universe < 1:
+            raise ValueError("universe must be positive")
+        self.universe = int(universe)
+        self.p = next_prime(max(2, universe))
+
+    @property
+    def size(self) -> int:
+        """Number of sample points, ``p²``."""
+        return self.p * self.p
+
+    def points(self):
+        """Iterate over all ``(a, b)`` sample points, ``a`` varying slowest."""
+        for a in range(self.p):
+            for b in range(self.p):
+                yield (a, b)
+
+    def evaluate(self, a: int, b: int, u: np.ndarray) -> np.ndarray:
+        """``h_{a,b}(u) = (a·u + b) mod p`` for a vector of inputs."""
+        u = np.asarray(u, dtype=np.int64)
+        return (a * u + b) % self.p
+
+    def evaluate_all(self, u: np.ndarray) -> np.ndarray:
+        """Evaluate every sample point at once.
+
+        Returns an array of shape ``(p, p, len(u))`` where entry
+        ``[a, b, i] = (a·u[i] + b) mod p``.  This mirrors running the
+        ``(H')²`` copies of the matcher in parallel as the paper does.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        a = np.arange(self.p, dtype=np.int64)[:, None, None]
+        b = np.arange(self.p, dtype=np.int64)[None, :, None]
+        return (a * u[None, None, :] + b) % self.p

@@ -1,0 +1,60 @@
+"""Correctness validators shared by tests, examples, and benchmarks.
+
+A sort on a simulated machine is correct when (a) the output keys are
+non-decreasing with rid breaking ties (the paper's composite order) and
+(b) the output is a permutation of the input records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import RECORD_DTYPE, composite_keys
+
+__all__ = ["is_sorted", "is_permutation", "assert_sorted", "assert_is_permutation"]
+
+
+def is_sorted(records: np.ndarray) -> bool:
+    """True when records are non-decreasing in the composite (key, rid) order."""
+    if records.size <= 1:
+        return True
+    ck = composite_keys(records)
+    return bool(np.all(ck[:-1] <= ck[1:]))
+
+
+def is_permutation(output: np.ndarray, original: np.ndarray) -> bool:
+    """True when ``output`` contains exactly the records of ``original``.
+
+    Because rids are unique within an input, comparing the sorted rid
+    sequences and checking key agreement per rid suffices.
+    """
+    if output.size != original.size:
+        return False
+    if output.dtype != RECORD_DTYPE or original.dtype != RECORD_DTYPE:
+        raise TypeError("expected record arrays")
+    order_out = np.argsort(output["rid"], kind="stable")
+    order_in = np.argsort(original["rid"], kind="stable")
+    return bool(
+        np.array_equal(output["rid"][order_out], original["rid"][order_in])
+        and np.array_equal(output["key"][order_out], original["key"][order_in])
+    )
+
+
+def assert_sorted(records: np.ndarray, context: str = "") -> None:
+    """Raise AssertionError with a helpful message when not sorted."""
+    if not is_sorted(records):
+        ck = composite_keys(records)
+        bad = int(np.flatnonzero(ck[:-1] > ck[1:])[0])
+        raise AssertionError(
+            f"{context or 'output'} not sorted: inversion at index {bad}: "
+            f"{records[bad]} > {records[bad + 1]}"
+        )
+
+
+def assert_is_permutation(output: np.ndarray, original: np.ndarray, context: str = "") -> None:
+    """Raise AssertionError when output is not a permutation of the input."""
+    if not is_permutation(output, original):
+        raise AssertionError(
+            f"{context or 'output'} is not a permutation of the input "
+            f"(sizes {output.size} vs {original.size})"
+        )

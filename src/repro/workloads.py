@@ -1,0 +1,160 @@
+"""Seeded workload generators for sorting experiments.
+
+Each generator returns a record array (see :mod:`repro.records`).  Keys stay
+below ``2**40`` so composite packing works, and record ids break ties, so any
+generator — including ones with massive key duplication — yields a totally
+ordered input as the paper requires (Section 4.1).
+
+The ``adversarial_*`` generators construct the skew patterns that stress the
+paper's load balancer: inputs whose natural block layout piles one bucket's
+blocks onto one (virtual) disk, which is exactly the failure mode disk
+striping and naive distribution suffer from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .records import make_records
+
+__all__ = [
+    "uniform",
+    "sorted_keys",
+    "reverse_sorted",
+    "few_distinct",
+    "zipf_like",
+    "gaussian",
+    "runs",
+    "organ_pipe",
+    "adversarial_bucket_skew",
+    "adversarial_striping",
+    "GENERATORS",
+    "by_name",
+]
+
+_KEY_SPACE = 1 << 40
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform random keys over the full key space."""
+    keys = _rng(seed).integers(0, _KEY_SPACE, size=n, dtype=np.uint64)
+    return make_records(keys)
+
+
+def sorted_keys(n: int, seed: int = 0) -> np.ndarray:
+    """Already-sorted input (best case for merge-based baselines)."""
+    keys = np.sort(_rng(seed).integers(0, _KEY_SPACE, size=n, dtype=np.uint64))
+    return make_records(keys)
+
+
+def reverse_sorted(n: int, seed: int = 0) -> np.ndarray:
+    """Reverse-sorted input."""
+    keys = np.sort(_rng(seed).integers(0, _KEY_SPACE, size=n, dtype=np.uint64))[::-1]
+    return make_records(keys.copy())
+
+
+def few_distinct(n: int, seed: int = 0, distinct: int = 8) -> np.ndarray:
+    """Heavy duplication: only ``distinct`` key values.
+
+    Stresses the distinctness handling (rid tie-break) and the partition
+    element selection, which must still produce buckets of size < 2N/S.
+    """
+    values = np.sort(_rng(seed).integers(0, _KEY_SPACE, size=distinct, dtype=np.uint64))
+    keys = values[_rng(seed + 1).integers(0, distinct, size=n)]
+    return make_records(keys)
+
+
+def zipf_like(n: int, seed: int = 0, a: float = 1.5) -> np.ndarray:
+    """Zipf-skewed keys (many repeats of small ranks)."""
+    gen = _rng(seed)
+    ranks = gen.zipf(a, size=n).astype(np.uint64)
+    # Spread ranks over the key space deterministically but non-linearly.
+    keys = (ranks * np.uint64(2654435761)) % np.uint64(_KEY_SPACE)
+    return make_records(keys)
+
+
+def gaussian(n: int, seed: int = 0) -> np.ndarray:
+    """Normally distributed keys, clipped to the key space."""
+    gen = _rng(seed)
+    vals = gen.normal(loc=_KEY_SPACE / 2, scale=_KEY_SPACE / 16, size=n)
+    keys = np.clip(vals, 0, _KEY_SPACE - 1).astype(np.uint64)
+    return make_records(keys)
+
+
+def runs(n: int, seed: int = 0, run_length: int = 64) -> np.ndarray:
+    """Concatenation of sorted runs (partially sorted input)."""
+    gen = _rng(seed)
+    keys = gen.integers(0, _KEY_SPACE, size=n, dtype=np.uint64)
+    for start in range(0, n, run_length):
+        keys[start : start + run_length].sort()
+    return make_records(keys)
+
+
+def organ_pipe(n: int, seed: int = 0) -> np.ndarray:
+    """Ascending then descending ("organ pipe") key pattern."""
+    half = n // 2
+    up = np.sort(_rng(seed).integers(0, _KEY_SPACE, size=half, dtype=np.uint64))
+    down = np.sort(_rng(seed + 1).integers(0, _KEY_SPACE, size=n - half, dtype=np.uint64))[::-1]
+    return make_records(np.concatenate([up, down]))
+
+
+def adversarial_bucket_skew(n: int, seed: int = 0, hot_fraction: float = 0.45) -> np.ndarray:
+    """Most records fall in one narrow key range ("hot" bucket).
+
+    A naive distribution pass would write nearly every block of the hot
+    bucket in input order, piling them onto few disks; the balancer must
+    still spread them so the bucket reads back with full parallelism.
+    """
+    gen = _rng(seed)
+    n_hot = int(n * hot_fraction)
+    hot_lo = _KEY_SPACE // 3
+    hot = gen.integers(hot_lo, hot_lo + 1024, size=n_hot, dtype=np.uint64)
+    cold = gen.integers(0, _KEY_SPACE, size=n - n_hot, dtype=np.uint64)
+    keys = np.concatenate([hot, cold])
+    gen.shuffle(keys)
+    return make_records(keys)
+
+
+def adversarial_striping(n: int, seed: int = 0, period: int = 8) -> np.ndarray:
+    """Keys arranged so consecutive blocks cycle through key ranges.
+
+    With ``period`` equal to the number of (virtual) disks, record ``i``'s key
+    range is ``i mod period`` — so the *i*-th block written in input order is
+    always from the same bucket as every other block on its disk.  Without
+    rebalancing, each bucket lands entirely on one disk.
+    """
+    gen = _rng(seed)
+    band = _KEY_SPACE // period
+    lane = np.arange(n, dtype=np.uint64) % np.uint64(period)
+    jitter = gen.integers(0, band, size=n, dtype=np.uint64)
+    keys = lane * np.uint64(band) + jitter
+    return make_records(keys)
+
+
+GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform,
+    "sorted": sorted_keys,
+    "reverse": reverse_sorted,
+    "few_distinct": few_distinct,
+    "zipf": zipf_like,
+    "gaussian": gaussian,
+    "runs": runs,
+    "organ_pipe": organ_pipe,
+    "adversarial_bucket_skew": adversarial_bucket_skew,
+    "adversarial_striping": adversarial_striping,
+}
+
+
+def by_name(name: str, n: int, seed: int = 0, **kwargs) -> np.ndarray:
+    """Look up a generator by name and invoke it."""
+    try:
+        gen = GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; choices: {sorted(GENERATORS)}") from None
+    return gen(n, seed=seed, **kwargs)

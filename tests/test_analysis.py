@@ -1,0 +1,121 @@
+"""Tests for the bounds, optimality fits, and table reporting."""
+
+import math
+
+import pytest
+
+from repro.analysis import bounds
+from repro.analysis.optimality import RatioSeries, is_flat, loglog_slope, ratio_series
+from repro.analysis.reporting import Table, format_value
+
+
+class TestBounds:
+    def test_paper_log_floors(self):
+        assert bounds.paper_log(0.5) == 1.0
+        assert bounds.paper_log(1) == 1.0
+        assert bounds.paper_log(1024) == 10.0
+
+    def test_sort_io_bound_formula(self):
+        # (N/DB)·log(N/B)/log(M/B)
+        assert bounds.sort_io_bound(2**16, m=512, b=4, d=8) == pytest.approx(
+            (2**16 / 32) * 14 / 7
+        )
+
+    def test_sort_io_bound_degenerate(self):
+        assert bounds.sort_io_bound(0, 512, 4, 8) == 1.0
+
+    def test_striped_merge_ios_grows_with_n_over_m(self):
+        small = bounds.striped_merge_sort_ios(10**4, 512, 4, 8)
+        large = bounds.striped_merge_sort_ios(10**6, 512, 4, 8)
+        # 100x the data, more than 100x the I/Os (extra merge levels)
+        assert large > 100 * small
+
+    def test_cpu_work_bound(self):
+        assert bounds.cpu_work_bound(1024, p=4) == pytest.approx(256 * 10)
+
+    def test_theorem2_power_terms(self):
+        # alpha=1: (N/H)^2 dominates for large N/H
+        n, h = 2**20, 16
+        val = bounds.theorem2_power_bound(n, h, 1.0)
+        assert val == pytest.approx((n / h) ** 2 + (n / h) * 20)
+
+    def test_theorem2_log_bound(self):
+        n, h = 2**16, 64
+        assert bounds.theorem2_log_bound(n, h) == pytest.approx(1024 * 10 * 16)
+
+    def test_theorem3_regimes(self):
+        n, h = 2**16, 64
+        assert bounds.theorem3_bound(n, h, None) == bounds.theorem3_bound(n, h, 0.5)
+        assert bounds.theorem3_bound(n, h, 1.0) > bounds.theorem3_bound(n, h, 0.5)
+        assert bounds.theorem3_bound(n, h, 2.0) > bounds.theorem3_bound(n, h, 1.0)
+
+    def test_hypercube_extra_term(self):
+        assert bounds.theorem2_hypercube_extra(2**16, 64) > 0
+
+
+class TestOptimality:
+    def test_ratio_series_scalar_xs(self):
+        s = ratio_series([1, 2, 4], [10, 20, 40], lambda n: n)
+        assert s.ratios == [10.0, 10.0, 10.0]
+        assert s.spread == 1.0
+        assert s.trend == 1.0
+        assert is_flat(s)
+
+    def test_ratio_series_tuple_xs(self):
+        s = ratio_series([(2, 3), (4, 3)], [12, 24], lambda a, b: a * b)
+        assert s.ratios == [2.0, 2.0]
+
+    def test_ratio_series_validation(self):
+        with pytest.raises(ValueError):
+            ratio_series([], [], lambda n: n)
+        with pytest.raises(ValueError):
+            ratio_series([1], [1, 2], lambda n: n)
+
+    def test_drifting_series_not_flat(self):
+        s = ratio_series([1, 10, 100], [1, 40, 1600], lambda n: n)
+        assert not is_flat(s)
+        assert s.trend > 1
+
+    def test_loglog_slope_power_law(self):
+        xs = [10, 100, 1000]
+        assert loglog_slope(xs, [x**2 for x in xs]) == pytest.approx(2.0)
+        assert loglog_slope(xs, [5 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_loglog_slope_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestReporting:
+    def test_table_render_aligns(self):
+        t = Table(["a", "bb"], title="T")
+        t.add(1, 2.5)
+        t.add("xx", True)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "yes" in text
+
+    def test_table_add_dict(self):
+        t = Table(["x", "y"])
+        t.add_dict({"y": 2, "x": 1})
+        assert t.rows[0] == ["1", "2"]
+
+    def test_table_wrong_arity(self):
+        t = Table(["x"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(True) == "yes"
+        assert format_value("s") == "s"
+
+    def test_empty_table_renders_header(self):
+        t = Table(["col"])
+        assert "col" in t.render()

@@ -1,0 +1,83 @@
+"""Tests for the [Arg] alternative auxiliary-matrix rule (Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.core.aux_variants import ArgeBalanceMatrices, compute_aux_arge
+from repro.core.balance import BalanceEngine
+from repro.exceptions import InvariantViolation
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.records import composite_keys
+
+
+class TestComputeAuxArge:
+    def test_zero_at_or_below_even_share(self):
+        X = np.array([[2, 2, 2, 2]])  # even share = 2
+        assert compute_aux_arge(X).tolist() == [[0, 0, 0, 0]]
+
+    def test_two_above_twice_even_share(self):
+        X = np.array([[9, 1, 1, 1]])  # total 12, even share ceil(12/4)=3
+        aux = compute_aux_arge(X)
+        assert aux[0, 0] == 2  # 9 > 6
+        assert aux[0, 1] == 0
+
+    def test_one_in_between(self):
+        X = np.array([[5, 1, 1, 1]])  # even share 2; 2 < 5 <= ... 5 > 4 -> 2
+        aux = compute_aux_arge(X)
+        assert aux[0, 0] == 2
+        X = np.array([[4, 2, 1, 1]])  # even share 2; 4 <= 4 -> 1
+        aux = compute_aux_arge(X)
+        assert aux[0, 0] == 1
+
+    def test_empty_row(self):
+        X = np.zeros((1, 4), dtype=np.int64)
+        assert compute_aux_arge(X).tolist() == [[0, 0, 0, 0]]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 30), min_size=4, max_size=4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_marks_exactly_the_overloads(self, rows):
+        X = np.array(rows)
+        aux = compute_aux_arge(X)
+        even = -(-X.sum(axis=1, keepdims=True) // X.shape[1])
+        assert np.array_equal(aux == 2, X > 2 * even)
+        assert np.array_equal(aux == 0, X <= even)
+
+
+class TestArgeEngineRun:
+    def _run(self, workload, seed):
+        machine = ParallelDiskMachine(memory=65536, block=4, disks=16)
+        storage = VirtualDisks(machine, 8)
+        data = workloads.by_name(workload, 4000, seed=seed)
+        ck = np.sort(composite_keys(data))
+        pivots = ck[np.linspace(0, ck.size - 1, 9).astype(int)[1:-1]]
+        engine = BalanceEngine(storage, pivots, matcher="greedy", check_invariants=False)
+        engine.matrices = ArgeBalanceMatrices(engine.n_buckets, engine.n_channels)
+        for i in range(0, data.shape[0], 512):
+            part = data[i : i + 512]
+            machine.mem_acquire(part.shape[0])
+            engine.feed(part)
+            engine.run_rounds(drain_below=16)
+        engine.flush()
+        return engine
+
+    @pytest.mark.parametrize("workload", ["uniform", "adversarial_bucket_skew", "zipf"])
+    def test_balance_within_factor_2(self, workload):
+        engine = self._run(workload, seed=120)
+        assert engine.matrices.max_balance_factor() <= 2.6
+
+    def test_invariant_2_analogue(self):
+        engine = self._run("adversarial_striping", seed=121)
+        engine.matrices.check_invariant_2()  # nothing above 2x even share
+
+    def test_conservation(self):
+        engine = self._run("uniform", seed=122)
+        assert engine.bucket_record_counts.sum() == 4000

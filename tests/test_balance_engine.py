@@ -1,0 +1,160 @@
+"""Integration tests for the Balance engine (Algorithms 3, 5, 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.core.balance import BalanceEngine, read_bucket_run
+from repro.exceptions import ParameterError
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.records import composite_keys, make_records, sort_records
+
+
+def make_storage(M=4096, B=4, D=8, n_virtual=4):
+    machine = ParallelDiskMachine(memory=M, block=B, disks=D)
+    return machine, VirtualDisks(machine, n_virtual)
+
+
+def pivots_for(records: np.ndarray, s: int) -> np.ndarray:
+    ck = np.sort(composite_keys(records))
+    ranks = np.linspace(0, ck.size - 1, s + 1).astype(int)[1:-1]
+    return ck[ranks]
+
+
+def feed_all(engine, machine, records, chunk=64):
+    for i in range(0, records.shape[0], chunk):
+        part = records[i : i + chunk]
+        machine.mem_acquire(part.shape[0])
+        engine.feed(part)
+        engine.run_rounds(drain_below=2 * engine.n_channels)
+    return engine.flush()
+
+
+class TestEngineBasics:
+    def test_rejects_unsorted_pivots(self):
+        machine, storage = make_storage()
+        with pytest.raises(ParameterError):
+            BalanceEngine(storage, np.array([5, 1], dtype=np.uint64))
+
+    def test_feed_after_flush_rejected(self):
+        machine, storage = make_storage()
+        engine = BalanceEngine(storage, np.array([100], dtype=np.uint64))
+        engine.flush()
+        with pytest.raises(ParameterError):
+            engine.feed(make_records(np.array([1], dtype=np.uint64)))
+
+    def test_empty_flush(self):
+        machine, storage = make_storage()
+        engine = BalanceEngine(storage, np.array([100], dtype=np.uint64))
+        runs = engine.flush()
+        assert len(runs) == 2
+        assert all(r.n_records == 0 for r in runs)
+
+    def test_bucket_record_counts_match_partition(self):
+        machine, storage = make_storage()
+        data = workloads.uniform(500, seed=3)
+        piv = pivots_for(data, 4)
+        engine = BalanceEngine(storage, piv)
+        runs = feed_all(engine, machine, data)
+        expected = np.bincount(
+            np.searchsorted(piv, composite_keys(data), side="right"), minlength=4
+        )
+        assert engine.bucket_record_counts.tolist() == expected.tolist()
+        assert sum(r.n_records for r in runs) == 500
+
+    def test_unknown_matcher_rejected(self):
+        machine, storage = make_storage()
+        with pytest.raises(ParameterError):
+            BalanceEngine(storage, np.array([100], dtype=np.uint64), matcher="bogus")
+
+
+class TestDistributionCorrectness:
+    @pytest.mark.parametrize("matcher", ["derandomized", "randomized", "greedy", "mincost"])
+    @pytest.mark.parametrize("workload", ["uniform", "adversarial_striping", "few_distinct"])
+    def test_every_record_lands_in_its_bucket(self, matcher, workload):
+        machine, storage = make_storage()
+        data = workloads.by_name(workload, 600, seed=5)
+        piv = pivots_for(data, 5)
+        engine = BalanceEngine(storage, piv, matcher=matcher, rng=np.random.default_rng(1))
+        runs = feed_all(engine, machine, data)
+        seen = 0
+        for b, run in enumerate(runs):
+            for chunk in read_bucket_run(storage, run, free=True):
+                buckets = np.searchsorted(piv, composite_keys(chunk), side="right")
+                assert np.all(buckets == b)
+                seen += chunk.shape[0]
+                machine.mem_release(chunk.shape[0])
+        assert seen == 600
+
+    def test_invariants_checked_every_round(self):
+        machine, storage = make_storage()
+        data = workloads.adversarial_striping(800, seed=6, period=4)
+        engine = BalanceEngine(
+            storage, pivots_for(data, 4), matcher="derandomized", check_invariants=True
+        )
+        feed_all(engine, machine, data)  # raises InvariantViolation on failure
+
+    def test_rebalancing_happens_under_skew(self):
+        machine, storage = make_storage()
+        # every block the same bucket ordering: tentative placement always
+        # hits channel 0 first for bucket 0 — swaps must occur
+        data = workloads.adversarial_striping(800, seed=7, period=4)
+        engine = BalanceEngine(storage, pivots_for(data, 4))
+        feed_all(engine, machine, data)
+        assert engine.stats.blocks_swapped > 0
+
+    def test_theorem4_balance_bound(self):
+        machine, storage = make_storage()
+        for workload in ["uniform", "adversarial_striping", "adversarial_bucket_skew"]:
+            machine, storage = make_storage()
+            data = workloads.by_name(workload, 1000, seed=8)
+            engine = BalanceEngine(storage, pivots_for(data, 4))
+            feed_all(engine, machine, data)
+            # Theorem 4: "no more than a factor of about 2 above optimal";
+            # the flush's padded tail adds at most a small additive slack.
+            assert engine.matrices.max_balance_factor() <= 2.5
+
+
+class TestBucketRuns:
+    def test_block_refs_and_counts(self):
+        machine, storage = make_storage()
+        data = workloads.uniform(300, seed=9)
+        engine = BalanceEngine(storage, pivots_for(data, 3))
+        runs = feed_all(engine, machine, data)
+        for run in runs:
+            refs = run.block_refs()
+            assert run.n_blocks == len(refs)
+            assert sum(r.fill for r in refs) == run.n_records
+
+    def test_max_blocks_on_channel_is_read_cost(self):
+        machine, storage = make_storage()
+        data = workloads.uniform(400, seed=10)
+        engine = BalanceEngine(storage, pivots_for(data, 2))
+        runs = feed_all(engine, machine, data)
+        run = max(runs, key=lambda r: r.n_records)
+        before = machine.stats.read_ios
+        for chunk in read_bucket_run(storage, run, free=True):
+            machine.mem_release(chunk.shape[0])
+        assert machine.stats.read_ios - before == run.max_blocks_on_channel
+
+
+class TestEngineProperty:
+    @given(st.integers(0, 10**6), st.integers(2, 6), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_partition_and_balance(self, seed, s, hp):
+        machine = ParallelDiskMachine(memory=8192, block=2, disks=8)
+        storage = VirtualDisks(machine, hp)
+        data = workloads.uniform(int(np.random.default_rng(seed).integers(1, 700)), seed=seed)
+        piv = pivots_for(data, s) if data.size >= s else np.sort(composite_keys(data))[: s - 1]
+        engine = BalanceEngine(storage, piv, rng=np.random.default_rng(seed))
+        runs = feed_all(engine, machine, data)
+        # conservation
+        assert sum(r.n_records for r in runs) == data.shape[0]
+        # invariant 2 held at the end
+        engine.matrices.check_invariant_2()
+        # every bucket readable within the Theorem-4 factor
+        assert engine.matrices.max_balance_factor() <= 2.5 + 2 / max(
+            1, engine.matrices.X.max()
+        )

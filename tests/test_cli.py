@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.n == 20_000
+        assert args.matcher == "derandomized"
+
+    def test_bad_matcher_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--matcher", "psychic"])
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_sort_small(self, capsys):
+        rc = main(["sort", "--n", "2000", "--memory", "512", "--block", "4",
+                   "--disks", "8", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel I/Os" in out
+        assert "output verified" in out and "yes" in out
+
+    def test_sort_with_overrides(self, capsys):
+        rc = main(["sort", "--n", "1500", "--memory", "512", "--matcher", "greedy",
+                   "--buckets", "4", "--virtual-disks", "4", "--workload", "zipf"])
+        assert rc == 0
+        assert "Theorem 1 bound" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--n", "2500", "--memory", "512"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ["balance", "greed", "randomized", "striped"]:
+            assert name in out
+
+    def test_hierarchy_models(self, capsys):
+        for model, cost in [("hmm", "log"), ("bt", "0.5"), ("umh", "umh")]:
+            rc = main(["hierarchy", "--n", "1200", "--h", "27", "--model", model,
+                       "--cost", cost])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert f"P-{model.upper()}" in out
+
+    def test_hierarchy_hypercube(self, capsys):
+        rc = main(["hierarchy", "--n", "900", "--h", "16", "--interconnect", "hypercube"])
+        assert rc == 0
+        assert "hypercube" in capsys.readouterr().out
+
+    def test_workloads_listing(self, capsys):
+        rc = main(["workloads"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "uniform" in out and "adversarial_striping" in out
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "workloads"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "uniform" in proc.stdout

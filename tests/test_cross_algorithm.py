@@ -1,0 +1,86 @@
+"""Cross-algorithm agreement: every sorter produces the identical output.
+
+The strongest integration check available: five external sorts (Balance
+Sort on disks, on P-HMM, striped merge sort, randomized [ViSa], Greed
+Sort) plus the in-memory reference must emit exactly the same record
+sequence for the same input — including rid order under heavy key
+duplication (stability through the composite order).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ParallelDiskMachine,
+    ParallelHierarchies,
+    balance_sort_hierarchy,
+    balance_sort_pdm,
+    workloads,
+)
+from repro.baselines import (
+    greed_sort,
+    hierarchy_merge_sort,
+    numpy_sort_records,
+    randomized_distribution_sort,
+    striped_merge_sort,
+)
+from repro.core.streams import peek_run
+from repro.records import records_equal
+
+
+def all_outputs(data):
+    outs = {}
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    res = balance_sort_pdm(m, data)
+    outs["balance-pdm"] = peek_run(res.storage, res.output)
+
+    mh = ParallelHierarchies(27)
+    res = balance_sort_hierarchy(mh, data)
+    outs["balance-phmm"] = peek_run(res.storage, res.output)
+
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    res = striped_merge_sort(m, data)
+    outs["striped"] = peek_run(res.storage, res.output)
+
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    res = randomized_distribution_sort(m, data)
+    outs["randomized"] = peek_run(res.storage, res.output)
+
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    res = greed_sort(m, data)
+    outs["greed"] = peek_run(res.storage, res.output)
+
+    mh = ParallelHierarchies(16)
+    res = hierarchy_merge_sort(mh, data)
+    outs["hier-merge"] = peek_run(res.storage, res.output)
+
+    outs["reference"] = numpy_sort_records(data)
+    return outs
+
+
+@pytest.mark.parametrize(
+    "workload", ["uniform", "few_distinct", "adversarial_striping", "organ_pipe"]
+)
+def test_all_sorters_agree_exactly(workload):
+    data = workloads.by_name(workload, 2200, seed=150)
+    outs = all_outputs(data)
+    ref = outs.pop("reference")
+    for name, out in outs.items():
+        assert records_equal(out, ref), f"{name} differs from the reference"
+
+
+def test_agreement_on_tiny_inputs():
+    for n in (0, 1, 2, 3):
+        data = workloads.few_distinct(n, seed=151, distinct=1) if n else workloads.uniform(0)
+        outs = all_outputs(data)
+        ref = outs.pop("reference")
+        for name, out in outs.items():
+            assert records_equal(out, ref), f"{name} differs at n={n}"
+
+
+def test_total_order_includes_rid_stability():
+    # all keys equal: output order must be exactly input (rid) order
+    data = workloads.few_distinct(1500, seed=152, distinct=1)
+    outs = all_outputs(data)
+    for name, out in outs.items():
+        assert np.array_equal(out["rid"], np.sort(out["rid"])), name

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion and says what it should.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+CASES = [
+    ("quickstart.py", ["output verified", "measured / bound"]),
+    ("database_merge_join.py", ["Sort-merge join", "matches"]),
+    ("memory_hierarchy_sort.py", ["P-HMM", "P-BT", "hypercube"]),
+    ("load_balancing_raid.py", ["balanced", "input-order", "random"]),
+    ("balance_trace.py", ["aux_always_binary: True", "Theorem 4"]),
+    ("umh_pipeline.py", ["Bus activity", "P-UMH"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in expected:
+        assert needle in proc.stdout, f"{script}: missing {needle!r}"

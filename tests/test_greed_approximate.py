@@ -1,0 +1,76 @@
+"""Tests for Greed Sort's approximate mode (the original NoV pipeline shape)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.baselines import greed_sort
+from repro.core.streams import peek_run
+from repro.exceptions import ParameterError
+from repro.pdm import ParallelDiskMachine
+from repro.util import assert_is_permutation, assert_sorted
+
+
+def machine(M=512, B=4, D=8):
+    return ParallelDiskMachine(memory=M, block=B, disks=D)
+
+
+class TestApproximateMode:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "sorted", "reverse", "few_distinct", "zipf"]
+    )
+    def test_sorts_workloads(self, workload):
+        m = machine()
+        data = workloads.by_name(workload, 3000, seed=180)
+        res = greed_sort(m, data, mode="approximate")
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out, workload)
+        assert_is_permutation(out, data, workload)
+        assert m.memory_in_use == 0
+
+    @pytest.mark.parametrize("d,b", [(2, 4), (8, 4), (32, 2)])
+    def test_wide_configs(self, d, b):
+        m = machine(D=d, B=b)
+        data = workloads.uniform(6000, seed=181)
+        res = greed_sort(m, data, mode="approximate")
+        assert_sorted(peek_run(res.storage, res.output))
+
+    def test_fallback_counter_exposed(self):
+        m = machine()
+        data = workloads.uniform(2000, seed=182)
+        res = greed_sort(m, data, mode="approximate")
+        assert res.cleanup_fallbacks >= 0  # counted (possibly zero)
+
+    def test_bad_mode_rejected(self):
+        m = machine()
+        with pytest.raises(ParameterError):
+            greed_sort(m, workloads.uniform(100, seed=0), mode="psychic")
+
+    def test_exact_and_approximate_agree(self):
+        data = workloads.uniform(4000, seed=183)
+        m1, m2 = machine(), machine()
+        out1 = peek_run(*(lambda r: (r.storage, r.output))(greed_sort(m1, data, mode="exact")))
+        out2 = peek_run(*(lambda r: (r.storage, r.output))(greed_sort(m2, data, mode="approximate")))
+        assert np.array_equal(out1["key"], out2["key"])
+        assert np.array_equal(out1["rid"], out2["rid"])
+
+    def test_deterministic(self):
+        ios = []
+        for _ in range(2):
+            m = machine()
+            res = greed_sort(m, workloads.uniform(3000, seed=184), mode="approximate")
+            ios.append((res.total_ios, res.cleanup_fallbacks))
+        assert ios[0] == ios[1]
+
+    @given(st.integers(0, 10**6), st.integers(0, 3000))
+    @settings(max_examples=6, deadline=None)
+    def test_property_random_sizes(self, seed, n):
+        m = machine()
+        data = workloads.uniform(n, seed=seed)
+        res = greed_sort(m, data, mode="approximate")
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+        assert_is_permutation(out, data)
+        assert m.memory_in_use == 0

@@ -1,0 +1,98 @@
+"""Tests for the hierarchy-striped merge sort baseline (E12's comparator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ParallelHierarchies, workloads
+from repro.baselines import hierarchy_merge_sort
+from repro.core.streams import peek_run
+from repro.exceptions import ParameterError
+from repro.hierarchies import LogCost, PowerCost
+from repro.util import assert_is_permutation, assert_sorted
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "sorted", "reverse", "few_distinct", "zipf"]
+    )
+    def test_sorts_workloads(self, workload):
+        m = ParallelHierarchies(64)
+        data = workloads.by_name(workload, 3000, seed=110)
+        res = hierarchy_merge_sort(m, data)
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out, workload)
+        assert_is_permutation(out, data, workload)
+
+    def test_empty_and_tiny(self):
+        for n in (0, 1, 7):
+            m = ParallelHierarchies(16)
+            data = workloads.uniform(n, seed=111)
+            res = hierarchy_merge_sort(m, data)
+            out = peek_run(res.storage, res.output)
+            assert out.shape[0] == n
+            assert_sorted(out)
+
+    def test_single_run_input(self):
+        # fits in one 3H load: no merge passes at all
+        m = ParallelHierarchies(64)
+        data = workloads.uniform(150, seed=112)
+        res = hierarchy_merge_sort(m, data)
+        assert res.merge_passes == 0
+        assert_sorted(peek_run(res.storage, res.output))
+
+    @pytest.mark.parametrize("fan_in", [2, 3, 8])
+    def test_fan_in_variants(self, fan_in):
+        m = ParallelHierarchies(32)
+        data = workloads.uniform(2000, seed=113)
+        res = hierarchy_merge_sort(m, data, fan_in=fan_in)
+        assert_sorted(peek_run(res.storage, res.output))
+        assert res.fan_in == fan_in
+
+    def test_bad_fan_in(self):
+        m = ParallelHierarchies(8)
+        with pytest.raises(ParameterError):
+            hierarchy_merge_sort(m, workloads.uniform(10, seed=0), fan_in=1)
+
+    def test_requires_exactly_one_input(self):
+        m = ParallelHierarchies(8)
+        with pytest.raises(ParameterError):
+            hierarchy_merge_sort(m)
+
+    @given(st.integers(0, 10**6), st.integers(0, 2000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_sizes(self, seed, n):
+        m = ParallelHierarchies(16)
+        data = workloads.uniform(n, seed=seed)
+        res = hierarchy_merge_sort(m, data)
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+        assert_is_permutation(out, data)
+
+
+class TestCostShape:
+    def test_pass_count_is_logarithmic(self):
+        m = ParallelHierarchies(64)
+        n = 12_000
+        res = hierarchy_merge_sort(m, workloads.uniform(n, seed=114))
+        import math
+
+        expected = math.ceil(math.log2(max(1, n / (3 * 64))))
+        assert abs(res.merge_passes - expected) <= 1
+
+    def test_each_pass_streams_everything(self):
+        # doubling N with fixed passes-structure: time superlinear in N
+        t = []
+        for n in [4000, 16000]:
+            m = ParallelHierarchies(64, cost_fn=PowerCost(alpha=1.0))
+            t.append(hierarchy_merge_sort(m, workloads.uniform(n, seed=115)).total_time)
+        assert t[1] > 8 * t[0]  # ~quadratic-ish for f=x^1 plus log passes
+
+    def test_higher_fan_in_fewer_passes(self):
+        m2 = ParallelHierarchies(64)
+        m8 = ParallelHierarchies(64)
+        data = workloads.uniform(8000, seed=116)
+        r2 = hierarchy_merge_sort(m2, data, fan_in=2)
+        r8 = hierarchy_merge_sort(m8, data, fan_in=8)
+        assert r8.merge_passes < r2.merge_passes

@@ -1,0 +1,73 @@
+"""Equivalence tests: incremental aux maintenance vs batch ComputeAux."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalAux
+from repro.core.matrices import compute_aux
+from repro.exceptions import ParameterError
+
+
+def random_trace(rng, s, hp, steps):
+    """A legal update stream: adds, and removes of previously added blocks."""
+    x = np.zeros((s, hp), dtype=np.int64)
+    trace = []
+    for _ in range(steps):
+        if x.sum() and rng.random() < 0.3:
+            rows, cols = np.nonzero(x)
+            i = int(rng.integers(0, rows.size))
+            b, h = int(rows[i]), int(cols[i])
+            x[b, h] -= 1
+            trace.append(("remove", b, h))
+        else:
+            b = int(rng.integers(0, s))
+            h = int(rng.integers(0, hp))
+            x[b, h] += 1
+            trace.append(("add", b, h))
+    return trace
+
+
+class TestIncrementalAux:
+    def test_construction_validates(self):
+        with pytest.raises(ParameterError):
+            IncrementalAux(0, 4)
+
+    def test_single_add(self):
+        inc = IncrementalAux(1, 4)
+        inc.add(0, 2)
+        assert inc.X.tolist() == [[0, 0, 1, 0]]
+        assert np.array_equal(inc.A, compute_aux(inc.X))
+
+    def test_remove_underflow(self):
+        inc = IncrementalAux(1, 2)
+        with pytest.raises(ParameterError):
+            inc.remove(0, 0)
+
+    def test_matches_batch_on_fixed_trace(self):
+        inc = IncrementalAux(3, 4)
+        for b, h in [(0, 0), (0, 0), (0, 1), (1, 2), (2, 3), (0, 0), (1, 2)]:
+            inc.add(b, h)
+            assert np.array_equal(inc.A, compute_aux(inc.X)), (b, h)
+        inc.remove(0, 0)
+        assert np.array_equal(inc.A, compute_aux(inc.X))
+
+    @given(st.integers(0, 10**6), st.integers(1, 6), st.integers(1, 8), st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_always_matches_batch(self, seed, s, hp, steps):
+        rng = np.random.default_rng(seed)
+        inc = IncrementalAux(s, hp)
+        for op, b, h in random_trace(rng, s, hp, steps):
+            getattr(inc, "add" if op == "add" else "remove")(b, h)
+            assert np.array_equal(inc.A, compute_aux(inc.X))
+
+    def test_amortized_work_is_near_constant_per_update(self):
+        # Section 5's claim: upkeep is O(1) amortized per histogram update —
+        # total work stays within a small multiple of the update count.
+        rng = np.random.default_rng(7)
+        s, hp, steps = 8, 16, 4000
+        inc = IncrementalAux(s, hp)
+        for op, b, h in random_trace(rng, s, hp, steps):
+            getattr(inc, "add" if op == "add" else "remove")(b, h)
+        assert inc.work < 6 * steps

@@ -1,0 +1,169 @@
+"""Unit and property tests for Fast-Partial-Match (Algorithm 7, Theorem 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    MatchingInstance,
+    derandomized_partial_match,
+    greedy_match,
+    greedy_mincost_match,
+    randomized_partial_match,
+)
+from repro.core.matrices import BalanceMatrices
+from repro.exceptions import InvariantViolation
+
+
+def make_instance(adjacency: np.ndarray, u_channels=None, buckets=None) -> MatchingInstance:
+    k, hp = adjacency.shape
+    return MatchingInstance(
+        u_channels=tuple(u_channels or range(k)),
+        buckets=tuple(buckets or range(k)),
+        adjacency=adjacency.astype(bool),
+        n_channels=hp,
+    )
+
+
+def random_valid_instance(rng, hp):
+    """A random instance satisfying the Invariant-1 degree bound."""
+    k = rng.integers(1, max(2, hp // 2 + 1))
+    need = (hp + 1) // 2
+    adj = np.zeros((k, hp), dtype=bool)
+    for i in range(k):
+        deg = rng.integers(need, hp + 1)
+        cols = rng.choice(hp, size=deg, replace=False)
+        adj[i, cols] = True
+    return make_instance(adj)
+
+
+class TestInstance:
+    def test_from_matrices(self):
+        m = BalanceMatrices(2, 4)
+        m.add_block(0, 1)
+        m.add_block(0, 1)
+        m.refresh_aux()
+        inst = MatchingInstance.from_matrices(m, [1])
+        assert inst.u_channels == (1,)
+        assert inst.buckets == (0,)
+        # row 0 zeros are channels 0, 2, 3
+        assert inst.adjacency.tolist() == [[True, False, True, True]]
+
+    def test_degree_invariant_check(self):
+        inst = make_instance(np.array([[True, False, False, False]]))
+        with pytest.raises(InvariantViolation):
+            inst.check_degree_invariant()
+
+    def test_empty_instance(self):
+        inst = make_instance(np.zeros((0, 4)))
+        assert greedy_match(inst).size == 0
+        assert derandomized_partial_match(inst).size == 0
+
+
+class TestGreedy:
+    def test_matches_all_of_u(self):
+        rng = np.random.default_rng(0)
+        for hp in [2, 3, 4, 5, 8, 16, 31]:
+            for _ in range(20):
+                inst = random_valid_instance(rng, hp)
+                res = greedy_match(inst)
+                assert res.size == inst.size  # perfect on valid instances
+
+    def test_raises_when_stuck(self):
+        # k=2 but both vertices share the single neighbor: invalid instance
+        adj = np.array([[True, False], [True, False]])
+        inst = make_instance(adj)
+        with pytest.raises(InvariantViolation):
+            greedy_match(inst)
+
+    def test_mincost_prefers_rarest_channel(self):
+        adj = np.array([[False, True, True, False]])
+        inst = make_instance(adj, u_channels=[0], buckets=[0])
+        X = np.array([[5, 9, 1, 0]])
+        res = greedy_mincost_match(inst, X)
+        assert res.pairs == [(0, 2)]  # channel 2 has the lower X entry
+
+
+class TestRandomized:
+    def test_matches_at_least_quarter_on_average(self):
+        rng = np.random.default_rng(42)
+        total, quota = 0, 0
+        for _ in range(200):
+            hp = int(rng.integers(4, 24))
+            inst = random_valid_instance(rng, hp)
+            res = randomized_partial_match(inst, rng)
+            total += res.size
+            quota += min(inst.size, -(-hp // 4))
+        assert total >= quota * 0.9  # Lemma 1 in aggregate, with slack
+
+    def test_always_matches_at_least_one(self):
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            inst = random_valid_instance(rng, int(rng.integers(2, 16)))
+            assert randomized_partial_match(inst, rng).size >= 1
+
+    def test_picking_rounds_are_constant_on_average(self):
+        # degree >= H'/2 ⇒ expected ≤ 2 rounds (Algorithm 7's analysis)
+        rng = np.random.default_rng(3)
+        rounds = []
+        for _ in range(100):
+            inst = random_valid_instance(rng, 16)
+            rounds.append(randomized_partial_match(inst, rng).picking_rounds)
+        assert np.mean(rounds) < 6
+
+    def test_pairs_are_valid_edges_distinct_targets(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            inst = random_valid_instance(rng, 12)
+            res = randomized_partial_match(inst, rng)
+            vs = [v for _, v in res.pairs]
+            assert len(set(vs)) == len(vs)
+
+
+class TestDerandomized:
+    def test_meets_theorem5_target(self):
+        rng = np.random.default_rng(5)
+        for hp in [2, 3, 4, 5, 8, 12, 16, 24]:
+            for _ in range(30):
+                inst = random_valid_instance(rng, hp)
+                res = derandomized_partial_match(inst)
+                target = min(inst.size, -(-hp // 4))
+                assert res.size >= target
+
+    def test_is_deterministic(self):
+        rng = np.random.default_rng(9)
+        inst = random_valid_instance(rng, 16)
+        a = derandomized_partial_match(inst)
+        b = derandomized_partial_match(inst)
+        assert a.pairs == b.pairs
+
+    def test_no_fallback_on_valid_instances(self):
+        rng = np.random.default_rng(13)
+        fallbacks = 0
+        for _ in range(300):
+            inst = random_valid_instance(rng, int(rng.integers(2, 20)))
+            fallbacks += derandomized_partial_match(inst).used_fallback
+        assert fallbacks == 0
+
+    def test_adversarial_dense_top_half(self):
+        # every u adjacent exactly to the top ⌈H'/2⌉ channels: maximum
+        # conflict pressure — still must hit ⌈H'/4⌉.
+        for hp in [4, 8, 16]:
+            need = (hp + 1) // 2
+            k = hp // 2
+            adj = np.zeros((k, hp), dtype=bool)
+            adj[:, hp - need :] = True
+            inst = make_instance(adj)
+            res = derandomized_partial_match(inst)
+            assert res.size >= min(k, -(-hp // 4))
+
+    @given(st.integers(0, 10**6), st.integers(2, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_target_met(self, seed, hp):
+        rng = np.random.default_rng(seed)
+        inst = random_valid_instance(rng, hp)
+        res = derandomized_partial_match(inst)
+        assert res.size >= min(inst.size, -(-hp // 4))
+        vs = [v for _, v in res.pairs]
+        assert len(set(vs)) == len(vs)

@@ -1,0 +1,110 @@
+"""Fast, CI-scale regressions of the paper's headline claims.
+
+The benchmark suite (E1–E13) verifies these at full scale; the versions
+here are deliberately small so the default `pytest tests/` run re-checks
+every headline claim in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ParallelDiskMachine,
+    ParallelHierarchies,
+    balance_sort_hierarchy,
+    balance_sort_pdm,
+    workloads,
+)
+from repro.analysis import bounds
+from repro.baselines import randomized_distribution_sort, striped_merge_sort
+from repro.hierarchies import PowerCost
+
+
+def test_claim_deterministic_optimal_io():
+    """Theorem 1: I/O within a constant of the bound, identically every run."""
+    counts = []
+    for _ in range(2):
+        m = ParallelDiskMachine(memory=512, block=4, disks=8)
+        res = balance_sort_pdm(m, workloads.uniform(6000, seed=200), check_invariants=False)
+        counts.append(res.total_ios)
+    assert counts[0] == counts[1]
+    assert counts[0] < 16 * bounds.sort_io_bound(6000, 512, 4, 8)
+
+
+def test_claim_simultaneous_cpu_optimality():
+    """Theorem 1: CPU work ~ N log N alongside the optimal I/O."""
+    m = ParallelDiskMachine(memory=512, block=4, disks=8, processors=4)
+    res = balance_sort_pdm(m, workloads.uniform(6000, seed=201), check_invariants=False)
+    n = 6000
+    assert res.cpu["work"] < 60 * n * np.log2(n)
+
+
+def test_claim_factor_2_balance_worst_case():
+    """Theorem 4: even the lane adversary cannot skew a bucket past ~2x."""
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    res = balance_sort_pdm(m, workloads.adversarial_striping(6000, seed=202, period=4))
+    assert res.max_balance_factor <= 2.5
+
+
+def test_claim_matching_floor_always_met():
+    """Theorem 5: the deterministic matcher never fell back."""
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    res = balance_sort_pdm(m, workloads.adversarial_striping(6000, seed=203, period=4))
+    assert res.match_calls > 0  # the adversary did force rebalancing
+    assert res.match_fallbacks == 0
+
+
+def test_claim_striping_pays_a_log_factor():
+    """Section 1: striped merge sort's ratio-to-bound grows as DB → M,
+    while Balance Sort's stays flat (the crossover itself falls at larger N
+    — E3 locates it at DB = M/8 with N = 48 000)."""
+    data = workloads.uniform(12_000, seed=204)
+
+    def ratios(d, b, vd):
+        m1 = ParallelDiskMachine(memory=512, block=b, disks=d)
+        striped = striped_merge_sort(m1, data).total_ios
+        m2 = ParallelDiskMachine(memory=512, block=b, disks=d)
+        balanced = balance_sort_pdm(
+            m2, data, buckets=16, virtual_disks=vd, check_invariants=False
+        ).total_ios
+        bound = bounds.sort_io_bound(12_000, 512, b, d)
+        return striped / bound, balanced / bound
+
+    s_narrow, b_narrow = ratios(2, 4, None)
+    s_wide, b_wide = ratios(64, 2, 32)
+    assert s_wide > 2.0 * s_narrow  # striped degrades with striping width
+    assert b_wide < 2.0 * b_narrow  # balance does not
+
+
+def test_claim_derandomizes_vitter_shriver():
+    """Section 1/3: same distribution-sort I/O order as randomized [ViSa]."""
+    data = workloads.uniform(6000, seed=205)
+    m1 = ParallelDiskMachine(memory=512, block=4, disks=8)
+    det = balance_sort_pdm(m1, data, check_invariants=False).total_ios
+    m2 = ParallelDiskMachine(memory=512, block=4, disks=8)
+    ran = randomized_distribution_sort(m2, data).total_ios
+    assert 0.5 < det / ran < 2.0
+
+
+def test_claim_one_engine_every_model():
+    """Section 3: the same deterministic engine sorts on every machine."""
+    data = workloads.uniform(1500, seed=206)
+    m = ParallelDiskMachine(memory=512, block=4, disks=8)
+    balance_sort_pdm(m, data)
+    for model in ["hmm", "bt", "umh"]:
+        ph = ParallelHierarchies(27, model=model,
+                                 cost_fn=None if model == "umh" else PowerCost(alpha=0.5))
+        res = balance_sort_hierarchy(ph, data)
+        assert res.match_fallbacks == 0
+
+
+def test_claim_bt_touch_advantage():
+    """Section 4.4: block transfer beats HMM for sublinear alpha."""
+    data = workloads.uniform(3000, seed=207)
+    t_hmm = balance_sort_hierarchy(
+        ParallelHierarchies(64, model="hmm", cost_fn=PowerCost(alpha=0.5)), data
+    ).memory_time
+    t_bt = balance_sort_hierarchy(
+        ParallelHierarchies(64, model="bt", cost_fn=PowerCost(alpha=0.5)), data
+    ).memory_time
+    assert t_bt < t_hmm

@@ -1,0 +1,101 @@
+"""Tests for partition-element selection (Algorithm 2 and the [ViSa] method)."""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.core.partition import (
+    paper_floor_log2,
+    pdm_partition_elements,
+    validate_bucket_sizes,
+)
+from repro.core.streams import load_ordered_run
+from repro.exceptions import ParameterError
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.records import composite_keys
+
+
+def setup(M=1024, B=4, D=8, hp=4):
+    machine = ParallelDiskMachine(memory=M, block=B, disks=D)
+    return machine, VirtualDisks(machine, hp)
+
+
+def bucket_counts(records, pivots, s):
+    return np.bincount(
+        np.searchsorted(pivots, composite_keys(records), side="right"), minlength=s
+    )
+
+
+class TestPaperFloorLog2:
+    def test_values(self):
+        assert paper_floor_log2(1) == 1
+        assert paper_floor_log2(2) == 1
+        assert paper_floor_log2(1024) == 10
+        assert paper_floor_log2(1025) == 10
+
+
+class TestPDMPartitionElements:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "zipf", "few_distinct", "sorted", "adversarial_bucket_skew"]
+    )
+    @pytest.mark.parametrize("s", [3, 5, 8])
+    def test_bucket_bound_2n_over_s(self, workload, s):
+        machine, storage = setup()
+        data = workloads.by_name(workload, 4000, seed=11)
+        run = load_ordered_run(storage, data)
+        pivots = pdm_partition_elements(machine, storage, run, s, memoryload=512)
+        counts = bucket_counts(data, pivots, s)
+        assert counts.sum() == 4000
+        ratio = validate_bucket_sizes(counts, 4000, s)
+        assert ratio <= 1.0, f"bucket exceeded 2N/S: ratio {ratio}"
+        assert machine.memory_in_use == 0  # sampling pass leaves memory clean
+
+    def test_pivot_count_and_order(self):
+        machine, storage = setup()
+        data = workloads.uniform(2000, seed=12)
+        run = load_ordered_run(storage, data)
+        pivots = pdm_partition_elements(machine, storage, run, 6, memoryload=512)
+        assert pivots.shape == (5,)
+        assert np.all(pivots[:-1] < pivots[1:])  # composite keys are distinct
+
+    def test_sampling_costs_one_streaming_pass(self):
+        machine, storage = setup()
+        data = workloads.uniform(2000, seed=13)
+        run = load_ordered_run(storage, data)
+        pdm_partition_elements(machine, storage, run, 4, memoryload=512)
+        # 2000 records / (DB=32 per I/O) = 63 reads, no writes
+        assert machine.stats.write_ios == 0
+        assert machine.stats.read_ios == -(-2000 // 32)
+
+    def test_rejects_tiny_memoryload(self):
+        machine, storage = setup()
+        data = workloads.uniform(100, seed=0)
+        run = load_ordered_run(storage, data)
+        with pytest.raises(ParameterError):
+            pdm_partition_elements(machine, storage, run, 8, memoryload=16)
+
+    def test_rejects_one_bucket(self):
+        machine, storage = setup()
+        data = workloads.uniform(100, seed=0)
+        run = load_ordered_run(storage, data)
+        with pytest.raises(ParameterError):
+            pdm_partition_elements(machine, storage, run, 1, memoryload=512)
+
+    def test_cpu_work_charged_for_internal_sorts(self):
+        machine, storage = setup()
+        data = workloads.uniform(2000, seed=14)
+        run = load_ordered_run(storage, data)
+        pdm_partition_elements(machine, storage, run, 4, memoryload=512)
+        assert machine.cpu.work > 2000  # at least n log n scale charges
+
+
+class TestValidateBucketSizes:
+    def test_ratio(self):
+        assert validate_bucket_sizes(np.array([10, 10]), 20, 2) == 0.5
+
+    def test_sum_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            validate_bucket_sizes(np.array([5]), 20, 2)
+
+    def test_empty(self):
+        assert validate_bucket_sizes(np.array([0, 0]), 0, 2) == 0.0

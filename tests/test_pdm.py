@@ -1,0 +1,243 @@
+"""Unit tests for the parallel disk machine, layout, and striping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    AddressError,
+    CapacityError,
+    DiskContentionError,
+    ParameterError,
+)
+from repro.pdm import (
+    BlockAddress,
+    ParallelDiskMachine,
+    StripedFile,
+    VirtualDisks,
+    fully_striped_view,
+)
+from repro.pdm.layout import PAD_KEY, pad_to_block, strip_padding
+from repro.pdm.striping import default_virtual_disk_count
+from repro.records import RECORD_DTYPE, make_records
+from repro.workloads import uniform
+
+
+def machine(M=64, B=4, D=4, P=1):
+    return ParallelDiskMachine(memory=M, block=B, disks=D, processors=P)
+
+
+def block_of(machine_, value):
+    r = make_records(np.full(machine_.B, value, dtype=np.uint64))
+    return r
+
+
+class TestMachineRules:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            ParallelDiskMachine(memory=10, block=4, disks=4)  # DB > M/2
+        with pytest.raises(ParameterError):
+            ParallelDiskMachine(memory=64, block=0, disks=2)
+        with pytest.raises(ParameterError):
+            ParallelDiskMachine(memory=64, block=2, disks=2, processors=0)
+
+    def test_write_then_read_roundtrip(self):
+        m = machine()
+        data = block_of(m, 7)
+        m.mem_acquire(m.B)
+        m.write_blocks([(BlockAddress(0, 0), data)])
+        out = m.read_blocks([BlockAddress(0, 0)])[0]
+        assert np.array_equal(out["key"], data["key"])
+        assert m.stats.read_ios == 1 and m.stats.write_ios == 1
+
+    def test_contention_rejected(self):
+        m = machine()
+        m.mem_acquire(2 * m.B)
+        with pytest.raises(DiskContentionError):
+            m.write_blocks(
+                [(BlockAddress(1, 0), block_of(m, 1)), (BlockAddress(1, 1), block_of(m, 2))]
+            )
+
+    def test_read_unwritten_block(self):
+        m = machine()
+        with pytest.raises(AddressError):
+            m.read_blocks([BlockAddress(0, 0)])
+
+    def test_wrong_block_size_rejected(self):
+        m = machine()
+        m.mem_acquire(2)
+        bad = make_records(np.array([1, 2], dtype=np.uint64))
+        with pytest.raises(AddressError):
+            m.write_blocks([(BlockAddress(0, 0), bad)])
+
+    def test_wrong_dtype_rejected(self):
+        m = machine()
+        with pytest.raises(TypeError):
+            m.write_blocks([(BlockAddress(0, 0), np.zeros(m.B))])
+
+    def test_memory_ledger_overflow(self):
+        m = machine(M=64, B=4, D=4)
+        m.mem_acquire(64)
+        with pytest.raises(CapacityError):
+            m.mem_acquire(1)
+
+    def test_memory_ledger_underflow(self):
+        m = machine()
+        with pytest.raises(CapacityError):
+            m.mem_release(1)
+
+    def test_read_respects_memory_capacity(self):
+        m = machine(M=64, B=4, D=4)
+        m.mem_acquire(m.B)
+        m.write_blocks([(BlockAddress(0, 0), block_of(m, 3))])
+        m.mem_acquire(m.M - m.B + 1)  # leave < B free
+        with pytest.raises(CapacityError):
+            m.read_blocks([BlockAddress(0, 0)])
+
+    def test_one_io_moves_up_to_d_blocks(self):
+        m = machine()
+        m.mem_acquire(4 * m.B)
+        m.write_blocks([(BlockAddress(d, 0), block_of(m, d)) for d in range(4)])
+        assert m.stats.write_ios == 1
+        assert m.stats.blocks_written == 4
+
+    def test_allocate_slots_monotone(self):
+        m = machine()
+        a = m.allocate_slots(3)
+        b = m.allocate_slots(2)
+        assert b == a + 3
+
+    def test_free_block_and_peek(self):
+        m = machine()
+        m.mem_acquire(m.B)
+        m.write_blocks([(BlockAddress(2, 5), block_of(m, 9))])
+        assert m.peek_block(BlockAddress(2, 5))["key"][0] == 9
+        m.free_block(BlockAddress(2, 5))
+        with pytest.raises(AddressError):
+            m.peek_block(BlockAddress(2, 5))
+
+
+class TestPadding:
+    def test_pad_to_block(self):
+        r = make_records(np.array([1, 2, 3], dtype=np.uint64))
+        p = pad_to_block(r, 4)
+        assert p.shape == (4,)
+        assert p["key"][3] == PAD_KEY
+
+    def test_pad_exact_multiple_unchanged(self):
+        r = make_records(np.array([1, 2], dtype=np.uint64))
+        assert pad_to_block(r, 2).shape == (2,)
+
+    def test_strip_padding_inverts_pad(self):
+        r = make_records(np.array([5], dtype=np.uint64))
+        assert strip_padding(pad_to_block(r, 8)).shape == (1,)
+
+
+class TestStripedFile:
+    def test_roundtrip_counts_ios(self):
+        m = machine(M=640, B=4, D=4)
+        data = uniform(100, seed=1)
+        f = StripedFile(m, 100, start_slot=m.allocate_slots(100))
+        f.load_initial(data)
+        assert m.stats.total_ios == 0  # initial placement is free
+        out = f.read_all()
+        assert np.array_equal(out["key"], data["key"])
+        # 100 records, B=4 -> 25 blocks -> ceil(25/4)=7 stripes = 7 I/Os
+        assert m.stats.read_ios == 7
+        m.mem_release(100)
+
+    def test_write_all_then_read_all(self):
+        m = machine(M=640, B=4, D=4)
+        data = uniform(50, seed=2)
+        f = StripedFile(m, 50, start_slot=0)
+        m.mem_acquire(50)
+        f.write_all(data)
+        assert m.memory_in_use == 0  # writes drain memory
+        out = f.read_all()
+        assert np.array_equal(out["key"], data["key"])
+        m.mem_release(50)
+
+    def test_block_address_round_robin(self):
+        m = machine()
+        f = StripedFile(m, 10 * m.B, start_slot=3)
+        assert f.block_address(0) == BlockAddress(0, 3)
+        assert f.block_address(5) == BlockAddress(1, 4)
+
+    def test_stripe_out_of_range(self):
+        m = machine()
+        f = StripedFile(m, 4, start_slot=0)
+        f.load_initial(make_records(np.arange(4, dtype=np.uint64)))
+        with pytest.raises(AddressError):
+            f.read_stripe(1)
+
+    def test_length_mismatch_rejected(self):
+        m = machine()
+        f = StripedFile(m, 8, start_slot=0)
+        with pytest.raises(ParameterError):
+            f.load_initial(make_records(np.arange(4, dtype=np.uint64)))
+
+    def test_empty_file(self):
+        m = machine()
+        f = StripedFile(m, 0, start_slot=0)
+        assert f.read_all().size == 0
+        assert f.n_stripes == 0
+
+
+class TestVirtualDisks:
+    def test_default_virtual_disk_count(self):
+        assert default_virtual_disk_count(1) == 1
+        assert default_virtual_disk_count(8) == 2
+        assert default_virtual_disk_count(27) == 3
+        assert default_virtual_disk_count(64) == 4
+
+    def test_requires_divisibility(self):
+        m = machine(M=64, B=2, D=6)
+        with pytest.raises(ParameterError):
+            VirtualDisks(m, 4)
+
+    def test_virtual_block_size(self):
+        m = machine(M=64, B=4, D=4)
+        v = VirtualDisks(m, 2)
+        assert v.virtual_block_size == 8  # B * D/D' = 4*2
+
+    def test_write_read_roundtrip_one_io_each(self):
+        m = machine(M=64, B=4, D=4)
+        v = VirtualDisks(m, 2)
+        d0 = make_records(np.arange(8, dtype=np.uint64))
+        d1 = make_records(np.arange(8, dtype=np.uint64) + 100)
+        m.mem_acquire(16)
+        addrs = v.parallel_write([(0, d0), (1, d1)])
+        assert m.stats.write_ios == 1
+        out = v.parallel_read(addrs)
+        assert m.stats.read_ios == 1
+        assert np.array_equal(out[0]["key"], d0["key"])
+        assert np.array_equal(out[1]["key"], d1["key"])
+        m.mem_release(16)
+
+    def test_two_blocks_one_vdisk_rejected(self):
+        m = machine(M=64, B=4, D=4)
+        v = VirtualDisks(m, 2)
+        d = make_records(np.arange(8, dtype=np.uint64))
+        with pytest.raises(DiskContentionError):
+            v.parallel_write([(0, d), (0, d)])
+
+    def test_wrong_virtual_block_size_rejected(self):
+        m = machine(M=64, B=4, D=4)
+        v = VirtualDisks(m, 2)
+        with pytest.raises(ParameterError):
+            v.parallel_write([(0, make_records(np.arange(4, dtype=np.uint64)))])
+
+    def test_fully_striped_view(self):
+        m = machine(M=64, B=4, D=4)
+        v = fully_striped_view(m)
+        assert v.n_virtual == 1
+        assert v.virtual_block_size == 16
+
+    def test_free_releases_blocks(self):
+        m = machine(M=64, B=4, D=4)
+        v = VirtualDisks(m, 2)
+        d = make_records(np.arange(8, dtype=np.uint64))
+        m.mem_acquire(8)
+        addrs = v.parallel_write([(0, d)])
+        v.free(addrs)
+        with pytest.raises(AddressError):
+            v.parallel_read(addrs)

@@ -1,0 +1,223 @@
+"""Unit tests for the PRAM machine, primitives, routing, and sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConcurrencyViolation, ParameterError
+from repro.pram import PRAM, Variant, primitives, routing, sorting
+from repro.records import composite_keys, make_records
+
+
+class TestMachine:
+    def test_brent_charge(self):
+        m = PRAM(processors=4)
+        t = m.charge(work=10, depth=3)
+        assert t == 3 + 3  # ceil(10/4)=3 plus depth
+        assert m.work == 10 and m.time == 6
+
+    def test_single_processor_time_equals_work_plus_depth(self):
+        m = PRAM(processors=1)
+        m.charge(work=7, depth=2)
+        assert m.time == 9
+
+    def test_invalid_processors(self):
+        with pytest.raises(ParameterError):
+            PRAM(processors=0)
+
+    def test_negative_charge_rejected(self):
+        m = PRAM(processors=2)
+        with pytest.raises(ParameterError):
+            m.charge(work=-1, depth=0)
+
+    def test_variant_from_string(self):
+        m = PRAM(processors=1, variant="crcw")
+        assert m.variant is Variant.CRCW
+
+    def test_erew_denies_concurrency(self):
+        m = PRAM(processors=1, variant=Variant.EREW)
+        with pytest.raises(ConcurrencyViolation):
+            m.require_concurrent_read()
+        with pytest.raises(ConcurrencyViolation):
+            m.require_concurrent_write()
+
+    def test_crcw_allows_concurrency(self):
+        m = PRAM(processors=1, variant=Variant.CRCW)
+        m.require_concurrent_read()
+        m.require_concurrent_write()
+
+    def test_trace_records_steps(self):
+        m = PRAM(processors=2, trace=True)
+        m.charge(4, 1, label="x")
+        assert m.steps[0].label == "x"
+
+    def test_reset(self):
+        m = PRAM(processors=2)
+        m.charge(4, 1)
+        m.reset()
+        assert m.work == 0 and m.time == 0
+
+
+class TestPrimitives:
+    def test_prefix_sum_inclusive(self):
+        m = PRAM(4)
+        out = primitives.prefix_sum(m, np.array([1, 2, 3]))
+        assert out.tolist() == [1, 3, 6]
+        assert m.work == 6
+
+    def test_prefix_sum_exclusive(self):
+        m = PRAM(4)
+        out = primitives.prefix_sum(m, np.array([1, 2, 3]), inclusive=False)
+        assert out.tolist() == [0, 1, 3]
+
+    def test_segmented_prefix_sum(self):
+        m = PRAM(4)
+        out = primitives.segmented_prefix_sum(
+            m, np.array([1, 1, 1, 1, 1]), np.array([0, 0, 1, 1, 1])
+        )
+        assert out.tolist() == [1, 2, 1, 2, 3]
+
+    def test_segmented_prefix_rejects_unsorted_segments(self):
+        m = PRAM(4)
+        with pytest.raises(ValueError):
+            primitives.segmented_prefix_sum(m, np.array([1, 1]), np.array([1, 0]))
+
+    def test_broadcast(self):
+        m = PRAM(4)
+        out = primitives.broadcast(m, 9, 5)
+        assert out.tolist() == [9] * 5
+
+    def test_compact(self):
+        m = PRAM(4)
+        out = primitives.compact(m, np.array([4, 5, 6, 7]), np.array([True, False, True, False]))
+        assert out.tolist() == [4, 6]
+
+    def test_partition_by_pivots(self):
+        m = PRAM(4)
+        buckets = primitives.partition_by_pivots(m, np.array([1, 5, 10, 20]), np.array([5, 15]))
+        assert buckets.tolist() == [0, 1, 1, 2]
+
+    def test_elementwise(self):
+        m = PRAM(4)
+        out = primitives.elementwise(m, np.array([1, 2]), lambda a: a * 2)
+        assert out.tolist() == [2, 4]
+        assert m.work == 2
+
+    def test_resolve_concurrent_writes_erew_recipe(self):
+        m = PRAM(4, variant=Variant.EREW)
+        dests = np.array([3, 1, 3, 1, 2])
+        winners, uniq = primitives.resolve_concurrent_writes(m, dests)
+        assert uniq.tolist() == [1, 2, 3]
+        # winner for each destination is the smallest-priority (= index) message
+        assert winners.tolist() == [1, 4, 0]
+        assert m.time > 0
+
+    def test_resolve_concurrent_writes_crcw_cheaper(self):
+        erew = PRAM(4, variant=Variant.EREW)
+        crcw = PRAM(4, variant=Variant.CRCW)
+        dests = np.arange(64) % 7
+        primitives.resolve_concurrent_writes(erew, dests)
+        primitives.resolve_concurrent_writes(crcw, dests)
+        assert crcw.time < erew.time
+
+    def test_resolve_concurrent_writes_empty(self):
+        m = PRAM(2)
+        winners, uniq = primitives.resolve_concurrent_writes(m, np.array([], dtype=int))
+        assert winners.size == 0 and uniq.size == 0
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_resolve_concurrent_writes_picks_first_per_destination(self, dests):
+        m = PRAM(4, variant=Variant.CRCW)
+        winners, uniq = primitives.resolve_concurrent_writes(m, np.array(dests))
+        first_seen = {}
+        for i, d in enumerate(dests):
+            first_seen.setdefault(d, i)
+        assert dict(zip(uniq.tolist(), winners.tolist())) == first_seen
+
+
+class TestRouting:
+    def test_monotone_route_moves_packets(self):
+        m = PRAM(4)
+        arr = np.array([10, 20, 30, 40, 50])
+        out = routing.monotone_route(m, arr, np.array([0, 2]), np.array([1, 4]))
+        assert out[1] == 10 and out[4] == 30
+
+    def test_rejects_non_monotone(self):
+        m = PRAM(4)
+        with pytest.raises(ValueError):
+            routing.monotone_route(m, np.arange(4), np.array([2, 1]), np.array([0, 3]))
+
+    def test_charges_log_depth(self):
+        m = PRAM(processors=10**9)  # huge P isolates the depth term
+        routing.monotone_route(m, np.arange(1024), np.array([0]), np.array([5]))
+        assert m.time <= 1 + 10  # ceil(work/P)=1 + log2(1024)
+
+
+class TestBatcherSort:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 9, 31, 32, 100, 255])
+    def test_sorts_arbitrary_lengths(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.integers(0, 1000, size=n, dtype=np.uint64)
+        m = PRAM(8)
+        assert np.array_equal(sorting.batcher_sort(m, a), np.sort(a))
+
+    def test_round_count_matches_network_depth(self):
+        # power-of-two input: exactly k(k+1)/2 charged rounds
+        m = PRAM(1, trace=True)
+        sorting.batcher_sort(m, np.arange(64, dtype=np.uint64)[::-1].copy())
+        rounds = [s for s in m.steps if s.label == "batcher-round"]
+        assert len(rounds) == sorting.batcher_round_count(64)
+
+    def test_sorts_records_with_tie_break(self):
+        r = make_records(np.array([5, 5, 1, 5], dtype=np.uint64))
+        m = PRAM(4)
+        out = sorting.batcher_sort(m, r)
+        ck = composite_keys(out)
+        assert np.all(ck[:-1] <= ck[1:])
+        assert out["key"].tolist() == [1, 5, 5, 5]
+        assert out["rid"].tolist() == [2, 0, 1, 3]  # stable among equal keys
+
+    @given(st.lists(st.integers(0, 2**30), max_size=128))
+    @settings(max_examples=40, deadline=None)
+    def test_property_sorted_permutation(self, xs):
+        a = np.array(xs, dtype=np.uint64)
+        m = PRAM(4)
+        out = sorting.batcher_sort(m, a)
+        assert sorted(out.tolist()) == sorted(xs)
+        assert np.array_equal(out, np.sort(a))
+
+
+class TestChargedSorts:
+    def test_cole_sorts_and_charges(self):
+        m = PRAM(4)
+        a = np.array([3, 1, 2], dtype=np.uint64)
+        out = sorting.cole_merge_sort(m, a)
+        assert out.tolist() == [1, 2, 3]
+        assert m.work >= 3  # charged n log n scale
+
+    def test_cole_charge_scales_n_log_n(self):
+        m1, m2 = PRAM(1), PRAM(1)
+        sorting.cole_merge_sort(m1, np.arange(1024, dtype=np.uint64))
+        sorting.cole_merge_sort(m2, np.arange(2048, dtype=np.uint64))
+        ratio = m2.work / m1.work
+        assert 2.0 < ratio < 2.4  # n log n doubling ratio ≈ 2.2
+
+    def test_rr_radix_requires_crcw(self):
+        m = PRAM(4, variant=Variant.EREW)
+        with pytest.raises(ConcurrencyViolation):
+            sorting.rajasekaran_reif_radix(m, np.arange(8, dtype=np.uint64))
+
+    def test_rr_radix_sorts_linear_work(self):
+        m = PRAM(4, variant=Variant.CRCW)
+        a = np.array([9, 2, 5], dtype=np.uint64)
+        out = sorting.rajasekaran_reif_radix(m, a)
+        assert out.tolist() == [2, 5, 9]
+        assert m.work == 12  # 4n
+
+    def test_cole_sorts_records(self):
+        m = PRAM(2)
+        r = make_records(np.array([7, 7, 0], dtype=np.uint64))
+        out = sorting.cole_merge_sort(m, r)
+        assert out["key"].tolist() == [0, 7, 7]

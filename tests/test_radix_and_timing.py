@@ -1,0 +1,107 @@
+"""Tests for the operational radix sort and the disk timing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConcurrencyViolation, ParameterError
+from repro.pdm import DISK_1993, DISK_MODERN_HDD, DISK_NVME, DiskTimingModel, IOStats
+from repro.pram import PRAM
+from repro.pram.radix import radix_pass_count, radix_sort
+from repro.records import composite_keys, make_records
+
+
+def crcw(p=8):
+    return PRAM(p, variant="CRCW")
+
+
+class TestRadixSort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 64, 257, 1000])
+    def test_sorts_plain_arrays(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.integers(0, 1 << 40, size=n, dtype=np.uint64)
+        out = radix_sort(crcw(), a, key_bits=40)
+        assert np.array_equal(out, np.sort(a))
+
+    def test_sorts_records_stably(self):
+        r = make_records(np.array([7, 7, 1, 7, 1], dtype=np.uint64))
+        out = radix_sort(crcw(), r)
+        assert out["key"].tolist() == [1, 1, 7, 7, 7]
+        assert out["rid"].tolist() == [2, 4, 0, 1, 3]
+
+    def test_requires_crcw(self):
+        with pytest.raises(ConcurrencyViolation):
+            radix_sort(PRAM(4, variant="EREW"), np.arange(8, dtype=np.uint64))
+
+    def test_pass_count(self):
+        assert radix_pass_count(64, 8) == 8
+        assert radix_pass_count(40, 16) == 3
+        with pytest.raises(ValueError):
+            radix_pass_count(64, 0)
+
+    def test_work_is_linear_in_n(self):
+        m1, m2 = crcw(), crcw()
+        radix_sort(m1, np.arange(1000, dtype=np.uint64)[::-1].copy(), key_bits=32)
+        radix_sort(m2, np.arange(4000, dtype=np.uint64)[::-1].copy(), key_bits=32)
+        # 4x the data: work within ~4.5x (the 2^r histogram term amortizes)
+        assert m2.work < 4.5 * m1.work
+
+    def test_fewer_bits_fewer_passes_less_work(self):
+        a = np.random.default_rng(0).integers(0, 1 << 16, size=2000, dtype=np.uint64)
+        m16, m64 = crcw(), crcw()
+        radix_sort(m16, a.copy(), key_bits=16)
+        radix_sort(m64, a.copy(), key_bits=64)
+        assert m16.work < m64.work
+
+    @given(st.lists(st.integers(0, 2**39), max_size=300), st.sampled_from([4, 8, 11]))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_numpy(self, xs, digit_bits):
+        a = np.array(xs, dtype=np.uint64)
+        out = radix_sort(crcw(), a, key_bits=40, digit_bits=digit_bits)
+        assert np.array_equal(out, np.sort(a))
+
+    def test_agrees_with_composite_order_on_records(self):
+        r = make_records(
+            np.random.default_rng(1).integers(0, 1 << 30, size=400, dtype=np.uint64)
+        )
+        out = radix_sort(crcw(), r)
+        ck = composite_keys(out)
+        assert np.all(ck[:-1] <= ck[1:])
+
+
+class TestTimingModels:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DiskTimingModel("bad", seek_ms=-1, rotational_ms=1, transfer_mb_per_s=1)
+        with pytest.raises(ParameterError):
+            DiskTimingModel("bad", seek_ms=1, rotational_ms=1, transfer_mb_per_s=0)
+
+    def test_io_time_composition(self):
+        m = DiskTimingModel("t", seek_ms=10, rotational_ms=5, transfer_mb_per_s=1,
+                            record_bytes=1000)
+        # 1000 records of 1KB at 1 MB/s = 1000 ms transfer
+        assert m.io_ms(1000) == pytest.approx(15 + 1000)
+
+    def test_estimate_scales_with_ios(self):
+        m = DISK_1993
+        s1 = IOStats(read_ios=10, write_ios=10)
+        s2 = IOStats(read_ios=20, write_ios=20)
+        assert m.estimate_seconds(s2, 64) == pytest.approx(2 * m.estimate_seconds(s1, 64))
+
+    def test_blocking_advantage_motivates_blocks(self):
+        # Section 1's motivation: with positioning dominating a record's
+        # transfer time, blocked access wins by orders of magnitude — on
+        # every medium with a per-operation fixed cost.  What changed since
+        # 1993 is the *absolute* positioning cost, not the blocking logic.
+        assert DISK_1993.blocking_advantage(1024) > 100
+        assert DISK_NVME.blocking_advantage(1024) > 100
+        assert DISK_NVME.fixed_ms < DISK_1993.fixed_ms / 100
+        assert DISK_NVME.io_ms(1024) < DISK_1993.io_ms(1024) / 50
+
+    def test_modern_hdd_faster_than_1993(self):
+        s = IOStats(read_ios=100, write_ios=100)
+        assert DISK_MODERN_HDD.estimate_seconds(s, 256) < DISK_1993.estimate_seconds(s, 256)
+
+    def test_profiles_have_names(self):
+        assert DISK_1993.name and DISK_NVME.name and DISK_MODERN_HDD.name

@@ -1,0 +1,106 @@
+"""Unit tests for repro.records: composite keys, merging, searching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import records
+
+
+def test_make_records_assigns_sequential_rids():
+    r = records.make_records(np.array([5, 3, 9], dtype=np.uint64))
+    assert r["key"].tolist() == [5, 3, 9]
+    assert r["rid"].tolist() == [0, 1, 2]
+
+
+def test_make_records_rejects_2d():
+    with pytest.raises(ValueError):
+        records.make_records(np.zeros((2, 2), dtype=np.uint64))
+
+
+def test_empty_records_shape_and_dtype():
+    r = records.empty_records(7)
+    assert r.shape == (7,)
+    assert r.dtype == records.RECORD_DTYPE
+
+
+def test_composite_keys_break_ties_by_rid():
+    r = records.make_records(np.array([4, 4, 4], dtype=np.uint64))
+    ck = records.composite_keys(r)
+    assert ck[0] < ck[1] < ck[2]
+
+
+def test_composite_keys_order_matches_lexicographic():
+    r = records.make_records(np.array([9, 1, 9, 1], dtype=np.uint64))
+    ck = records.composite_keys(r)
+    order = np.argsort(ck)
+    assert order.tolist() == [1, 3, 0, 2]
+
+
+def test_composite_keys_reject_huge_keys():
+    r = records.make_records(np.array([1 << 41], dtype=np.uint64))
+    with pytest.raises(ValueError):
+        records.composite_keys(r)
+
+
+def test_sort_records_sorts_by_key_then_rid():
+    r = records.make_records(np.array([2, 1, 2, 0], dtype=np.uint64))
+    s = records.sort_records(r)
+    assert s["key"].tolist() == [0, 1, 2, 2]
+    assert s["rid"].tolist() == [3, 1, 0, 2]
+
+
+def test_merge_records_interleaves():
+    a = records.sort_records(records.make_records(np.array([1, 5, 9], dtype=np.uint64)))
+    b = records.sort_records(records.make_records(np.array([2, 6], dtype=np.uint64)))
+    b["rid"] += 100  # keep rids distinct across the two inputs
+    m = records.merge_records(a, b)
+    assert m["key"].tolist() == [1, 2, 5, 6, 9]
+
+
+def test_merge_records_empty_sides():
+    a = records.make_records(np.array([3], dtype=np.uint64))
+    e = records.empty_records(0)
+    assert records.merge_records(a, e)["key"].tolist() == [3]
+    assert records.merge_records(e, a)["key"].tolist() == [3]
+
+
+def test_searchsorted_records():
+    base = records.sort_records(records.make_records(np.array([10, 20, 30], dtype=np.uint64)))
+    probe = records.make_records(np.array([20], dtype=np.uint64))
+    probe["rid"] = 0  # (20, 0) is <= (20, rid_of_20) position
+    idx = records.searchsorted_records(base, probe)
+    assert idx[0] in (1,)  # lands at the 20-entry
+
+
+def test_records_equal():
+    a = records.make_records(np.array([1, 2], dtype=np.uint64))
+    b = a.copy()
+    assert records.records_equal(a, b)
+    b["key"][0] = 9
+    assert not records.records_equal(a, b)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**39), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_sort_records_matches_python_sort(keys):
+    r = records.make_records(np.array(keys, dtype=np.uint64))
+    s = records.sort_records(r)
+    expected = sorted((int(k), i) for i, k in enumerate(keys))
+    assert [(int(x["key"]), int(x["rid"])) for x in s] == expected
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), max_size=80),
+    st.lists(st.integers(min_value=0, max_value=1000), max_size=80),
+)
+@settings(max_examples=50, deadline=None)
+def test_merge_is_sorted_and_complete(xs, ys):
+    a = records.make_records(np.array(sorted(xs), dtype=np.uint64))
+    b = records.make_records(np.array(sorted(ys), dtype=np.uint64))
+    b["rid"] += len(xs)
+    m = records.merge_records(a, b)
+    ck = records.composite_keys(m) if m.size else np.array([], dtype=np.uint64)
+    assert np.all(ck[:-1] <= ck[1:]) if m.size > 1 else True
+    assert sorted(m["key"].tolist()) == sorted(xs + ys)

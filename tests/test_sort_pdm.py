@@ -1,0 +1,159 @@
+"""End-to-end tests for Balance Sort on the parallel disk model (Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.analysis import bounds
+from repro.core.sort_pdm import balance_sort_pdm, default_bucket_count
+from repro.core.streams import load_ordered_run, peek_run
+from repro.exceptions import ParameterError
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.util import assert_is_permutation, assert_sorted
+
+
+def machine(M=512, B=4, D=8, P=1, variant="EREW"):
+    return ParallelDiskMachine(memory=M, block=B, disks=D, processors=P, pram_variant=variant)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("workload", sorted(workloads.GENERATORS))
+    def test_sorts_every_workload(self, workload):
+        m = machine()
+        data = workloads.by_name(workload, 2500, seed=40)
+        res = balance_sort_pdm(m, data)
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out, workload)
+        assert_is_permutation(out, data, workload)
+        assert m.memory_in_use == 0
+
+    @pytest.mark.parametrize("matcher", ["derandomized", "randomized", "greedy", "mincost"])
+    def test_all_matchers(self, matcher):
+        m = machine()
+        data = workloads.adversarial_striping(2000, seed=41)
+        res = balance_sort_pdm(m, data, matcher=matcher)
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+        assert_is_permutation(out, data)
+
+    def test_base_case_only(self):
+        m = machine(M=2048, B=4, D=8)
+        data = workloads.uniform(500, seed=42)  # fits in memory
+        res = balance_sort_pdm(m, data)
+        assert res.recursion_depth == 0
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+
+    def test_empty_and_single(self):
+        for n in (0, 1, 2):
+            m = machine()
+            data = workloads.uniform(n, seed=43)
+            res = balance_sort_pdm(m, data)
+            out = peek_run(res.storage, res.output)
+            assert out.shape[0] == n
+            assert_sorted(out)
+
+    def test_crcw_radix_internal(self):
+        m = machine(variant="CRCW")
+        data = workloads.uniform(2000, seed=44)
+        res = balance_sort_pdm(m, data, internal="radix")
+        assert_sorted(peek_run(res.storage, res.output))
+
+    def test_rejects_both_records_and_run(self):
+        m = machine()
+        data = workloads.uniform(10, seed=0)
+        storage = VirtualDisks(m, 2)
+        run = load_ordered_run(storage, data)
+        with pytest.raises(ParameterError):
+            balance_sort_pdm(m, data, run=run, storage=storage)
+        with pytest.raises(ParameterError):
+            balance_sort_pdm(m)
+
+    def test_rejects_bogus_internal(self):
+        m = machine()
+        with pytest.raises(ParameterError):
+            balance_sort_pdm(m, workloads.uniform(10, seed=0), internal="quick")
+
+    @given(st.integers(0, 10**6), st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_sizes(self, seed, n):
+        m = machine()
+        data = workloads.uniform(n, seed=seed)
+        res = balance_sort_pdm(m, data)
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+        assert_is_permutation(out, data)
+
+
+class TestModelDiscipline:
+    def test_memory_never_exceeded(self):
+        # the ledger raises CapacityError internally if violated; a clean
+        # run plus a zero final balance is the assertion
+        m = machine(M=256, B=2, D=8)
+        data = workloads.uniform(3000, seed=45)
+        balance_sort_pdm(m, data)
+        assert m.memory_in_use == 0
+
+    def test_machine_too_small_raises(self):
+        m = machine(M=64, B=4, D=8)  # DB = 32 = M/2: no room for buffers
+        data = workloads.uniform(500, seed=46)
+        with pytest.raises(ParameterError, match="too small"):
+            balance_sort_pdm(m, data)
+
+
+class TestTheorem1Shape:
+    def test_io_within_constant_of_bound(self):
+        ratios = []
+        for n in [2000, 8000, 32000]:
+            m = machine(M=512, B=4, D=8)
+            data = workloads.uniform(n, seed=47)
+            res = balance_sort_pdm(m, data, check_invariants=False)
+            bound = bounds.sort_io_bound(n, m.M, m.B, m.D)
+            ratios.append(res.total_ios / bound)
+        # Optimal ⟹ the ratio is Θ(1) in N.  The constant here is ~3 passes
+        # per recursion level times log(M/B)/log(S) ≈ 12 with the paper's
+        # S = (M/B)^{1/4}; what matters is that the band is tight and the
+        # growth saturates rather than tracking an extra log factor.
+        assert max(ratios) < 16
+        assert ratios[-1] < ratios[0] * 1.6
+
+    def test_balance_theorem4(self):
+        m = machine()
+        data = workloads.adversarial_bucket_skew(4000, seed=48)
+        res = balance_sort_pdm(m, data)
+        assert res.max_balance_factor <= 2.5
+
+    def test_bucket_sizes_within_2n_over_s(self):
+        m = machine()
+        data = workloads.zipf_like(4000, seed=49)
+        res = balance_sort_pdm(m, data)
+        assert res.max_bucket_ratio <= 1.0
+
+    def test_cpu_work_scales_n_log_n(self):
+        works = []
+        for n in [4000, 8000, 16000]:
+            m = machine()
+            res = balance_sort_pdm(m, workloads.uniform(n, seed=50), check_invariants=False)
+            works.append(res.cpu["work"] / (n * np.log2(n)))
+        # work / (n log n) stays bounded
+        assert max(works) / min(works) < 2.0
+
+    def test_default_bucket_count(self):
+        assert default_bucket_count(512, 4) == 3
+        assert default_bucket_count(4096, 4) == 6
+        assert default_bucket_count(16, 4) == 3  # floored
+
+
+class TestDeterminism:
+    def test_derandomized_sort_is_reproducible(self):
+        outs = []
+        for _ in range(2):
+            m = machine()
+            data = workloads.adversarial_striping(3000, seed=51)
+            res = balance_sort_pdm(m, data, matcher="derandomized")
+            outs.append(
+                (res.total_ios, res.blocks_swapped, res.engine_rounds, res.match_calls)
+            )
+        assert outs[0] == outs[1]

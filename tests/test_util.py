@@ -1,0 +1,161 @@
+"""Unit tests for order statistics, the pairwise space, and validators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.records import make_records
+from repro.util import (
+    PairwiseSpace,
+    assert_is_permutation,
+    assert_sorted,
+    is_permutation,
+    is_sorted,
+    median_of_medians,
+    next_prime,
+    paper_median,
+    select_kth,
+)
+from repro.util.order_stats import paper_median_rows
+
+
+class TestPaperMedian:
+    def test_odd_length(self):
+        assert paper_median(np.array([5, 1, 3])) == 3
+
+    def test_even_length_takes_lower_middle(self):
+        # paper convention: ⌈4/2⌉ = 2nd smallest, not the average
+        assert paper_median(np.array([1, 2, 3, 4])) == 2
+
+    def test_single(self):
+        assert paper_median(np.array([42])) == 42
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            paper_median(np.array([]))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_sorted_definition(self, xs):
+        expected = sorted(xs)[(len(xs) + 1) // 2 - 1]
+        assert paper_median(np.array(xs)) == expected
+
+
+class TestSelectKth:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            select_kth(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            select_kth(np.array([1, 2]), 3)
+
+    @given(
+        st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_agrees_with_sort(self, xs, data):
+        k = data.draw(st.integers(1, len(xs)))
+        assert select_kth(np.array(xs), k) == sorted(xs)[k - 1]
+
+
+class TestMedianOfMedians:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_sort(self, xs, data):
+        k = data.draw(st.integers(1, len(xs)))
+        assert median_of_medians(xs, k) == sorted(xs)[k - 1]
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            median_of_medians([1, 2, 3], 4)
+
+
+class TestPaperMedianRows:
+    def test_rows(self):
+        m = np.array([[3, 1, 2], [10, 10, 0]])
+        assert paper_median_rows(m).tolist() == [2, 10]
+
+    def test_even_row_width(self):
+        m = np.array([[4, 1, 3, 2]])
+        assert paper_median_rows(m).tolist() == [2]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            paper_median_rows(np.array([1, 2, 3]))
+
+
+class TestPairwiseSpace:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 2
+        assert next_prime(8) == 11
+        assert next_prime(13) == 13
+        assert next_prime(14) == 17
+
+    def test_size(self):
+        sp = PairwiseSpace(5)
+        assert sp.p == 5
+        assert sp.size == 25
+
+    def test_evaluate_matches_formula(self):
+        sp = PairwiseSpace(7)
+        u = np.arange(7)
+        assert np.array_equal(sp.evaluate(3, 2, u), (3 * u + 2) % 7)
+
+    def test_evaluate_all_shape_and_agreement(self):
+        sp = PairwiseSpace(5)
+        u = np.array([0, 1, 4])
+        table = sp.evaluate_all(u)
+        assert table.shape == (5, 5, 3)
+        for a in range(5):
+            for b in range(5):
+                assert np.array_equal(table[a, b], sp.evaluate(a, b, u))
+
+    def test_pairwise_independence(self):
+        # For fixed u1 != u2 and targets v1, v2, exactly one (a,b) pair maps
+        # (u1 -> v1, u2 -> v2): the defining property of the family.
+        sp = PairwiseSpace(5)
+        u = np.array([1, 3])
+        table = sp.evaluate_all(u)
+        for v1 in range(5):
+            for v2 in range(5):
+                hits = np.sum((table[:, :, 0] == v1) & (table[:, :, 1] == v2))
+                assert hits == 1
+
+    def test_points_enumeration(self):
+        sp = PairwiseSpace(3)
+        pts = list(sp.points())
+        assert len(pts) == 9
+        assert pts[0] == (0, 0) and pts[-1] == (2, 2)
+
+
+class TestValidators:
+    def test_is_sorted_and_assert(self):
+        r = make_records(np.array([1, 2, 3], dtype=np.uint64))
+        assert is_sorted(r)
+        assert_sorted(r)
+
+    def test_not_sorted_message(self):
+        r = make_records(np.array([3, 1], dtype=np.uint64))
+        assert not is_sorted(r)
+        with pytest.raises(AssertionError, match="inversion at index 0"):
+            assert_sorted(r)
+
+    def test_permutation_detects_key_swap(self):
+        a = make_records(np.array([1, 2], dtype=np.uint64))
+        b = a.copy()
+        assert is_permutation(b, a)
+        b["key"][0] = 99
+        assert not is_permutation(b, a)
+        with pytest.raises(AssertionError):
+            assert_is_permutation(b, a)
+
+    def test_permutation_allows_reorder(self):
+        a = make_records(np.array([1, 2, 3], dtype=np.uint64))
+        b = a[::-1].copy()
+        assert is_permutation(b, a)
+
+    def test_permutation_size_mismatch(self):
+        a = make_records(np.array([1, 2], dtype=np.uint64))
+        assert not is_permutation(a[:1], a)

@@ -1,0 +1,86 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.records import RECORD_DTYPE
+
+
+@pytest.mark.parametrize("name", sorted(workloads.GENERATORS))
+def test_generator_shape_dtype_and_determinism(name):
+    a = workloads.by_name(name, 200, seed=7)
+    b = workloads.by_name(name, 200, seed=7)
+    assert a.shape == (200,)
+    assert a.dtype == RECORD_DTYPE
+    assert np.array_equal(a["key"], b["key"])  # seeded ⇒ reproducible
+
+
+@pytest.mark.parametrize("name", sorted(workloads.GENERATORS))
+def test_generator_seed_changes_output(name):
+    a = workloads.by_name(name, 500, seed=1)
+    b = workloads.by_name(name, 500, seed=2)
+    # sorted inputs of different seeds still differ in values
+    assert not np.array_equal(a["key"], b["key"])
+
+
+@pytest.mark.parametrize("name", sorted(workloads.GENERATORS))
+def test_generator_rids_are_initial_locations(name):
+    a = workloads.by_name(name, 64, seed=3)
+    assert a["rid"].tolist() == list(range(64))
+
+
+def test_sorted_keys_is_sorted():
+    a = workloads.sorted_keys(300, seed=0)
+    assert np.all(a["key"][:-1] <= a["key"][1:])
+
+
+def test_reverse_sorted_is_reverse_sorted():
+    a = workloads.reverse_sorted(300, seed=0)
+    assert np.all(a["key"][:-1] >= a["key"][1:])
+
+
+def test_few_distinct_has_few_distinct():
+    a = workloads.few_distinct(1000, seed=0, distinct=5)
+    assert len(np.unique(a["key"])) <= 5
+
+
+def test_runs_are_sorted_runs():
+    a = workloads.runs(256, seed=0, run_length=32)
+    for start in range(0, 256, 32):
+        chunk = a["key"][start : start + 32]
+        assert np.all(chunk[:-1] <= chunk[1:])
+
+
+def test_organ_pipe_shape():
+    a = workloads.organ_pipe(100, seed=0)
+    keys = a["key"]
+    assert np.all(keys[:49] <= keys[1:50])
+    assert np.all(keys[50:-1] >= keys[51:])
+
+
+def test_adversarial_bucket_skew_concentrates_keys():
+    a = workloads.adversarial_bucket_skew(2000, seed=0, hot_fraction=0.5)
+    lo = (1 << 40) // 3
+    hot = np.count_nonzero((a["key"] >= lo) & (a["key"] < lo + 1024))
+    assert hot >= 900  # about half the records in a 1024-wide band
+
+
+def test_adversarial_striping_lanes():
+    period = 4
+    a = workloads.adversarial_striping(400, seed=0, period=period)
+    band = (1 << 40) // period
+    lanes = (a["key"] // band).astype(int)
+    assert np.array_equal(lanes % period, np.arange(400) % period)
+
+
+def test_by_name_unknown_raises():
+    with pytest.raises(KeyError):
+        workloads.by_name("nope", 10)
+
+
+def test_keys_fit_composite_packing():
+    from repro.records import composite_keys
+
+    for name in workloads.GENERATORS:
+        composite_keys(workloads.by_name(name, 128, seed=0))  # must not raise
