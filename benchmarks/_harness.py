@@ -11,6 +11,7 @@ qualitative claim (who wins, bounded ratio, factor ≈ 2, ...).  The
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro.analysis.reporting import Table
@@ -19,7 +20,13 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def report(name: str, table: Table, notes: str = "") -> str:
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table and persist it under benchmarks/results/.
+
+    Writes two files per experiment: the aligned-text table
+    (``results/{name}.txt``, unchanged format) and a machine-readable
+    sidecar (``results/{name}.json``) carrying the same rows plus the
+    notes, so downstream tooling never has to parse the text table.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     text = table.render()
     if notes:
@@ -27,6 +34,15 @@ def report(name: str, table: Table, notes: str = "") -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    sidecar = {
+        "schema": "repro.bench_result/1",
+        "name": name,
+        **table.to_dict(),
+        "notes": notes.strip(),
+    }
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(sidecar, fh, indent=2)
+        fh.write("\n")
     print("\n" + text + "\n")
     return text
 

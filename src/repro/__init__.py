@@ -28,10 +28,12 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.baselines` — striped merge sort, randomized [ViSa], Greed
   Sort [NoV].
 * :mod:`repro.analysis` — Theorem 1-3 bounds, ratio fits, reporting.
+* :mod:`repro.obs` — metrics registry, span tracer, run reports
+  (``docs/observability.md``).
 * :mod:`repro.workloads` — seeded input generators.
 """
 
-from . import analysis, baselines, core, hierarchies, hypercube, pdm, pram, records, util, workloads
+from . import analysis, baselines, core, hierarchies, hypercube, obs, pdm, pram, records, util, workloads
 from .core import balance_sort_hierarchy, balance_sort_pdm
 from .hierarchies import ParallelHierarchies
 from .pdm import ParallelDiskMachine
@@ -45,6 +47,7 @@ __all__ = [
     "core",
     "hierarchies",
     "hypercube",
+    "obs",
     "pdm",
     "pram",
     "records",

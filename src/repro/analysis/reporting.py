@@ -47,6 +47,14 @@ class Table:
         """Append a row given as a mapping keyed by column name."""
         self.add(*[row[c] for c in self.columns])
 
+    def to_dict(self) -> dict:
+        """The table as a JSON-ready dict (title, columns, formatted rows)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+        }
+
     def render(self) -> str:
         """Format the table as aligned text."""
         widths = [

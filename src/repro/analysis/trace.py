@@ -37,6 +37,11 @@ class RoundSnapshot:
 class BalanceTracer:
     """Record a snapshot after every round of a Balance engine.
 
+    A thin adapter over :meth:`BalanceEngine.add_round_observer` (the
+    first-class observer API — no monkey-patching).  Attaching twice to
+    the same engine returns the *existing* tracer instead of registering a
+    second observer, so snapshots are never duplicated.
+
     Usage::
 
         engine = BalanceEngine(storage, pivots)
@@ -49,26 +54,34 @@ class BalanceTracer:
 
     @classmethod
     def attach(cls, engine) -> "BalanceTracer":
-        """Wrap the engine's round method so every round is recorded."""
-        tracer = cls()
-        original = engine._round
+        """Register a round observer recording a snapshot per round.
 
-        def traced_round(drain: bool = False):
-            original(drain=drain)
+        Idempotent per engine: a second ``attach`` on the same engine is a
+        guarded no-op that returns the already-attached tracer (the old
+        ``_round``-wrapping implementation silently stacked wrappers and
+        recorded duplicate snapshots).
+        """
+        existing = getattr(engine, "_balance_tracer", None)
+        if existing is not None:
+            return existing
+        tracer = cls()
+
+        def _record(eng, info):
             tracer.snapshots.append(
                 RoundSnapshot(
-                    round_index=engine.stats.rounds,
-                    histogram=engine.matrices.X.copy(),
-                    auxiliary=engine.matrices.A.copy(),
-                    blocks_placed=engine.stats.blocks_placed,
-                    blocks_swapped=engine.stats.blocks_swapped,
-                    blocks_unprocessed=engine.stats.blocks_unprocessed,
-                    match_calls=engine.stats.match_calls,
-                    max_balance_factor=engine.matrices.max_balance_factor(),
+                    round_index=info["round"],
+                    histogram=eng.matrices.X.copy(),
+                    auxiliary=eng.matrices.A.copy(),
+                    blocks_placed=info["placed"],
+                    blocks_swapped=info["swapped"],
+                    blocks_unprocessed=info["unprocessed"],
+                    match_calls=info["match_calls"],
+                    max_balance_factor=info["max_balance_factor"],
                 )
             )
 
-        engine._round = traced_round
+        engine.add_round_observer(_record)
+        engine._balance_tracer = tracer
         return tracer
 
     @property

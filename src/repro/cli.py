@@ -3,14 +3,20 @@
 Examples::
 
     python -m repro sort --n 20000 --memory 1024 --block 4 --disks 8
+    python -m repro sort --n 20000 --emit-json report.json --trace-out trace.jsonl
     python -m repro sort --n 20000 --matcher randomized --workload zipf
     python -m repro compare --n 20000 --memory 512 --block 4 --disks 8
     python -m repro hierarchy --n 8000 --h 64 --model bt --cost 0.5
+    python -m repro report trace.jsonl
     python -m repro workloads
 
 Every command prints an aligned table (the same formatter the benchmark
 harness uses) plus the Theorem 1/2/3 reference bound where applicable, and
-verifies the output before reporting.
+verifies the output before reporting.  ``--emit-json`` writes the
+machine-readable :class:`~repro.obs.RunReport` (``-`` = stdout, suppressing
+the human table), ``--trace-out`` streams the span/event trace as JSONL,
+and ``repro report <trace.jsonl>`` summarizes a saved trace offline — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from .core.sort_hierarchy import balance_sort_hierarchy
 from .core.sort_pdm import balance_sort_pdm
 from .core.streams import peek_run
 from .hierarchies import LogCost, ParallelHierarchies, PowerCost, UMHCost
+from .obs import NULL_TRACER, Observation, RunReport, render_report, summarize_trace
 from .pdm import ParallelDiskMachine
 from .util import assert_is_permutation, assert_sorted
 
@@ -54,8 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", default="uniform", choices=sorted(workloads.GENERATORS))
         p.add_argument("--seed", type=int, default=0)
 
+    def add_obs_args(p):
+        p.add_argument(
+            "--emit-json", metavar="PATH", default=None,
+            help="write the machine-readable run report as JSON ('-' = stdout, "
+                 "suppresses the table)",
+        )
+        p.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="stream the span/event trace to a JSONL file (see `repro report`)",
+        )
+
     p_sort = sub.add_parser("sort", help="Balance Sort on the parallel disk model")
     add_machine_args(p_sort)
+    add_obs_args(p_sort)
     p_sort.add_argument(
         "--matcher", default="derandomized",
         choices=["derandomized", "randomized", "greedy", "mincost"],
@@ -66,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="all four PDM algorithms side by side")
     add_machine_args(p_cmp)
+    add_obs_args(p_cmp)
 
     p_h = sub.add_parser("hierarchy", help="Balance Sort on P-HMM / P-BT / P-UMH")
     p_h.add_argument("--n", type=int, default=8_000)
@@ -76,9 +96,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_h.add_argument("--interconnect", default="pram", choices=["pram", "hypercube"])
     p_h.add_argument("--workload", default="uniform", choices=sorted(workloads.GENERATORS))
     p_h.add_argument("--seed", type=int, default=0)
+    add_obs_args(p_h)
+
+    p_rep = sub.add_parser("report", help="summarize a saved JSONL trace")
+    p_rep.add_argument("trace", help="path to a trace.jsonl written with --trace-out")
+    p_rep.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="also write the summary as JSON ('-' = stdout, suppresses the tables)",
+    )
 
     sub.add_parser("workloads", help="list the available workload generators")
     return parser
+
+
+def _make_obs(args) -> Observation | None:
+    """An Observation when any sink was requested on the CLI, else None."""
+    if args.emit_json is None and args.trace_out is None:
+        return None
+    return Observation(trace_path=args.trace_out)
+
+
+def _emit(args, obs: Observation | None, command: str, result: dict) -> bool:
+    """Finalize observability output; returns True if the table should print."""
+    if obs is None:
+        return True
+    obs.close()
+    params = {
+        k: v for k, v in vars(args).items()
+        if k not in ("command", "emit_json", "trace_out")
+    }
+    report = RunReport.from_observation(obs, command=command, params=params, result=result)
+    if args.emit_json:
+        report.write(args.emit_json)
+    return args.emit_json != "-"
 
 
 def _cost_fn(spec: str):
@@ -94,27 +144,46 @@ def cmd_sort(args) -> int:
     machine = ParallelDiskMachine(
         memory=args.memory, block=args.block, disks=args.disks, processors=args.processors
     )
+    obs = _make_obs(args)
     data = workloads.by_name(args.workload, args.n, seed=args.seed)
     res = balance_sort_pdm(
         machine, data, matcher=args.matcher, buckets=args.buckets,
-        virtual_disks=args.virtual_disks,
+        virtual_disks=args.virtual_disks, obs=obs,
     )
     out = peek_run(res.storage, res.output)
     assert_sorted(out)
     assert_is_permutation(out, data)
     bound = bounds.sort_io_bound(args.n, args.memory, args.block, args.disks)
-    t = Table(["metric", "value"], title="Balance Sort (parallel disk model)")
-    t.add("records", res.n_records)
-    t.add("workload", args.workload)
-    t.add("parallel I/Os", res.total_ios)
-    t.add("Theorem 1 bound", round(bound, 1))
-    t.add("ratio", round(res.total_ios / bound, 2))
-    t.add("CPU work / time", f"{res.cpu['work']} / {res.cpu['time']}")
-    t.add("recursion depth", res.recursion_depth)
-    t.add("blocks swapped", res.blocks_swapped)
-    t.add("balance factor", round(res.max_balance_factor, 2))
-    t.add("output verified", True)
-    t.print()
+    result = {
+        "records": res.n_records,
+        "workload": args.workload,
+        "parallel_ios": res.total_ios,
+        "theorem1_bound": round(bound, 1),
+        "ratio": round(res.total_ios / bound, 4),
+        "cpu_work": res.cpu["work"],
+        "cpu_time": res.cpu["time"],
+        "recursion_depth": res.recursion_depth,
+        "blocks_swapped": res.blocks_swapped,
+        "blocks_unprocessed": res.blocks_unprocessed,
+        "match_calls": res.match_calls,
+        "balance_factor": round(res.max_balance_factor, 4),
+        "io": res.io_stats,
+        "verified": True,
+    }
+    if _emit(args, obs, "sort", result):
+        t = Table(["metric", "value"], title="Balance Sort (parallel disk model)")
+        t.add("records", res.n_records)
+        t.add("workload", args.workload)
+        t.add("parallel I/Os", res.total_ios)
+        t.add("Theorem 1 bound", round(bound, 1))
+        t.add("ratio", round(res.total_ios / bound, 2))
+        t.add("CPU work / time", f"{res.cpu['work']} / {res.cpu['time']}")
+        t.add("recursion depth", res.recursion_depth)
+        t.add("blocks swapped", res.blocks_swapped)
+        t.add("balance factor", round(res.max_balance_factor, 2))
+        t.add("full-stripe write fraction", round(res.io_stats["write_width_fraction"], 2))
+        t.add("output verified", True)
+        t.print()
     return 0
 
 
@@ -122,33 +191,60 @@ def cmd_compare(args) -> int:
     """Run the four PDM algorithms on one input and print the comparison."""
     from .pdm import DISK_1993, DISK_NVME
 
+    obs = _make_obs(args)
+    tracer = obs.tracer if obs is not None else NULL_TRACER
     data = workloads.by_name(args.workload, args.n, seed=args.seed)
     bound = bounds.sort_io_bound(args.n, args.memory, args.block, args.disks)
     algs = [
-        ("balance (this paper)", lambda m: balance_sort_pdm(m, data, check_invariants=False)),
-        ("greed sort [NoV]", lambda m: greed_sort(m, data)),
-        ("randomized [ViSa]", lambda m: randomized_distribution_sort(m, data)),
-        ("striped merge sort", lambda m: striped_merge_sort(m, data)),
+        ("balance", "balance (this paper)",
+         lambda m: balance_sort_pdm(m, data, check_invariants=False)),
+        ("greed", "greed sort [NoV]", lambda m: greed_sort(m, data)),
+        ("randomized", "randomized [ViSa]",
+         lambda m: randomized_distribution_sort(m, data)),
+        ("striped-merge", "striped merge sort", lambda m: striped_merge_sort(m, data)),
     ]
     t = Table(
         ["algorithm", "parallel I/Os", "ratio to bound",
          "est. 1993 HDD", "est. NVMe", "verified"],
         title=f"N={args.n} M={args.memory} B={args.block} D={args.disks} ({args.workload})",
     )
-    for name, fn in algs:
+    rows = []
+    for slug, name, fn in algs:
         machine = ParallelDiskMachine(
             memory=args.memory, block=args.block, disks=args.disks
         )
-        res = fn(machine)
+        if obs is not None:
+            # Each algorithm gets its own metrics scope; the baselines do
+            # not accept obs themselves, so the machine-level hooks are the
+            # instrumentation surface here.
+            machine.attach_obs(obs, scope=f"algo.{slug}")
+        with tracer.span(f"algo:{slug}") as span:
+            res = fn(machine)
+            span.annotate(ios=res.total_ios)
         out = peek_run(res.storage, res.output)
         assert_sorted(out, name)
+        hdd_s = DISK_1993.estimate_seconds(machine.stats, args.block)
+        nvme_s = DISK_NVME.estimate_seconds(machine.stats, args.block)
+        rows.append({
+            "algorithm": slug,
+            "parallel_ios": res.total_ios,
+            "ratio": round(res.total_ios / bound, 4),
+            "est_1993_hdd_s": round(hdd_s, 3),
+            "est_nvme_s": round(nvme_s, 6),
+            "verified": True,
+        })
         t.add(
             name, res.total_ios, round(res.total_ios / bound, 2),
-            f"{DISK_1993.estimate_seconds(machine.stats, args.block):.1f}s",
-            f"{DISK_NVME.estimate_seconds(machine.stats, args.block) * 1e3:.0f}ms",
-            True,
+            f"{hdd_s:.1f}s", f"{nvme_s * 1e3:.0f}ms", True,
         )
-    t.print()
+    result = {
+        "records": args.n,
+        "workload": args.workload,
+        "theorem1_bound": round(bound, 1),
+        "algorithms": rows,
+    }
+    if _emit(args, obs, "compare", result):
+        t.print()
     return 0
 
 
@@ -158,22 +254,67 @@ def cmd_hierarchy(args) -> int:
         args.h, model=args.model, cost_fn=_cost_fn(args.cost),
         interconnect=args.interconnect,
     )
+    obs = _make_obs(args)
     data = workloads.by_name(args.workload, args.n, seed=args.seed)
-    res = balance_sort_hierarchy(machine, data)
+    res = balance_sort_hierarchy(machine, data, obs=obs)
     out = peek_run(res.storage, res.output)
     assert_sorted(out)
     assert_is_permutation(out, data)
-    t = Table(["metric", "value"],
-              title=f"Balance Sort (P-{args.model.upper()}, f={args.cost}, {args.interconnect})")
-    t.add("records", res.n_records)
-    t.add("memory time", round(res.memory_time, 1))
-    t.add("interconnect time", round(res.interconnect_time, 1))
-    t.add("total time", round(res.total_time, 1))
-    t.add("parallel steps", res.parallel_steps)
-    t.add("base-case calls", res.base_case_calls)
-    t.add("balance factor", round(res.max_balance_factor, 2))
-    t.add("output verified", True)
-    t.print()
+    result = {
+        "records": res.n_records,
+        "workload": args.workload,
+        "model": args.model,
+        "memory_time": round(res.memory_time, 3),
+        "interconnect_time": round(res.interconnect_time, 3),
+        "total_time": round(res.total_time, 3),
+        "parallel_steps": res.parallel_steps,
+        "recursion_depth": res.recursion_depth,
+        "base_case_calls": res.base_case_calls,
+        "blocks_swapped": res.blocks_swapped,
+        "match_calls": res.match_calls,
+        "balance_factor": round(res.max_balance_factor, 4),
+        "verified": True,
+    }
+    if _emit(args, obs, "hierarchy", result):
+        t = Table(["metric", "value"],
+                  title=f"Balance Sort (P-{args.model.upper()}, f={args.cost}, {args.interconnect})")
+        t.add("records", res.n_records)
+        t.add("memory time", round(res.memory_time, 1))
+        t.add("interconnect time", round(res.interconnect_time, 1))
+        t.add("total time", round(res.total_time, 1))
+        t.add("parallel steps", res.parallel_steps)
+        t.add("base-case calls", res.base_case_calls)
+        t.add("balance factor", round(res.max_balance_factor, 2))
+        t.add("output verified", True)
+        t.print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Summarize a saved JSONL trace: phases, balance timeline, stripes."""
+    import json
+
+    summary = summarize_trace(args.trace)
+    report = {
+        "schema": "repro.trace_summary/1",
+        "command": "report",
+        "trace": args.trace,
+        **summary,
+    }
+    if args.emit_json:
+        text = json.dumps(report, indent=2)
+        if args.emit_json == "-":
+            print(text)
+            return 0
+        with open(args.emit_json, "w") as fh:
+            fh.write(text + "\n")
+    tables = render_report(report)
+    if not tables:
+        print(f"{args.trace}: {summary['n_events']} events, no phase spans")
+        return 0
+    for t in tables:
+        t.print()
+        print()
     return 0
 
 
@@ -194,6 +335,7 @@ def main(argv: list[str] | None = None) -> int:
         "sort": cmd_sort,
         "compare": cmd_compare,
         "hierarchy": cmd_hierarchy,
+        "report": cmd_report,
         "workloads": cmd_workloads,
     }[args.command]
     return handler(args)

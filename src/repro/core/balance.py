@@ -158,6 +158,84 @@ class BalanceEngine:
         self._queue: deque = deque()  # (bucket, block) awaiting placement
         self._bucket_records = np.zeros(self.n_buckets, dtype=np.int64)
         self._finished = False
+        # Round observers: callbacks fired after every completed placement
+        # round (the first-class replacement for BalanceTracer's old
+        # `_round` monkey-patch).  Empty list = zero per-round overhead
+        # beyond one truthiness check.
+        self._round_observers: list[Callable] = []
+
+    # ----------------------------------------------------------- observers
+
+    def add_round_observer(self, callback: Callable) -> Callable:
+        """Register ``callback(engine, info)`` to run after every round.
+
+        ``info`` is a dict with the round's activity totals::
+
+            {"round": int, "placed": int, "swapped": int,
+             "unprocessed": int, "match_calls": int,
+             "max_balance_factor": float}
+
+        (all cumulative except ``round``).  Observers run in registration
+        order after the round's writes complete, so ``engine.matrices``
+        reflects the post-round state.  Returns the callback (usable as a
+        decorator).  With no observers registered the engine does no
+        per-round snapshotting at all.
+        """
+        self._round_observers.append(callback)
+        return callback
+
+    def remove_round_observer(self, callback: Callable) -> None:
+        """Unregister a round observer (no-op if absent)."""
+        try:
+            self._round_observers.remove(callback)
+        except ValueError:
+            pass
+
+    def attach_obs(self, obs, scope: str = "balance") -> None:
+        """Wire an :class:`~repro.obs.Observation` through a round observer.
+
+        Per completed round: a ``balance.round`` trace event (cumulative
+        totals + current Theorem-4 balance factor) plus, under
+        ``obs.scope(scope)``, counters ``rounds`` / ``swaps`` /
+        ``unprocessed`` / ``match_calls``, a per-round swap-count
+        histogram, and a ``max_balance_factor`` gauge (its ``max``
+        watermark is the worst factor seen anywhere in the pass).
+        """
+        reg = obs.scope(scope)
+        rounds = reg.counter("rounds")
+        swaps = reg.counter("swaps")
+        unprocessed = reg.counter("unprocessed")
+        match_calls = reg.counter("match_calls")
+        swap_hist = reg.histogram("swaps.per_round")
+        bf = reg.gauge("max_balance_factor")
+        prev = {"swapped": 0, "unprocessed": 0, "match_calls": 0}
+
+        def _observe(engine, info):
+            rounds.inc()
+            swaps.inc(info["swapped"] - prev["swapped"])
+            unprocessed.inc(info["unprocessed"] - prev["unprocessed"])
+            match_calls.inc(info["match_calls"] - prev["match_calls"])
+            swap_hist.observe(info["swapped"] - prev["swapped"])
+            bf.set(info["max_balance_factor"])
+            obs.event("balance.round", **info)
+            prev.update(
+                swapped=info["swapped"], unprocessed=info["unprocessed"],
+                match_calls=info["match_calls"],
+            )
+
+        self.add_round_observer(_observe)
+
+    def _notify_round(self) -> None:
+        info = {
+            "round": self.stats.rounds,
+            "placed": self.stats.blocks_placed,
+            "swapped": self.stats.blocks_swapped,
+            "unprocessed": self.stats.blocks_unprocessed,
+            "match_calls": self.stats.match_calls,
+            "max_balance_factor": self.matrices.max_balance_factor(),
+        }
+        for callback in self._round_observers:
+            callback(self, info)
 
     # ---------------------------------------------------------------- feed
 
@@ -291,6 +369,8 @@ class BalanceEngine:
         self._write_batch([p for p in live if not p["swapped"]])
         for batch in swap_batches:
             self._write_batch([p for p in batch if not p["dropped"]])
+        if self._round_observers:
+            self._notify_round()
 
     def _rearrange(self, u_set: Sequence[int], by_slot: dict) -> list:
         """Algorithm 6: match overloaded channels to zero channels and swap."""

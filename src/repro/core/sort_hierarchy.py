@@ -26,11 +26,13 @@ which Algorithm 2 guarantees ``0 < N_b < 2N/S``.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..obs import NULL_TRACER
 from ..hierarchies.parallel import (
     EffectiveBTCost,
     ParallelHierarchies,
@@ -114,8 +116,16 @@ def balance_sort_hierarchy(
     matcher: str = "derandomized",
     rng: np.random.Generator | None = None,
     check_invariants: bool = True,
+    obs=None,
 ) -> HierarchySortResult:
-    """Sort on P-HMM or P-BT (chosen by ``machine.model``), Theorems 2–3."""
+    """Sort on P-HMM or P-BT (chosen by ``machine.model``), Theorems 2–3.
+
+    ``obs`` (optional :class:`~repro.obs.Observation`) instruments the
+    machine, the Balance engine, and the phase boundaries (``partition`` —
+    Algorithm 2's group run formation + sampling — / ``distribute`` /
+    ``recurse`` / ``base-case``), attributing memory and interconnect time
+    to each span.  ``None`` (default) leaves every hot path untouched.
+    """
     if (records is None) == (run is None):
         raise ParameterError("provide exactly one of records / run")
     if storage is None:
@@ -129,7 +139,13 @@ def balance_sort_hierarchy(
     rng = rng or np.random.default_rng(31415)
     agg = _Aggregate()
 
-    output = _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, 0)
+    tracer = NULL_TRACER
+    if obs is not None:
+        machine.attach_obs(obs)
+        tracer = obs.tracer
+
+    output = _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, 0,
+                   obs=obs, tracer=tracer)
     return HierarchySortResult(
         output=output,
         n_records=n,
@@ -150,40 +166,70 @@ def balance_sort_hierarchy(
     )
 
 
-def _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, depth) -> OrderedRun:
+@contextmanager
+def _phase(tracer, machine, name, **attrs):
+    """Span a sort phase and attribute the model-time deltas to it."""
+    mem0 = machine.memory_time
+    inter0 = machine.interconnect_time
+    steps0 = machine.parallel_steps
+    with tracer.span(name, **attrs) as span:
+        yield span
+        span.annotate(
+            memory_time=round(machine.memory_time - mem0, 6),
+            interconnect_time=round(machine.interconnect_time - inter0, 6),
+            parallel_steps=machine.parallel_steps - steps0,
+        )
+
+
+def _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, depth,
+          obs=None, tracer=NULL_TRACER) -> OrderedRun:
     agg.depth = max(agg.depth, depth)
     if n == 0:
         return OrderedRun(blocks=[], n_records=0)
     h = machine.h
     if n <= 3 * h:
-        return _base_case(machine, storage, run, n, agg)
+        with _phase(tracer, machine, "base-case", n=n, level=depth):
+            return _base_case(machine, storage, run, n, agg)
 
     s, g = choose_s_and_g(n, h)
 
     # --- Algorithm 2: recursively sorted groups + partition elements -----
-    pivots, sorted_groups = hierarchy_partition_elements(
-        machine, storage, run, n, s, g,
-        recursive_sort=lambda group, m: _sort(
-            machine, storage, group, m, matcher, rng, check_invariants, agg, depth + 1
-        ),
-    )
+    # (Run formation: the G groups are each recursively sorted before the
+    # every-⌊log N⌋-th-element sample is taken.)
+    with _phase(tracer, machine, "partition", n=n, s=s, g=g, level=depth):
+        pivots, sorted_groups = hierarchy_partition_elements(
+            machine, storage, run, n, s, g,
+            recursive_sort=lambda group, m: _sort(
+                machine, storage, group, m, matcher, rng, check_invariants, agg,
+                depth + 1, obs=obs, tracer=tracer,
+            ),
+        )
 
     # --- Balance: distribute the G sorted runs into S buckets ------------
     engine = BalanceEngine(
         storage, pivots, matcher=matcher, rng=rng, check_invariants=check_invariants
     )
+    if obs is not None:
+        engine.attach_obs(obs)
     hp = storage.n_virtual
-    for group in sorted_groups:
-        for chunk in read_run_batches(storage, group, free=True):
-            engine.feed(chunk)
-            # Partitioning a track among the S−1 sorted partition elements.
-            machine.charge_interconnect(
-                chunk.shape[0] / h * math.log2(max(2, s)) + math.log2(max(2, s))
-            )
-            engine.run_rounds(drain_below=2 * hp)
-    bucket_runs = engine.flush()
-    machine.charge_interconnect(engine.stats.match_calls * machine.sort_time())
-    machine.charge_interconnect(engine.stats.rounds)  # X/A incremental upkeep
+    with _phase(tracer, machine, "distribute", n=n, level=depth) as dspan:
+        for group in sorted_groups:
+            for chunk in read_run_batches(storage, group, free=True):
+                engine.feed(chunk)
+                # Partitioning a track among the S−1 sorted partition elements.
+                machine.charge_interconnect(
+                    chunk.shape[0] / h * math.log2(max(2, s)) + math.log2(max(2, s))
+                )
+                engine.run_rounds(drain_below=2 * hp)
+        bucket_runs = engine.flush()
+        machine.charge_interconnect(engine.stats.match_calls * machine.sort_time())
+        machine.charge_interconnect(engine.stats.rounds)  # X/A incremental upkeep
+        dspan.annotate(
+            rounds=engine.stats.rounds,
+            swapped=engine.stats.blocks_swapped,
+            unprocessed=engine.stats.blocks_unprocessed,
+            match_calls=engine.stats.match_calls,
+        )
 
     agg.rounds += engine.stats.rounds
     agg.swapped += engine.stats.blocks_swapped
@@ -202,18 +248,19 @@ def _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, depth) 
     # HMM working-set discipline: the recursion's access costs must scale
     # with the subproblem, not with the parent's footprint.
     outputs = []
-    for brun in bucket_runs:
-        if brun.n_records == 0:
-            continue
-        if brun.n_records >= n:
-            raise ParameterError(
-                f"bucket {brun.bucket} did not shrink ({brun.n_records}/{n})"
+    with _phase(tracer, machine, "recurse", n=n, level=depth):
+        for brun in bucket_runs:
+            if brun.n_records == 0:
+                continue
+            if brun.n_records >= n:
+                raise ParameterError(
+                    f"bucket {brun.bucket} did not shrink ({brun.n_records}/{n})"
+                )
+            compacted = reposition_run(storage, brun)
+            outputs.append(
+                _sort(machine, storage, compacted, compacted.n_records, matcher, rng,
+                      check_invariants, agg, depth + 1, obs=obs, tracer=tracer)
             )
-        compacted = reposition_run(storage, brun)
-        outputs.append(
-            _sort(machine, storage, compacted, compacted.n_records, matcher, rng,
-                  check_invariants, agg, depth + 1)
-        )
     return concat_runs(outputs)
 
 

@@ -21,11 +21,13 @@ CPU charges accumulate to ``O((N/P) log N)`` work.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..obs import NULL_TRACER
 from ..pdm.machine import ParallelDiskMachine
 from ..pdm.striping import VirtualDisks, default_virtual_disk_count
 from ..pram.primitives import log2_ceil
@@ -99,6 +101,7 @@ def balance_sort_pdm(
     internal: str = "cole",
     rng: np.random.Generator | None = None,
     check_invariants: bool = True,
+    obs=None,
 ) -> PDMSortResult:
     """Sort ``records`` (or an already loaded ``run``) on a PDM machine.
 
@@ -117,6 +120,14 @@ def balance_sort_pdm(
     buckets / virtual_disks:
         Override ``S`` and ``D'`` (defaults: ``(M/B)^{1/4}`` and partial
         striping at ``~D^{1/3}``).
+    obs:
+        Optional :class:`~repro.obs.Observation`.  When given, the machine
+        and Balance engine stream metrics/events into it and every phase
+        (``partition`` / ``distribute`` / ``recurse`` / ``base-case``)
+        becomes a span carrying I/O and CPU attribution (spans are
+        *inclusive*: a phase's costs include its nested spans).  When
+        ``None`` (default) no instrumentation runs and measured I/O/CPU
+        counts are bit-identical to the uninstrumented code path.
     """
     if (records is None) == (run is None):
         raise ParameterError("provide exactly one of records / run")
@@ -143,9 +154,14 @@ def balance_sort_pdm(
     agg = _Aggregate()
     rng = rng or np.random.default_rng(2718)
 
+    tracer = NULL_TRACER
+    if obs is not None:
+        machine.attach_obs(obs)
+        tracer = obs.tracer
+
     output = _sort(
         machine, storage, run, n, s, matcher, internal_sort, rng,
-        check_invariants, agg, depth=0,
+        check_invariants, agg, depth=0, obs=obs, tracer=tracer,
     )
     return PDMSortResult(
         output=output,
@@ -182,8 +198,23 @@ def _memoryload(machine: ParallelDiskMachine, storage: VirtualDisks, s: int) -> 
     return load
 
 
+@contextmanager
+def _phase(tracer, machine, name, **attrs):
+    """Span a sort phase and attribute the machine-cost deltas to it."""
+    io0 = machine.stats.total_ios
+    work0 = machine.cpu.work
+    time0 = machine.cpu.time
+    with tracer.span(name, **attrs) as span:
+        yield span
+        span.annotate(
+            ios=machine.stats.total_ios - io0,
+            cpu_work=machine.cpu.work - work0,
+            cpu_time=machine.cpu.time - time0,
+        )
+
+
 def _sort(machine, storage, run, n, s, matcher, internal_sort, rng,
-          check_invariants, agg, depth) -> OrderedRun:
+          check_invariants, agg, depth, obs=None, tracer=NULL_TRACER) -> OrderedRun:
     agg.depth = max(agg.depth, depth)
     vb = storage.virtual_block_size
 
@@ -191,41 +222,51 @@ def _sort(machine, storage, run, n, s, matcher, internal_sort, rng,
         return OrderedRun(blocks=[], n_records=0)
     # Base case: N ≤ M (minus working room) — one read, internal sort, write.
     if n <= machine.M - (storage.n_virtual + 1) * vb:
-        recs = read_run_all(storage, run, free=True)
-        out = internal_sort(recs)
-        return write_ordered_run(storage, out)
+        with _phase(tracer, machine, "base-case", n=n, level=depth):
+            recs = read_run_all(storage, run, free=True)
+            out = internal_sort(recs)
+            return write_ordered_run(storage, out)
 
     memoryload = _memoryload(machine, storage, s)
 
     # --- partition elements ([ViSa] sampling pass) ----------------------
-    pivots = pdm_partition_elements(
-        machine, storage, run, s, memoryload, internal_sort=internal_sort
-    )
+    with _phase(tracer, machine, "partition", n=n, s=s, level=depth):
+        pivots = pdm_partition_elements(
+            machine, storage, run, s, memoryload, internal_sort=internal_sort
+        )
 
     # --- distribution pass (Balance, Section 5 flavour) ------------------
     engine = BalanceEngine(
         storage, pivots, matcher=matcher, rng=rng, check_invariants=check_invariants
     )
+    if obs is not None:
+        engine.attach_obs(obs)
     agg.passes += 1
     hp = storage.n_virtual
-    for chunk in read_run_batches(storage, run, free=True):
-        engine.feed(chunk)
-        # CPU: partition the chunk among S sorted pivots (binary search).
+    with _phase(tracer, machine, "distribute", n=n, level=depth) as dspan:
+        for chunk in read_run_batches(storage, run, free=True):
+            engine.feed(chunk)
+            # CPU: partition the chunk among S sorted pivots (binary search).
+            machine.cpu.charge(
+                work=chunk.shape[0] * log2_ceil(s), depth=log2_ceil(s), label="partition"
+            )
+            engine.run_rounds(drain_below=2 * hp)
+        bucket_runs = engine.flush()
+        # CPU: matrix upkeep (incremental updating, Section 5) and matching.
         machine.cpu.charge(
-            work=chunk.shape[0] * log2_ceil(s), depth=log2_ceil(s), label="partition"
+            work=engine.stats.rounds * hp, depth=engine.stats.rounds, label="matrix-upkeep"
         )
-        engine.run_rounds(drain_below=2 * hp)
-    bucket_runs = engine.flush()
-
-    # CPU: matrix upkeep (incremental updating, Section 5) and matching.
-    machine.cpu.charge(
-        work=engine.stats.rounds * hp, depth=engine.stats.rounds, label="matrix-upkeep"
-    )
-    if engine.stats.match_calls:
-        machine.cpu.charge(
-            work=engine.stats.match_calls * hp * log2_ceil(hp),
-            depth=engine.stats.match_calls * log2_ceil(machine.P),
-            label="matching",
+        if engine.stats.match_calls:
+            machine.cpu.charge(
+                work=engine.stats.match_calls * hp * log2_ceil(hp),
+                depth=engine.stats.match_calls * log2_ceil(machine.P),
+                label="matching",
+            )
+        dspan.annotate(
+            rounds=engine.stats.rounds,
+            swapped=engine.stats.blocks_swapped,
+            unprocessed=engine.stats.blocks_unprocessed,
+            match_calls=engine.stats.match_calls,
         )
 
     agg.rounds += engine.stats.rounds
@@ -240,16 +281,18 @@ def _sort(machine, storage, run, n, s, matcher, internal_sort, rng,
 
     # --- recurse per bucket and append (Algorithm 1, steps 7–9) ---------
     outputs = []
-    for brun in bucket_runs:
-        if brun.n_records == 0:
-            continue
-        if brun.n_records >= n:
-            raise ParameterError(
-                f"bucket {brun.bucket} did not shrink ({brun.n_records}/{n}); "
-                f"S={s} too small for this input"
+    with _phase(tracer, machine, "recurse", n=n, level=depth):
+        for brun in bucket_runs:
+            if brun.n_records == 0:
+                continue
+            if brun.n_records >= n:
+                raise ParameterError(
+                    f"bucket {brun.bucket} did not shrink ({brun.n_records}/{n}); "
+                    f"S={s} too small for this input"
+                )
+            outputs.append(
+                _sort(machine, storage, brun, brun.n_records, s, matcher,
+                      internal_sort, rng, check_invariants, agg, depth + 1,
+                      obs=obs, tracer=tracer)
             )
-        outputs.append(
-            _sort(machine, storage, brun, brun.n_records, s, matcher,
-                  internal_sort, rng, check_invariants, agg, depth + 1)
-        )
     return concat_runs(outputs)

@@ -80,6 +80,9 @@ class BT(HMM):
             raise AddressError("read of unwritten BT block")
         self.cost += float(self.f(np.array([high_address + 1])).sum()) + (length - 1)
         self.accesses += length
+        if self._obs_scope is not None:
+            self._obs_scope.counter("block_reads").inc()
+            self._obs_scope.counter("accesses").inc(length)
         return self._data[addresses].copy()
 
     def write_block(self, high_address: int, records: np.ndarray) -> None:
@@ -95,13 +98,22 @@ class BT(HMM):
         self._valid[lo : high_address + 1] = True
         self.cost += float(self.f(np.array([high_address + 1])).sum()) + (length - 1)
         self.accesses += length
+        if self._obs_scope is not None:
+            self._obs_scope.counter("block_writes").inc()
+            self._obs_scope.counter("accesses").inc(length)
 
     def charge_touch(self, n: int) -> None:
         """Charge the [ACSa] touch of n consecutive records."""
         self.cost += touch_cost(n, self.f)
         self.accesses += max(n, 0)
+        if self._obs_scope is not None:
+            self._obs_scope.counter("touches").inc()
+            self._obs_scope.counter("accesses").inc(max(n, 0))
 
     def charge_transpose(self, n: int) -> None:
         """Charge the [ACSa] generalized transposition of n records."""
         self.cost += transpose_cost(n, self.f)
         self.accesses += max(n, 0)
+        if self._obs_scope is not None:
+            self._obs_scope.counter("transposes").inc()
+            self._obs_scope.counter("accesses").inc(max(n, 0))

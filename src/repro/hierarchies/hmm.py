@@ -35,6 +35,17 @@ class HMM:
         self._valid = np.zeros(self._data.shape[0], dtype=bool)
         self.cost = 0.0
         self.accesses = 0
+        # Shared metrics scope (one per machine model, aggregated over all
+        # H hierarchies by ParallelHierarchies.attach_obs); None = no-op.
+        self._obs_scope = None
+
+    def attach_obs(self, scope) -> None:
+        """Aggregate access counts into a shared metrics scope."""
+        self._obs_scope = scope
+
+    def detach_obs(self) -> None:
+        """Stop streaming metrics (the machine's costs are unaffected)."""
+        self._obs_scope = None
 
     # --------------------------------------------------------------- store
 
@@ -88,11 +99,16 @@ class HMM:
     def _charge(self, addresses: np.ndarray) -> None:
         self.cost += float(self.f(addresses + 1).sum())
         self.accesses += int(addresses.size)
+        if self._obs_scope is not None:
+            self._obs_scope.counter("accesses").inc(int(addresses.size))
 
     def charge_scan(self, start: int, length: int) -> None:
         """Charge for touching ``length`` consecutive locations from ``start``."""
         self.cost += self.f.scan_cost(start, length)
         self.accesses += max(length, 0)
+        if self._obs_scope is not None:
+            self._obs_scope.counter("accesses").inc(max(length, 0))
+            self._obs_scope.counter("scans").inc()
 
     def reset_cost(self) -> None:
         """Zero the access-cost counters (between experiment phases)."""

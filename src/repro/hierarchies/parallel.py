@@ -97,18 +97,61 @@ class ParallelHierarchies:
         #: Accumulated interconnect (sorting/routing/compute) time.
         self.interconnect_time = 0.0
         self.parallel_steps = 0
+        # Observability (optional; None keeps the stepping paths untouched).
+        self._obs = None
+        self._obs_scope = None
+
+    # ---------------------------------------------------------- observability
+
+    def attach_obs(self, obs, scope: str = "hierarchy") -> None:
+        """Attach an :class:`~repro.obs.Observation` to this machine.
+
+        Under ``obs.scope(scope)``: counters ``parallel_steps`` /
+        ``interconnect_charges``, gauges ``memory_time`` /
+        ``interconnect_time`` (running totals with watermarks), and a
+        ``step.cost`` histogram of per-parallel-step max access costs.  The
+        member hierarchies share per-model access counters under a child
+        scope (``hmm`` / ``bt``), so the access-path traffic aggregates
+        across all H hierarchies.  Model-time totals stay bit-identical
+        whether or not anything is attached.
+        """
+        self._obs = obs
+        self._obs_scope = obs.scope(scope)
+        sub = self._obs_scope.scope(self.model)
+        for hier in self.hierarchies:
+            hier.attach_obs(sub)
+
+    def detach_obs(self) -> None:
+        """Remove the attached observation (hooks become no-ops again)."""
+        self._obs = self._obs_scope = None
+        for hier in self.hierarchies:
+            hier.detach_obs()
 
     # ----------------------------------------------------------- stepping
 
     def parallel_step(self, per_hierarchy_costs: Sequence[float]) -> None:
         """Charge one simultaneous memory step: elapsed += max(costs)."""
         if per_hierarchy_costs:
-            self.memory_time += max(per_hierarchy_costs)
+            step = max(per_hierarchy_costs)
+            self.memory_time += step
             self.parallel_steps += 1
+            if self._obs_scope is not None:
+                self._obs_scope.counter("parallel_steps").inc()
+                self._obs_scope.gauge("memory_time").set(self.memory_time)
+                self._obs_scope.histogram("step.width").observe(len(per_hierarchy_costs))
+                self._obs_scope.histogram(
+                    "step.cost", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+                ).observe(step)
+                self._obs.event(
+                    "mem.step", width=len(per_hierarchy_costs), cost=round(step, 6)
+                )
 
     def charge_interconnect(self, time: float) -> None:
         """Accumulate interconnect (sorting/routing/compute) time."""
         self.interconnect_time += float(time)
+        if self._obs_scope is not None:
+            self._obs_scope.counter("interconnect_charges").inc()
+            self._obs_scope.gauge("interconnect_time").set(self.interconnect_time)
 
     def sort_time(self) -> float:
         """``T(H)`` for this interconnect."""
@@ -124,12 +167,14 @@ class ParallelHierarchies:
         return self.memory_time + self.interconnect_time
 
     def reset_costs(self) -> None:
-        """Zero every cost counter (between experiment phases)."""
+        """Zero every cost counter and any attached metrics scope."""
         self.memory_time = 0.0
         self.interconnect_time = 0.0
         self.parallel_steps = 0
         for hier in self.hierarchies:
             hier.reset_cost()
+        if self._obs_scope is not None:
+            self._obs_scope.reset()
 
     def snapshot(self) -> dict:
         """Current counters as a plain dict (for reporting)."""

@@ -67,6 +67,16 @@ class UMH:
         #: Per-bus busy time; total time is the max (buses run in parallel).
         self.bus_time = np.zeros(levels - 1, dtype=np.float64)
         self.moves = 0
+        # Optional shared metrics scope (see repro.obs); None = no-op.
+        self._obs_scope = None
+
+    def attach_obs(self, scope) -> None:
+        """Aggregate bus-transfer counts into a metrics scope."""
+        self._obs_scope = scope
+
+    def detach_obs(self) -> None:
+        """Stop streaming metrics (the machine's costs are unaffected)."""
+        self._obs_scope = None
 
     def capacity(self, level: int) -> int:
         """Records that fit on one level."""
@@ -128,6 +138,9 @@ class UMH:
             raise ParameterError(f"direction must be 'up' or 'down', got {direction!r}")
         self.bus_time[bus] += lower.block_size / float(self.bandwidth(bus))
         self.moves += 1
+        if self._obs_scope is not None:
+            self._obs_scope.counter("bus_moves").inc()
+            self._obs_scope.histogram("bus.level").observe(bus)
 
     def _level(self, level: int) -> _Level:
         if not 0 <= level < len(self.levels):

@@ -1,0 +1,54 @@
+"""Structured observability: metrics, tracing, and machine-readable reports.
+
+The paper's *evaluation* is its cost accounting — parallel I/Os (Theorem
+1), hierarchy memory/interconnect time (Theorems 2–3), and the Invariant
+1/2 balance quantities (Theorem 4).  This package gives every machine
+model and sort one shared instrumentation substrate:
+
+* :class:`MetricsRegistry` — counters, gauges, and bucketed histograms
+  with labeled child scopes (one scope per machine, per recursion level,
+  per phase);
+* :class:`Tracer` — nested spans (``span("distribute", level=1)``) and
+  point events (``event("io.read", disks=4)``) carrying wall-clock *and*
+  model-cost attribution, streamed to a JSONL sink so any run can be
+  replayed or diffed offline;
+* :class:`Observation` — the bundle (registry + tracer) that machines and
+  sorts accept; ``Observation.disabled()`` is a shared no-op whose hooks
+  cost one attribute check, so un-instrumented runs are bit-identical to
+  the uninstrumented code path;
+* :class:`RunReport` — metrics + spans merged into one schema-stable dict,
+  rendered as an aligned table for humans or emitted as JSON
+  (``repro sort --emit-json``), with :func:`summarize_trace` re-deriving
+  the per-phase breakdown from a saved JSONL trace (``repro report``).
+
+See ``docs/observability.md`` for the event schema and metric names.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import RunReport, render_report, summarize_trace
+from .tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Observation,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observation",
+    "JsonlSink",
+    "ListSink",
+    "read_trace",
+    "RunReport",
+    "render_report",
+    "summarize_trace",
+]

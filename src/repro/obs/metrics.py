@@ -1,0 +1,271 @@
+"""Metrics registry: counters, gauges, bucketed histograms, child scopes.
+
+Names are dotted strings (``"io.read_ios"``); scopes nest
+(``registry.scope("pdm").counter("io.read_ios")`` exports under
+``{"pdm": {"counters": {"io.read_ios": ...}}}``).  Everything is plain
+Python — no clock, no I/O — so instruments stay cheap enough to leave in
+hot simulator paths behind a single ``is not None`` guard.
+
+Design notes
+------------
+* **Get-or-create**: ``counter/gauge/histogram/scope`` return the existing
+  instrument when the name is already registered (type mismatches raise).
+* **Histograms** default to *exact* integer-valued counting (a dict of
+  value → count) because the distributions the paper cares about — I/O
+  stripe widths (≤ D), per-round swap counts (≤ H'), matching iterations —
+  are tiny discrete ranges; pass explicit ``buckets`` for genuinely
+  continuous data.
+* **Export** is a nested plain dict, JSON-ready, stable key order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be ≥ 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def export(self):
+        """The counter's current value (a plain int)."""
+        return self.value
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value instrument that also tracks its min/max watermarks."""
+
+    __slots__ = ("name", "value", "min", "max", "_touched")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self._touched = False
+
+    def set(self, value: float) -> None:
+        """Record the latest value and update the min/max watermarks."""
+        value = float(value)
+        if not self._touched:
+            self.min = self.max = value
+            self._touched = True
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.value = value
+
+    def export(self) -> dict:
+        """The last value plus its min/max watermarks."""
+        return {"value": self.value, "min": self.min, "max": self.max}
+
+    def reset(self) -> None:
+        """Zero the gauge and its watermarks."""
+        self.value = self.min = self.max = 0.0
+        self._touched = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Distribution instrument: exact discrete counts or bucketed.
+
+    With ``buckets=None`` (default) every observed value keeps its own
+    count — right for the small discrete distributions the simulators
+    produce (stripe widths, swap counts).  With explicit ``buckets`` (a
+    sorted sequence of upper bounds) values are cumulative-bucketed like a
+    Prometheus histogram, with a final ``+Inf`` bucket implied.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] | None = None):
+        self.name = name
+        self.buckets = sorted(float(b) for b in buckets) if buckets else None
+        if self.buckets is not None:
+            self.counts = [0] * (len(self.buckets) + 1)
+        else:
+            self.counts = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` (``n`` times, for pre-aggregated observations)."""
+        if n <= 0:
+            return
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.buckets is None:
+            key = int(value) if float(value).is_integer() else float(value)
+            self.counts[key] = self.counts.get(key, 0) + n
+        else:
+            self.counts[bisect.bisect_left(self.buckets, value)] += n
+
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def export(self) -> dict:
+        """Count/sum/mean/min/max plus the distribution dict."""
+        if self.buckets is None:
+            dist = {str(k): v for k, v in sorted(self.counts.items(), key=lambda kv: float(kv[0]))}
+        else:
+            labels = [f"le={b:g}" for b in self.buckets] + ["le=+Inf"]
+            dist = dict(zip(labels, self.counts))
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean(),
+            "min": self.min,
+            "max": self.max,
+            "dist": dist,
+        }
+
+    def reset(self) -> None:
+        """Forget every observation (bucket bounds are kept)."""
+        if self.buckets is None:
+            self.counts = {}
+        else:
+            self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """A named tree of instruments.
+
+    Scopes nest arbitrarily (``registry.scope("sort").scope("level=1")``);
+    each scope holds its own counters/gauges/histograms.  ``export()``
+    returns the whole subtree as a nested plain dict.
+    """
+
+    def __init__(self, name: str = "root"):
+        self.name = name
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._scopes: dict[str, MetricsRegistry] = {}
+
+    # --------------------------------------------------------- instruments
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name`` in this scope."""
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_free(name, self._counters)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name`` in this scope."""
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_free(name, self._gauges)
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
+        """Get or create the histogram ``name`` (``buckets`` only on create)."""
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_free(name, self._histograms)
+            inst = self._histograms[name] = Histogram(name, buckets)
+        return inst
+
+    def scope(self, name: str) -> "MetricsRegistry":
+        """Get or create the child scope ``name``.
+
+        Dotted names nest: ``scope("pdm.cpu")`` is ``scope("pdm").scope("cpu")``,
+        so resetting ``"pdm"`` also resets the machine's CPU sub-scope.
+        """
+        if "." in name:
+            head, rest = name.split(".", 1)
+            return self.scope(head).scope(rest)
+        child = self._scopes.get(name)
+        if child is None:
+            child = self._scopes[name] = MetricsRegistry(name)
+        return child
+
+    def _check_free(self, name: str, owner: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not owner and name in kind:
+                raise TypeError(
+                    f"metric {name!r} already registered with a different type"
+                )
+
+    # ------------------------------------------------------------- export
+
+    def export(self) -> dict:
+        """The subtree as a nested, JSON-ready dict (stable key order)."""
+        out: dict = {}
+        if self._counters:
+            out["counters"] = {
+                k: v.export() for k, v in sorted(self._counters.items())
+            }
+        if self._gauges:
+            out["gauges"] = {k: v.export() for k, v in sorted(self._gauges.items())}
+        if self._histograms:
+            out["histograms"] = {
+                k: v.export() for k, v in sorted(self._histograms.items())
+            }
+        for k in sorted(self._scopes):
+            sub = self._scopes[k].export()
+            if sub:  # skip scopes with no instruments anywhere beneath
+                out[k] = sub
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument in this scope and all child scopes."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for inst in group.values():
+                inst.reset()
+        for child in self._scopes.values():
+            child.reset()
+
+    def walk(self) -> Iterable[tuple[str, object]]:
+        """Yield ``(dotted_path, instrument)`` pairs over the whole subtree."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for name, inst in sorted(group.items()):
+                yield name, inst
+        for sname in sorted(self._scopes):
+            for path, inst in self._scopes[sname].walk():
+                yield f"{sname}.{path}", inst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = sum(1 for _ in self.walk())
+        return f"MetricsRegistry({self.name!r}, instruments={n})"

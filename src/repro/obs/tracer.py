@@ -1,0 +1,325 @@
+"""Span/event tracer with JSONL persistence and a zero-cost disabled path.
+
+Event schema (one JSON object per line in a trace file)::
+
+    {"ev": "begin", "span": 3, "parent": 1, "name": "distribute",
+     "ts": 0.0123, "attrs": {"level": 0}}
+    {"ev": "end",   "span": 3, "name": "distribute", "ts": 0.0456,
+     "wall_s": 0.0333, "attrs": {"level": 0, "ios": 182, "cpu_time": 4110}}
+    {"ev": "event", "span": 3, "name": "balance.round", "ts": 0.02,
+     "attrs": {"round": 7, "swapped": 2, "max_balance_factor": 1.5}}
+
+``ts`` is seconds since the tracer was created (monotonic clock).  ``end``
+events repeat the final attribute set — cost attribution recorded with
+:meth:`Span.annotate` during the span (model I/Os, PRAM time, hierarchy
+memory time) lands there, so offline consumers only need ``end`` lines to
+reconstruct the per-phase breakdown.
+
+The disabled path: :data:`NULL_TRACER` (a :class:`NullTracer`) exposes the
+same interface with constant no-op objects — ``span()`` returns a shared
+reusable context manager, ``event()`` returns immediately.  Machines keep
+their observation attribute as ``None`` by default and guard hooks with a
+single ``is not None`` check, so un-instrumented runs execute the same
+arithmetic as before the instrumentation existed (counted I/O and model
+costs are bit-identical).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterable, TextIO
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observation",
+    "JsonlSink",
+    "ListSink",
+    "read_trace",
+]
+
+
+class ListSink:
+    """Collect emitted events in memory (the default sink)."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        """Append the event to the in-memory list."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+
+class JsonlSink:
+    """Stream events to a JSONL file (one compact JSON object per line)."""
+
+    def __init__(self, path_or_file: str | TextIO):
+        if hasattr(path_or_file, "write"):
+            self._fh: TextIO = path_or_file  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._fh = open(path_or_file, "w")
+            self._owned = True
+
+    def emit(self, event: dict) -> None:
+        """Write the event as one compact JSON line."""
+        self._fh.write(json.dumps(event, separators=(",", ":"), default=_jsonable))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        """Flush, and close the file if this sink opened it."""
+        self._fh.flush()
+        if self._owned:
+            self._fh.close()
+
+
+def _jsonable(value):
+    """Fallback encoder: numpy scalars and anything with ``item()``/``tolist()``."""
+    for attr in ("item", "tolist"):
+        fn = getattr(value, attr, None)
+        if fn is not None:
+            return fn()
+    return str(value)
+
+
+class Span:
+    """One live span; use as returned by :meth:`Tracer.span`.
+
+    ``annotate(**attrs)`` merges attribution (model costs, counts) into the
+    span; the merged attrs are emitted on the ``end`` event.
+    """
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "attrs", "t0", "_done")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int | None,
+                 name: str, attrs: dict):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.t0 = 0.0
+        self._done = False
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach/overwrite attributes (emitted with the ``end`` event)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit a point event parented to this span."""
+        self.tracer._emit_event(name, self.span_id, attrs)
+
+    def __enter__(self) -> "Span":
+        self.tracer._begin(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._end(self, error=exc_type.__name__ if exc_type else None)
+
+
+class Tracer:
+    """Nested span/event recorder.
+
+    Spans nest via an explicit stack (``with tracer.span("distribute"):``);
+    point events attach to the innermost open span.  Every event goes to
+    the ``sink`` as it happens (JSONL for offline analysis, the default
+    :class:`ListSink` for in-process reports).
+    """
+
+    def __init__(self, sink=None, clock: Callable[[], float] = time.perf_counter,
+                 keep_events: bool = True):
+        self.sink = sink
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.enabled = True
+        self._events: list[dict] | None = [] if keep_events else None
+
+    def _emit(self, record: dict) -> None:
+        if self._events is not None:
+            self._events.append(record)
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    # ----------------------------------------------------------- recording
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a nested span (context manager)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, self._next_id, parent, name, attrs)
+        self._next_id += 1
+        return span
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit a point event under the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self._emit_event(name, parent, attrs)
+
+    def _emit_event(self, name: str, span_id: int | None, attrs: dict) -> None:
+        self._emit(
+            {"ev": "event", "span": span_id, "name": name, "ts": round(self._now(), 6),
+             "attrs": attrs}
+        )
+
+    def _begin(self, span: Span) -> None:
+        span.t0 = self._now()
+        self._stack.append(span)
+        self._emit(
+            {"ev": "begin", "span": span.span_id, "parent": span.parent_id,
+             "name": span.name, "ts": round(span.t0, 6), "attrs": dict(span.attrs)}
+        )
+
+    def _end(self, span: Span, error: str | None = None) -> None:
+        if span._done:  # pragma: no cover - defensive
+            return
+        span._done = True
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()  # tolerate mis-nested exits
+        if self._stack:
+            self._stack.pop()
+        now = self._now()
+        record = {
+            "ev": "end", "span": span.span_id, "parent": span.parent_id,
+            "name": span.name, "ts": round(now, 6),
+            "wall_s": round(now - span.t0, 6), "attrs": dict(span.attrs),
+        }
+        if error:
+            record["error"] = error
+        self._emit(record)
+
+    def close(self) -> None:
+        """Close any dangling spans and flush the sink."""
+        while self._stack:
+            self._end(self._stack[-1])
+        if self.sink is not None:
+            self.sink.close()
+
+    # ---------------------------------------------------------- inspection
+
+    @property
+    def events(self) -> list[dict]:
+        """The in-memory event list (empty when ``keep_events=False``)."""
+        return self._events if self._events is not None else []
+
+
+class _NullSpan:
+    """Reusable no-op span: every method returns instantly."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing (the near-zero-overhead default)."""
+
+    enabled = False
+    events: list = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """The shared reusable no-op span."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+
+NULL_TRACER = NullTracer()
+
+
+class Observation:
+    """The bundle the simulators accept: a metrics registry + a tracer.
+
+    ``Observation()`` records in memory; ``Observation(trace_path=...)``
+    streams the trace to JSONL as it happens.  ``Observation.disabled()``
+    returns a shared instance whose tracer is :data:`NULL_TRACER` and whose
+    registry is still live (cheap) — but machines treat an absent
+    observation (``None``) as "don't even look", which is the default.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, tracer: Tracer | None = None,
+                 trace_path: str | None = None):
+        if tracer is None:
+            tracer = Tracer(JsonlSink(trace_path)) if trace_path else Tracer()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+
+    _DISABLED: "Observation | None" = None
+
+    @classmethod
+    def disabled(cls) -> "Observation":
+        """A shared no-op-tracer observation (metrics still collected)."""
+        if cls._DISABLED is None:
+            obs = cls.__new__(cls)
+            obs.registry = MetricsRegistry("disabled")
+            obs.tracer = NULL_TRACER
+            cls._DISABLED = obs
+        return cls._DISABLED
+
+    def scope(self, name: str) -> MetricsRegistry:
+        """Shorthand for ``registry.scope(name)``."""
+        return self.registry.scope(name)
+
+    def span(self, name: str, **attrs):
+        """Shorthand for ``tracer.span(...)``."""
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Shorthand for ``tracer.event(...)``."""
+        self.tracer.event(name, **attrs)
+
+    def close(self) -> None:
+        """Close the tracer (ends dangling spans, flushes the sink)."""
+        self.tracer.close()
+
+
+def read_trace(path_or_lines: str | Iterable[str]) -> list[dict]:
+    """Load a JSONL trace back into a list of event dicts.
+
+    Accepts a path or an iterable of lines; blank lines are skipped,
+    malformed lines raise ``ValueError`` with the offending line number.
+    """
+    if isinstance(path_or_lines, str):
+        with open(path_or_lines) as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(path_or_lines)
+    events = []
+    for i, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad trace line {i}: {exc}") from None
+    return events

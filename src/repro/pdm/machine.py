@@ -69,7 +69,12 @@ class IOStats:
         return self.full_width_writes / self.write_ios if self.write_ios else 1.0
 
     def snapshot(self) -> dict:
-        """Current counters as a plain dict (for reporting)."""
+        """Current counters as a plain dict (for reporting).
+
+        Keys mirror the counters exported by an attached metrics scope
+        (:meth:`ParallelDiskMachine.attach_obs`) plus the derived
+        ``write_width_fraction`` — the Section-6 full-stripe metric.
+        """
         return {
             "read_ios": self.read_ios,
             "write_ios": self.write_ios,
@@ -77,6 +82,7 @@ class IOStats:
             "blocks_read": self.blocks_read,
             "blocks_written": self.blocks_written,
             "full_width_writes": self.full_width_writes,
+            "write_width_fraction": self.write_width_fraction,
         }
 
 
@@ -122,6 +128,59 @@ class ParallelDiskMachine:
         self._disks: list[dict[int, np.ndarray]] = [dict() for _ in range(self.D)]
         self._mem_used = 0
         self._alloc_ptr = 0
+        # Observability (optional; None keeps the hot path untouched).
+        self._obs = None
+        self._obs_scope = None
+        self._m_read = self._m_write = None
+
+    # ---------------------------------------------------------- observability
+
+    def attach_obs(self, obs, scope: str = "pdm") -> None:
+        """Attach an :class:`~repro.obs.Observation` to this machine.
+
+        Every parallel I/O then increments counters and the stripe-width
+        histograms under ``obs.scope(scope)`` (names mirror
+        :meth:`IOStats.snapshot`) and emits an ``io.read`` / ``io.write``
+        trace event carrying the stripe width.  With no observation
+        attached (the default) the I/O path performs one ``is not None``
+        check and nothing else — counted I/Os are bit-identical either way.
+        """
+        self._obs = obs
+        self._obs_scope = obs.scope(scope)
+        self._m_read = (
+            self._obs_scope.counter("read_ios"),
+            self._obs_scope.counter("blocks_read"),
+            self._obs_scope.histogram("io.read.width"),
+        )
+        self._m_write = (
+            self._obs_scope.counter("write_ios"),
+            self._obs_scope.counter("blocks_written"),
+            self._obs_scope.counter("full_width_writes"),
+            self._obs_scope.histogram("io.write.width"),
+        )
+        self.cpu.attach_obs(obs, scope=f"{scope}.cpu")
+
+    def detach_obs(self) -> None:
+        """Remove the attached observation (hooks become no-ops again)."""
+        self._obs = self._obs_scope = None
+        self._m_read = self._m_write = None
+        self.cpu.detach_obs()
+
+    def _observe_read(self, width: int) -> None:
+        ios, blocks, hist = self._m_read
+        ios.inc()
+        blocks.inc(width)
+        hist.observe(width)
+        self._obs.event("io.read", width=width)
+
+    def _observe_write(self, width: int) -> None:
+        ios, blocks, full, hist = self._m_write
+        ios.inc()
+        blocks.inc(width)
+        if width == self.D:
+            full.inc()
+        hist.observe(width)
+        self._obs.event("io.write", width=width, full_stripe=width == self.D)
 
     # ------------------------------------------------------------------ I/O
 
@@ -144,6 +203,8 @@ class ParallelDiskMachine:
         self.mem_acquire(len(addresses) * self.B)
         self.stats.read_ios += 1
         self.stats.blocks_read += len(addresses)
+        if self._obs is not None:
+            self._observe_read(len(addresses))
         return blocks
 
     def write_blocks(self, writes: Sequence[tuple[BlockAddress, np.ndarray]]) -> None:
@@ -169,6 +230,8 @@ class ParallelDiskMachine:
         self.stats.blocks_written += len(writes)
         if len(writes) == self.D:
             self.stats.full_width_writes += 1
+        if self._obs is not None:
+            self._observe_write(len(writes))
 
     def _check_contention(self, addresses: Iterable[BlockAddress]) -> None:
         seen: set[int] = set()
@@ -249,9 +312,19 @@ class ParallelDiskMachine:
         return start
 
     def reset_stats(self) -> None:
-        """Zero the I/O and CPU counters (between experiment phases)."""
+        """Zero the I/O and CPU counters (between experiment phases).
+
+        Also resets the attached metrics scope (if any), so compare-style
+        multi-phase runs report clean per-phase numbers from both the
+        ``IOStats`` snapshot and the registry export.  ``_alloc_ptr`` (the
+        disk slot bump allocator) is *intentionally preserved*: resetting
+        counters must not let a later phase overwrite an earlier phase's
+        resident blocks.
+        """
         self.stats = IOStats()
         self.cpu.reset()
+        if self._obs_scope is not None:
+            self._obs_scope.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

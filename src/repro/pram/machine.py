@@ -79,6 +79,25 @@ class PRAM:
             raise ParameterError(f"need >= 1 processor, got {self.processors}")
         if isinstance(self.variant, str):
             self.variant = Variant(self.variant.upper())
+        # Observability (optional; None keeps `charge` untouched).
+        self._obs_scope = None
+        self._obs_labels = None
+
+    def attach_obs(self, obs, scope: str = "pram") -> None:
+        """Attach an :class:`~repro.obs.Observation`: per-charge metrics.
+
+        Under ``obs.scope(scope)``: counters ``work``/``time``/``charges``
+        plus a ``labels`` child scope with one ``work`` counter per charge
+        label — the per-primitive CPU breakdown (partition vs. matching vs.
+        matrix upkeep) the Theorem-1 internal-processing claim decomposes
+        into.
+        """
+        self._obs_scope = obs.scope(scope)
+        self._obs_labels = self._obs_scope.scope("labels")
+
+    def detach_obs(self) -> None:
+        """Remove the attached observation (``charge`` is unmetered again)."""
+        self._obs_scope = self._obs_labels = None
 
     def charge(self, work: int, depth: int, label: str = "") -> int:
         """Charge one primitive: ``time += ceil(work/P) + depth``.
@@ -92,6 +111,11 @@ class PRAM:
         self.time += step_time
         if self.trace:
             self.steps.append(StepRecord(label, work, depth, step_time))
+        if self._obs_scope is not None:
+            self._obs_scope.counter("work").inc(work)
+            self._obs_scope.counter("time").inc(step_time)
+            self._obs_scope.counter("charges").inc()
+            self._obs_labels.counter(label or "unlabeled").inc(work)
         return step_time
 
     def require_concurrent_read(self, context: str = "") -> None:
@@ -111,10 +135,12 @@ class PRAM:
             )
 
     def reset(self) -> None:
-        """Zero the counters (between experiment phases)."""
+        """Zero the counters and any attached metrics scope."""
         self.work = 0
         self.time = 0
         self.steps.clear()
+        if self._obs_scope is not None:
+            self._obs_scope.reset()
 
     def snapshot(self) -> dict:
         """Current counters as a plain dict (for reporting)."""

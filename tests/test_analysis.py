@@ -119,3 +119,34 @@ class TestReporting:
     def test_empty_table_renders_header(self):
         t = Table(["col"])
         assert "col" in t.render()
+
+    def test_table_to_dict(self):
+        t = Table(["x", "ok"], title="T")
+        t.add(1, True)
+        assert t.to_dict() == {
+            "title": "T", "columns": ["x", "ok"], "rows": [["1", "yes"]],
+        }
+
+    def test_benchmark_sidecar_written(self, tmp_path, monkeypatch, capsys):
+        import importlib.util
+        import json
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "_harness",
+            os.path.join(os.path.dirname(__file__), "..", "benchmarks", "_harness.py"),
+        )
+        harness = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(harness)
+        monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+        t = Table(["n", "ios"], title="E0")
+        t.add(100, 42)
+        harness.report("e0_smoke", t, notes="a note")
+        capsys.readouterr()
+        assert (tmp_path / "e0_smoke.txt").exists()
+        side = json.loads((tmp_path / "e0_smoke.json").read_text())
+        assert side["schema"] == "repro.bench_result/1"
+        assert side["name"] == "e0_smoke"
+        assert side["columns"] == ["n", "ios"]
+        assert side["rows"] == [["100", "42"]]
+        assert side["notes"] == "a note"

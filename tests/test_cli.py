@@ -59,6 +59,82 @@ class TestCommands:
         assert rc == 0
         assert "hypercube" in capsys.readouterr().out
 
+    def test_sort_emit_json_stdout_suppresses_table(self, capsys):
+        import json
+
+        rc = main(["sort", "--n", "1500", "--memory", "512", "--emit-json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel I/Os" not in out  # human table suppressed
+        report = json.loads(out)
+        assert report["schema"] == "repro.run_report/1"
+        assert report["command"] == "sort"
+        assert report["result"]["verified"] is True
+        assert report["result"]["parallel_ios"] > 0
+        assert report["phases"]  # per-phase breakdown present
+        assert report["metrics"]["pdm"]["counters"]["read_ios"] > 0
+
+    def test_sort_emit_json_file_keeps_table(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "rep.json"
+        rc = main(["sort", "--n", "1500", "--memory", "512",
+                   "--emit-json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel I/Os" in out  # table still printed
+        assert json.loads(path.read_text())["command"] == "sort"
+
+    def test_trace_out_then_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["sort", "--n", "1500", "--memory", "512",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-phase breakdown" in out
+        assert "distribute" in out
+        assert "stripe-width histogram" in out
+
+    def test_report_emit_json(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        main(["sort", "--n", "1500", "--memory", "512", "--trace-out", str(trace)])
+        capsys.readouterr()
+        rc = main(["report", str(trace), "--emit-json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["schema"] == "repro.trace_summary/1"
+        assert {p["name"] for p in summary["phases"]} >= {"partition", "distribute"}
+
+    def test_compare_emit_json(self, capsys):
+        import json
+
+        rc = main(["compare", "--n", "2500", "--memory", "512",
+                   "--emit-json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        report = json.loads(out)
+        algos = [r["algorithm"] for r in report["result"]["algorithms"]]
+        assert algos == ["balance", "greed", "randomized", "striped-merge"]
+        assert set(report["metrics"]["algo"]) >= {"balance", "greed"}
+
+    def test_hierarchy_emit_json(self, capsys):
+        import json
+
+        rc = main(["hierarchy", "--n", "1200", "--h", "27", "--emit-json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        report = json.loads(out)
+        assert report["command"] == "hierarchy"
+        assert report["result"]["verified"] is True
+        assert report["result"]["total_time"] > 0
+        assert report["metrics"]["hierarchy"]["counters"]["parallel_steps"] > 0
+
     def test_workloads_listing(self, capsys):
         rc = main(["workloads"])
         out = capsys.readouterr().out

@@ -1,0 +1,444 @@
+"""Tests for the observability layer: metrics, tracer, reports, hooks.
+
+Covers the :mod:`repro.obs` subsystem itself (registry semantics, span
+nesting, JSONL round-trips, run reports) and its integration contract with
+the simulators — most importantly that attaching an observation changes
+*no* measured quantity (I/O counts, model times are bit-identical to the
+uninstrumented run).
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import workloads
+from repro.core.balance import BalanceEngine
+from repro.core.sort_hierarchy import balance_sort_hierarchy
+from repro.core.sort_pdm import balance_sort_pdm
+from repro.hierarchies import ParallelHierarchies
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    Observation,
+    RunReport,
+    Tracer,
+    read_trace,
+    render_report,
+    summarize_trace,
+)
+from repro.obs.report import SCHEMA
+from repro.pdm import ParallelDiskMachine, VirtualDisks
+from repro.records import composite_keys
+
+
+# --------------------------------------------------------------------------
+# metrics registry
+# --------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.export() == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_watermarks(self):
+        g = Gauge("load")
+        g.set(3.0)
+        g.set(1.0)
+        g.set(2.0)
+        assert g.export() == {"value": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_histogram_exact_mode(self):
+        h = Histogram("width")
+        for v in [8, 8, 4, 8]:
+            h.observe(v)
+        ex = h.export()
+        assert ex["count"] == 4
+        assert ex["dist"] == {"4": 1, "8": 3}
+        assert ex["min"] == 4 and ex["max"] == 8
+        assert ex["mean"] == pytest.approx(7.0)
+
+    def test_histogram_preaggregated(self):
+        h = Histogram("swaps")
+        h.observe(2, n=5)
+        assert h.count == 5 and h.sum == 10
+
+    def test_histogram_bucketed(self):
+        h = Histogram("cost", buckets=[1, 4, 16])
+        for v in [0.5, 3, 10, 100]:
+            h.observe(v)
+        dist = h.export()["dist"]
+        assert dist == {"le=1": 1, "le=4": 1, "le=16": 1, "le=+Inf": 1}
+
+    def test_get_or_create_and_type_clash(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_dotted_scope_nests(self):
+        r = MetricsRegistry()
+        r.scope("pdm.cpu").counter("work").inc(7)
+        # dotted path nests: resetting the parent scope reaches the child
+        assert r.scope("pdm").scope("cpu").counter("work").value == 7
+        r.scope("pdm").reset()
+        assert r.scope("pdm.cpu").counter("work").value == 0
+
+    def test_export_skips_empty_scopes(self):
+        r = MetricsRegistry()
+        r.scope("empty")
+        r.scope("full").counter("n").inc()
+        ex = r.export()
+        assert "empty" not in ex
+        assert ex["full"]["counters"]["n"] == 1
+
+    def test_walk_paths(self):
+        r = MetricsRegistry()
+        r.counter("top").inc()
+        r.scope("sub").gauge("g").set(1)
+        paths = [p for p, _ in r.walk()]
+        assert paths == ["top", "sub.g"]
+
+    def test_reset_recursive(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.scope("s").histogram("h").observe(1)
+        r.reset()
+        assert r.counter("c").value == 0
+        assert r.scope("s").histogram("h").count == 0
+
+
+# --------------------------------------------------------------------------
+# tracer
+# --------------------------------------------------------------------------
+
+
+class TestTracerSpans:
+    def test_nesting_and_parent_ids(self):
+        tr = Tracer(clock=iter(range(100)).__next__)
+        with tr.span("outer") as outer:
+            with tr.span("inner"):
+                tr.event("tick", k=1)
+        evs = tr.events
+        kinds = [(e["ev"], e["name"]) for e in evs]
+        assert kinds == [
+            ("begin", "outer"), ("begin", "inner"), ("event", "tick"),
+            ("end", "inner"), ("end", "outer"),
+        ]
+        inner_begin = evs[1]
+        assert inner_begin["parent"] == outer.span_id
+        assert evs[2]["span"] == inner_begin["span"]
+
+    def test_annotate_lands_on_end_event(self):
+        tr = Tracer()
+        with tr.span("phase", level=2) as sp:
+            sp.annotate(ios=42)
+        end = tr.events[-1]
+        assert end["attrs"] == {"level": 2, "ios": 42}
+        assert end["wall_s"] >= 0
+
+    def test_error_recorded_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.events[-1]["error"] == "RuntimeError"
+
+    def test_close_ends_dangling_spans(self):
+        tr = Tracer()
+        sp = tr.span("left-open")
+        sp.__enter__()
+        tr.close()
+        assert tr.events[-1]["ev"] == "end"
+        assert tr.events[-1]["name"] == "left-open"
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", x=1) as sp:
+            sp.annotate(y=2).event("e")
+        NULL_TRACER.event("e2")
+        NULL_TRACER.close()
+        assert NULL_TRACER.events == []
+
+    def test_list_sink_receives_events(self):
+        sink = ListSink()
+        tr = Tracer(sink=sink)
+        with tr.span("s"):
+            pass
+        assert [e["ev"] for e in sink.events] == ["begin", "end"]
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tr = Tracer(sink=JsonlSink(path))
+        with tr.span("distribute", level=0) as sp:
+            sp.event("balance.round", round=1, swapped=2)
+            sp.annotate(ios=10)
+        tr.close()
+        events = read_trace(path)
+        assert events == tr.events
+        assert events[-1]["attrs"]["ios"] == 10
+
+    def test_numpy_values_serialized(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        tr = Tracer(sink=sink)
+        tr.event("e", width=np.int64(8), factor=np.float64(1.5))
+        tr.close()
+        ev = json.loads(buf.getvalue())
+        assert ev["attrs"] == {"width": 8, "factor": 1.5}
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev": "begin"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(str(path))
+
+    def test_read_trace_skips_blank_lines(self):
+        events = read_trace(['{"ev":"event"}', "", '{"ev":"end"}'])
+        assert len(events) == 2
+
+
+class TestSummarizeTrace:
+    def _trace(self):
+        tr = Tracer()
+        with tr.span("distribute") as sp:
+            sp.event("io.read", width=8)
+            sp.event("io.read", width=4)
+            sp.event("io.write", width=8)
+            sp.event("balance.round", round=1, max_balance_factor=1.5)
+            sp.annotate(ios=3, rounds=1)
+        with tr.span("distribute") as sp:
+            sp.annotate(ios=2, rounds=1)
+        return tr.events
+
+    def test_phase_aggregation(self):
+        s = summarize_trace(self._trace())
+        (phase,) = s["phases"]
+        assert phase["name"] == "distribute"
+        assert phase["count"] == 2
+        assert phase["ios"] == 5
+        assert phase["rounds"] == 2
+
+    def test_timeline_and_stripes(self):
+        s = summarize_trace(self._trace())
+        assert s["balance_timeline"] == [{"round": 1, "max_balance_factor": 1.5}]
+        assert s["stripe_width"]["read"] == {"4": 1, "8": 1}
+        assert s["stripe_width"]["write"] == {"8": 1}
+        assert s["n_events"] == len(self._trace())
+
+
+class TestRunReport:
+    def test_schema_and_keys(self):
+        obs = Observation()
+        obs.scope("pdm").counter("read_ios").inc(3)
+        with obs.span("partition") as sp:
+            sp.annotate(ios=5)
+        obs.close()
+        rep = RunReport.from_observation(
+            obs, command="sort", params={"n": 100}, result={"parallel_ios": 5}
+        )
+        d = rep.to_dict()
+        assert d["schema"] == SCHEMA
+        assert set(d) == {
+            "schema", "command", "params", "result", "phases",
+            "balance_timeline", "stripe_width", "metrics", "n_trace_events",
+        }
+        assert d["metrics"]["pdm"]["counters"]["read_ios"] == 3
+        assert d["phases"][0]["ios"] == 5
+        # JSON-clean
+        json.loads(rep.to_json())
+
+    def test_write_dash_prints(self, capsys):
+        RunReport(command="sort").write("-")
+        assert '"schema"' in capsys.readouterr().out
+
+    def test_render_report_tables(self):
+        rep = {
+            "command": "sort",
+            "result": {"parallel_ios": 7},
+            "phases": [{"name": "distribute", "count": 1, "wall_s": 0.1, "ios": 7}],
+            "balance_timeline": [{"round": 1, "max_balance_factor": 1.0}],
+            "stripe_width": {"read": {"8": 3}, "write": {}},
+        }
+        tables = render_report(rep)
+        titles = [t.title for t in tables]
+        assert any("run report" in t for t in titles)
+        assert any("per-phase" in t for t in titles)
+        assert any("stripe-width" in t for t in titles)
+
+
+# --------------------------------------------------------------------------
+# simulator integration: identical measurements, populated instruments
+# --------------------------------------------------------------------------
+
+
+class TestPdmIntegration:
+    def _sort(self, obs):
+        machine = ParallelDiskMachine(memory=512, block=4, disks=8)
+        data = workloads.by_name("zipf", 3000, seed=7)
+        res = balance_sort_pdm(machine, data, obs=obs, check_invariants=False)
+        return machine, res
+
+    def test_measurements_bit_identical_with_obs(self):
+        _, plain = self._sort(obs=None)
+        _, instrumented = self._sort(obs=Observation())
+        assert instrumented.io_stats == plain.io_stats
+        assert instrumented.cpu == plain.cpu
+
+    def test_metrics_match_machine_stats(self):
+        obs = Observation()
+        machine, res = self._sort(obs)
+        ex = obs.registry.export()
+        pdm = ex["pdm"]["counters"]
+        assert pdm["read_ios"] == machine.stats.read_ios
+        assert pdm["write_ios"] == machine.stats.write_ios
+        assert pdm["blocks_read"] == machine.stats.blocks_read
+        assert ex["pdm"]["cpu"]["counters"]["work"] == machine.cpu.work
+        bal = ex["balance"]["counters"]
+        assert bal["rounds"] == res.engine_rounds
+        assert bal["swaps"] == res.blocks_swapped
+
+    def test_stripe_histogram_totals(self):
+        obs = Observation()
+        machine, _ = self._sort(obs)
+        hist = obs.scope("pdm").histogram("io.write.width")
+        assert hist.count == machine.stats.write_ios
+        assert hist.sum == machine.stats.blocks_written
+        assert hist.counts.get(machine.D, 0) == machine.stats.full_width_writes
+
+    def test_phase_spans_cover_all_ios(self):
+        obs = Observation()
+        machine, _ = self._sort(obs)
+        top = [
+            e for e in obs.tracer.events
+            if e["ev"] == "end" and e.get("parent") is None
+        ]
+        # the top-level spans partition the whole run's I/O budget
+        assert sum(e["attrs"].get("ios", 0) for e in top) == machine.stats.total_ios
+
+    def test_write_width_fraction_in_snapshot(self):
+        machine, _ = self._sort(obs=None)
+        snap = machine.stats.snapshot()
+        assert snap["write_width_fraction"] == pytest.approx(
+            machine.stats.write_width_fraction
+        )
+
+    def test_reset_stats_resets_metrics_scope(self):
+        obs = Observation()
+        machine, _ = self._sort(obs)
+        assert obs.scope("pdm").counter("read_ios").value > 0
+        machine.reset_stats()
+        assert obs.scope("pdm").counter("read_ios").value == 0
+        assert obs.scope("pdm").scope("cpu").counter("work").value == 0
+
+
+class TestHierarchyIntegration:
+    def _sort(self, model, obs):
+        machine = ParallelHierarchies(27, model=model)
+        data = workloads.uniform(1200, seed=9)
+        res = balance_sort_hierarchy(machine, data, obs=obs)
+        return machine, res
+
+    @pytest.mark.parametrize("model", ["hmm", "bt"])
+    def test_model_times_identical_with_obs(self, model):
+        _, plain = self._sort(model, obs=None)
+        _, instrumented = self._sort(model, obs=Observation())
+        assert instrumented.total_time == plain.total_time
+        assert instrumented.parallel_steps == plain.parallel_steps
+        assert instrumented.memory_time == plain.memory_time
+
+    def test_metrics_match_machine(self):
+        obs = Observation()
+        machine, _ = self._sort("hmm", obs)
+        h = obs.registry.export()["hierarchy"]
+        assert h["counters"]["parallel_steps"] == machine.parallel_steps
+        assert h["gauges"]["memory_time"]["value"] == pytest.approx(
+            machine.memory_time
+        )
+
+    def test_phase_spans_cover_model_time(self):
+        obs = Observation()
+        machine, _ = self._sort("bt", obs)
+        top = [
+            e for e in obs.tracer.events
+            if e["ev"] == "end" and e.get("parent") is None
+        ]
+        total = sum(
+            e["attrs"].get("memory_time", 0) + e["attrs"].get("interconnect_time", 0)
+            for e in top
+        )
+        assert total == pytest.approx(machine.total_time, rel=1e-6)
+
+
+class TestBalanceObserver:
+    def _engine(self, n=600):
+        machine = ParallelDiskMachine(memory=65536, block=4, disks=8)
+        storage = VirtualDisks(machine, 4)
+        data = workloads.adversarial_striping(n, seed=11, period=4)
+        ck = np.sort(composite_keys(data))
+        pivots = ck[np.linspace(0, ck.size - 1, 5).astype(int)[1:-1]]
+        engine = BalanceEngine(storage, pivots)
+        machine.mem_acquire(n)
+        return engine, data
+
+    def test_observer_called_per_round(self):
+        engine, data = self._engine()
+        seen = []
+        engine.add_round_observer(lambda eng, info: seen.append(info["round"]))
+        engine.feed(data)
+        engine.run_rounds(drain_below=0)
+        engine.flush()
+        assert seen == list(range(1, engine.stats.rounds + 1))
+
+    def test_remove_round_observer(self):
+        engine, data = self._engine()
+        seen = []
+        cb = engine.add_round_observer(lambda eng, info: seen.append(info))
+        engine.remove_round_observer(cb)
+        engine.feed(data)
+        engine.run_rounds(drain_below=0)
+        engine.flush()
+        assert seen == []
+
+    def test_attach_obs_counts_rounds(self):
+        engine, data = self._engine()
+        obs = Observation()
+        engine.attach_obs(obs)
+        engine.feed(data)
+        engine.run_rounds(drain_below=0)
+        engine.flush()
+        bal = obs.registry.export()["balance"]["counters"]
+        assert bal["rounds"] == engine.stats.rounds
+        assert bal["swaps"] == engine.stats.blocks_swapped
+        rounds = [
+            e for e in obs.tracer.events
+            if e["ev"] == "event" and e["name"] == "balance.round"
+        ]
+        assert len(rounds) == engine.stats.rounds
+
+
+class TestObservation:
+    def test_trace_path_streams_jsonl(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs = Observation(trace_path=path)
+        with obs.span("s"):
+            obs.event("e")
+        obs.close()
+        assert [e["ev"] for e in read_trace(path)] == ["begin", "event", "end"]
+
+    def test_disabled_is_shared_and_inert(self):
+        a = Observation.disabled()
+        assert a is Observation.disabled()
+        assert a.tracer is NULL_TRACER

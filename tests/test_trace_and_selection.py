@@ -64,6 +64,43 @@ class TestTracer:
         tracer.snapshots[0].histogram[0, 0] = 999
         assert engine.matrices.X[0, 0] != 999
 
+    def test_double_attach_returns_same_tracer(self):
+        # Regression: attach() used to wrap _round a second time, silently
+        # stacking observers and recording every round twice.
+        machine = ParallelDiskMachine(memory=65536, block=4, disks=8)
+        storage = VirtualDisks(machine, 4)
+        data = workloads.adversarial_striping(400, seed=170, period=4)
+        engine = BalanceEngine(storage, pivots_for(data, 4))
+        t1 = BalanceTracer.attach(engine)
+        t2 = BalanceTracer.attach(engine)
+        assert t1 is t2
+        machine.mem_acquire(400)
+        engine.feed(data)
+        engine.run_rounds(drain_below=0)
+        engine.flush()
+        assert t1.n_rounds == engine.stats.rounds  # no duplicate snapshots
+
+    def test_tracer_coexists_with_obs(self):
+        # The tracer rides the observer API, so it composes with attach_obs
+        # without either seeing duplicated rounds.
+        from repro.obs import Observation
+
+        machine = ParallelDiskMachine(memory=65536, block=4, disks=8)
+        storage = VirtualDisks(machine, 4)
+        data = workloads.adversarial_striping(400, seed=171, period=4)
+        engine = BalanceEngine(storage, pivots_for(data, 4))
+        obs = Observation()
+        engine.attach_obs(obs)
+        tracer = BalanceTracer.attach(engine)
+        machine.mem_acquire(400)
+        engine.feed(data)
+        engine.run_rounds(drain_below=0)
+        engine.flush()
+        assert tracer.n_rounds == engine.stats.rounds
+        assert (
+            obs.scope("balance").counter("rounds").value == engine.stats.rounds
+        )
+
 
 class TestRenderMatrix:
     def test_renders_zeros_as_dots(self):
@@ -79,6 +116,24 @@ class TestRenderMatrix:
     def test_rejects_1d(self):
         with pytest.raises(ValueError):
             render_matrix(np.array([1, 2, 3]))
+
+    def test_empty_matrix(self):
+        text = render_matrix(np.zeros((0, 0), dtype=int))
+        assert isinstance(text, str)  # degenerate input must not crash
+
+    def test_single_row(self):
+        text = render_matrix(np.array([[5, 0, 7]]))
+        lines = text.splitlines()
+        assert lines[0].startswith("b0 |")
+        assert lines[0].rstrip().endswith("12")  # row sum
+        assert lines[-1].split() == ["5", "0", "7"]  # column sums
+
+    def test_no_bucket_labels_alignment(self):
+        text = render_matrix(np.array([[1, 10], [100, 1]]), bucket_labels=False)
+        lines = text.splitlines()
+        assert not any(line.startswith("b0") for line in lines)
+        # both body rows share the same width (aligned columns)
+        assert len(lines[0]) == len(lines[1])
 
 
 class TestSelectionPivots:
