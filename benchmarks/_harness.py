@@ -52,6 +52,31 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def parallel_sweep(task, cells, jobs=None, cache_dir=None):
+    """Run a benchmark grid through the :mod:`repro.exec` ParallelRunner.
+
+    ``cells`` is a list of task-parameter dicts (one per grid cell);
+    returns the per-cell ``result`` summaries **in cell order**, so
+    benchmark tables built from them are bit-identical whether the grid
+    ran serially, across a process pool, or from cache.
+
+    Sharding/caching default to the environment so CI and local runs can
+    opt in without touching the bench files:
+
+    * ``REPRO_BENCH_JOBS`` — worker processes (unset/0/1 = serial);
+    * ``REPRO_BENCH_CACHE`` — result-cache directory (unset = no cache).
+    """
+    from repro.exec import ParallelRunner, RunSpec
+
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    results = runner.map([RunSpec(task, dict(cell)) for cell in cells])
+    return [r.result for r in results]
+
+
 def random_valid_instance(rng, hp):
     """A random matching instance satisfying the Invariant-1 degree bound.
 

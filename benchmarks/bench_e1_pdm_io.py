@@ -9,37 +9,38 @@ N), for every D.
 
 import pytest
 
-from repro import ParallelDiskMachine, balance_sort_pdm, workloads
-from repro.analysis import bounds
 from repro.analysis.optimality import loglog_slope
 from repro.analysis.reporting import Table
 
-from _harness import report, run_once
+from _harness import parallel_sweep, report, run_once
 
 N_SWEEP = [4_000, 16_000, 64_000]
 D_SWEEP = [4, 8, 16]
 M, B = 512, 4
 
+#: The E1 grid as exec-task cells (one ``sort_pdm`` run per cell).
+GRID = [
+    {"n": n, "memory": M, "block": B, "disks": d, "workload": "uniform", "seed": 1}
+    for d in D_SWEEP
+    for n in N_SWEEP
+]
 
-def sweep():
+
+def sweep(jobs=None, cache_dir=None):
+    results = parallel_sweep("sort_pdm", GRID, jobs=jobs, cache_dir=cache_dir)
     rows = []
-    for d in D_SWEEP:
-        for n in N_SWEEP:
-            machine = ParallelDiskMachine(memory=M, block=B, disks=d)
-            data = workloads.uniform(n, seed=1)
-            res = balance_sort_pdm(machine, data, check_invariants=False)
-            bound = bounds.sort_io_bound(n, M, B, d)
-            rows.append(
-                {
-                    "N": n,
-                    "D": d,
-                    "ios": res.total_ios,
-                    "bound": round(bound, 1),
-                    "ratio": round(res.total_ios / bound, 2),
-                    "depth": res.recursion_depth,
-                    "balance": round(res.max_balance_factor, 2),
-                }
-            )
+    for cell, res in zip(GRID, results):
+        rows.append(
+            {
+                "N": cell["n"],
+                "D": cell["disks"],
+                "ios": res["parallel_ios"],
+                "bound": res["theorem1_bound"],
+                "ratio": round(res["ratio"], 2),
+                "depth": res["recursion_depth"],
+                "balance": round(res["balance_factor"], 2),
+            }
+        )
     return rows
 
 

@@ -15,11 +15,10 @@ Paper claims reproduced here:
 import pytest
 
 from repro import ParallelDiskMachine, balance_sort_pdm, workloads
-from repro.analysis import bounds
 from repro.analysis.reporting import Table
-from repro.baselines import greed_sort, randomized_distribution_sort, striped_merge_sort
+from repro.baselines import randomized_distribution_sort
 
-from _harness import report, run_once
+from _harness import parallel_sweep, report, run_once
 
 # Sweep the striping width DB toward M (=512): fan-in collapses for the
 # striped baseline only.  The third element is Balance Sort's D' (partial
@@ -40,38 +39,37 @@ M = 512
 # I/Os, differing only in the constant (4 vs 2 recursion levels here).
 S_E3 = 16
 
-ALGS = [
-    ("balance", None),  # handled specially (needs the per-config D')
-    ("greed", greed_sort),
-    ("randomized", randomized_distribution_sort),
-    ("striped", striped_merge_sort),
-]
+ALG_NAMES = ["balance", "greed", "randomized", "striped"]
+
+#: The E3 grid as exec-task cells (one ``compare_pdm`` run per cell).
+GRID = []
+for _d, _b, _vd in CONFIGS:
+    for _alg in ALG_NAMES:
+        cell = {
+            "algorithm": _alg, "n": N, "memory": M, "block": _b, "disks": _d,
+            "workload": "uniform", "seed": 3,
+        }
+        if _alg == "balance":
+            cell["buckets"] = S_E3
+            if _vd is not None:
+                cell["virtual_disks"] = _vd
+        GRID.append(cell)
 
 
-def sweep():
+def sweep(jobs=None, cache_dir=None):
+    results = parallel_sweep("compare_pdm", GRID, jobs=jobs, cache_dir=cache_dir)
     rows = []
-    for d, b, vd in CONFIGS:
-        data = workloads.uniform(N, seed=3)
-        bound = bounds.sort_io_bound(N, M, b, d)
-        for name, fn in ALGS:
-            machine = ParallelDiskMachine(memory=M, block=b, disks=d)
-            if name == "balance":
-                res = balance_sort_pdm(
-                    machine, data, virtual_disks=vd, buckets=S_E3,
-                    check_invariants=False,
-                )
-            else:
-                res = fn(machine, data)
-            rows.append(
-                {
-                    "alg": name,
-                    "D": d,
-                    "B": b,
-                    "DB": d * b,
-                    "ios": res.total_ios,
-                    "ratio": round(res.total_ios / bound, 2),
-                }
-            )
+    for cell, res in zip(GRID, results):
+        rows.append(
+            {
+                "alg": res["algorithm"],
+                "D": cell["disks"],
+                "B": cell["block"],
+                "DB": cell["disks"] * cell["block"],
+                "ios": res["parallel_ios"],
+                "ratio": round(res["ratio"], 2),
+            }
+        )
     return rows
 
 

@@ -6,6 +6,8 @@ Examples::
     python -m repro sort --n 20000 --emit-json report.json --trace-out trace.jsonl
     python -m repro sort --n 20000 --matcher randomized --workload zipf
     python -m repro compare --n 20000 --memory 512 --block 4 --disks 8
+    python -m repro sweep --task sort --n 4000,16000 --disks 4,8 --jobs 4
+    python -m repro sweep --task compare --n 24000 --cache-dir .repro-cache
     python -m repro hierarchy --n 8000 --h 64 --model bt --cost 0.5
     python -m repro report trace.jsonl
     python -m repro workloads
@@ -97,6 +99,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_h.add_argument("--workload", default="uniform", choices=sorted(workloads.GENERATORS))
     p_h.add_argument("--seed", type=int, default=0)
     add_obs_args(p_h)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run a parameter grid (optionally sharded across cores and cached)",
+    )
+    p_sw.add_argument(
+        "--task", default="sort", choices=["sort", "compare", "hierarchy"],
+        help="which registered task each grid cell runs",
+    )
+    for name, default, help_text in [
+        ("--n", "8000", "records to sort (comma list sweeps the axis)"),
+        ("--memory", "512", "M: records in internal memory (comma list)"),
+        ("--block", "4", "B: records per block (comma list)"),
+        ("--disks", "8", "D: number of disks (comma list)"),
+        ("--seed", "0", "workload seed (comma list)"),
+    ]:
+        p_sw.add_argument(name, default=default, help=help_text)
+    p_sw.add_argument("--workload", default="uniform",
+                      help="workload generator name (comma list)")
+    p_sw.add_argument("--matcher", default="derandomized",
+                      help="[sort] rebalancing matcher (comma list)")
+    p_sw.add_argument("--buckets", type=int, default=None, help="[sort] override S")
+    p_sw.add_argument("--virtual-disks", type=int, default=None,
+                      help="[sort/compare balance] override D'")
+    p_sw.add_argument("--verify", action="store_true",
+                      help="[sort] verify each cell's output (extra reads)")
+    p_sw.add_argument("--algorithms", default="balance,greed,randomized,striped",
+                      help="[compare] algorithms to run (comma list)")
+    p_sw.add_argument("--h", default="64", help="[hierarchy] H (comma list)")
+    p_sw.add_argument("--model", default="hmm",
+                      help="[hierarchy] hmm/bt/umh (comma list)")
+    p_sw.add_argument("--cost", default="log",
+                      help="[hierarchy] 'log', 'umh', or a float exponent")
+    p_sw.add_argument("--interconnect", default="pram",
+                      help="[hierarchy] pram/hypercube (comma list)")
+    p_sw.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: serial; 0/1 = serial in-process)",
+    )
+    p_sw.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-hashed result cache directory (hits skip simulation)",
+    )
+    add_obs_args(p_sw)
 
     p_rep = sub.add_parser("report", help="summarize a saved JSONL trace")
     p_rep.add_argument("trace", help="path to a trace.jsonl written with --trace-out")
@@ -290,6 +336,145 @@ def cmd_hierarchy(args) -> int:
     return 0
 
 
+def _axis(value, cast=str) -> list:
+    """Parse a comma-separated CLI axis into a list of ``cast`` values."""
+    if isinstance(value, (int, float)):
+        return [cast(value)]
+    return [cast(v) for v in str(value).split(",") if v != ""]
+
+
+def _sweep_specs(args) -> tuple[str, list]:
+    """Build the (task name, RunSpec list) for a ``repro sweep`` grid."""
+    from .exec import RunSpec, grid
+
+    common = dict(
+        workload=_axis(args.workload),
+        n=_axis(args.n, int),
+        memory=_axis(args.memory, int),
+        block=_axis(args.block, int),
+        disks=_axis(args.disks, int),
+        seed=_axis(args.seed, int),
+    )
+    if args.task == "sort":
+        cells = grid(**common, matcher=_axis(args.matcher))
+        for cell in cells:
+            if args.buckets is not None:
+                cell["buckets"] = args.buckets
+            if args.virtual_disks is not None:
+                cell["virtual_disks"] = args.virtual_disks
+            if args.verify:
+                cell["verify"] = True
+        return "sort_pdm", [RunSpec("sort_pdm", c) for c in cells]
+    if args.task == "compare":
+        cells = grid(algorithm=_axis(args.algorithms), **common)
+        for cell in cells:
+            if cell["algorithm"] == "balance":
+                if args.buckets is not None:
+                    cell["buckets"] = args.buckets
+                if args.virtual_disks is not None:
+                    cell["virtual_disks"] = args.virtual_disks
+        return "compare_pdm", [RunSpec("compare_pdm", c) for c in cells]
+    cells = grid(
+        model=_axis(args.model),
+        cost=_axis(args.cost),
+        interconnect=_axis(args.interconnect),
+        h=_axis(args.h, int),
+        n=_axis(args.n, int),
+        workload=_axis(args.workload),
+        seed=_axis(args.seed, int),
+    )
+    return "hierarchy_sort", [RunSpec("hierarchy_sort", c) for c in cells]
+
+
+_SWEEP_COLUMNS = {
+    "sort_pdm": (
+        ["workload", "n", "memory", "block", "disks", "seed", "matcher",
+         "ios", "bound", "ratio", "depth", "balance", "cached"],
+        lambda p, r, cached: [
+            p["workload"], p["n"], p["memory"], p["block"], p["disks"],
+            p["seed"], p.get("matcher", "derandomized"), r["parallel_ios"],
+            r["theorem1_bound"], round(r["ratio"], 2), r["recursion_depth"],
+            round(r["balance_factor"], 2), cached,
+        ],
+    ),
+    "compare_pdm": (
+        ["algorithm", "workload", "n", "memory", "block", "disks", "seed",
+         "ios", "ratio", "cached"],
+        lambda p, r, cached: [
+            r["algorithm"], p["workload"], p["n"], p["memory"], p["block"],
+            p["disks"], p["seed"], r["parallel_ios"], round(r["ratio"], 2),
+            cached,
+        ],
+    ),
+    "hierarchy_sort": (
+        ["model", "cost", "h", "n", "workload", "seed", "total time",
+         "steps", "balance", "cached"],
+        lambda p, r, cached: [
+            r["model"], p.get("cost", "log"), p["h"], p["n"], p["workload"],
+            p["seed"], round(r["total_time"], 1), r["parallel_steps"],
+            round(r["balance_factor"], 2), cached,
+        ],
+    ),
+}
+
+
+def cmd_sweep(args) -> int:
+    """Run a parameter grid through the ParallelRunner and print the table.
+
+    Grid cells are independent seeded simulations: ``--jobs N`` shards
+    them across worker processes, ``--cache-dir`` serves repeated cells
+    from the content-hashed result cache, and results always come back in
+    grid order — the table is bit-identical whether the sweep ran
+    serially, on a pool, or from cache.  Runner statistics go to stderr
+    so stdout stays deterministic.
+    """
+    from .exec import ParallelRunner, merge_metrics, merge_trace_events, write_merged_trace
+    from .obs import summarize_trace
+
+    task, specs = _sweep_specs(args)
+    runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    results = runner.map(specs)
+    payloads = [r.payload for r in results]
+
+    columns, row_fn = _SWEEP_COLUMNS[task]
+    t = Table(columns, title=f"sweep · {task} · {len(results)} cells")
+    rows = []
+    for res in results:
+        cells = row_fn(res.spec.params, res.result, res.cached)
+        t.add(*cells)
+        rows.append({**res.result, "params": dict(res.spec.params),
+                     "cached": res.cached})
+
+    if args.trace_out:
+        write_merged_trace(payloads, args.trace_out)
+
+    show_table = True
+    if args.emit_json is not None or args.trace_out is not None:
+        report = RunReport(
+            command="sweep",
+            params={
+                k: v for k, v in vars(args).items()
+                if k not in ("command", "emit_json", "trace_out", "jobs", "cache_dir")
+            },
+            result={"task": task, "n_cells": len(results), "rows": rows},
+            metrics=merge_metrics(payloads).export(),
+            trace_summary=summarize_trace(merge_trace_events(payloads)),
+        )
+        if args.emit_json:
+            report.write(args.emit_json)
+            show_table = args.emit_json != "-"
+    if show_table:
+        t.print()
+    stats = runner.stats
+    print(
+        f"[sweep] jobs={stats['jobs']} executed={stats['executed']} "
+        f"cached={stats['served_from_cache']} "
+        f"cache_hits={stats['cache']['hits']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_report(args) -> int:
     """Summarize a saved JSONL trace: phases, balance timeline, stripes."""
     import json
@@ -335,6 +520,7 @@ def main(argv: list[str] | None = None) -> int:
         "sort": cmd_sort,
         "compare": cmd_compare,
         "hierarchy": cmd_hierarchy,
+        "sweep": cmd_sweep,
         "report": cmd_report,
         "workloads": cmd_workloads,
     }[args.command]

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..exceptions import InvariantViolation, ParameterError
 from ..records import composite_keys, pad_records
+from .kernels import get_backend
 from .matching import (
     MatchingInstance,
     MatchResult,
@@ -126,6 +127,11 @@ class BalanceEngine:
         ``"randomized"`` (Algorithm 7), ``"greedy"``, or ``"mincost"``
         (Section 6 conjecture); or a callable ``(MatchingInstance,
         BalanceMatrices, rng) -> MatchResult``.
+    backend:
+        Kernel backend for the hot loops: ``"vectorized"`` (NumPy,
+        default), ``"scalar"`` (the reference Python loops), or ``None``
+        to follow the process default (see :mod:`repro.core.kernels`).
+        Both backends are bit-identical in every observable output.
     """
 
     def __init__(
@@ -135,6 +141,7 @@ class BalanceEngine:
         matcher: str | Callable = "derandomized",
         rng: np.random.Generator | None = None,
         check_invariants: bool = True,
+        backend: str | None = None,
     ):
         pivots = np.asarray(pivots, dtype=np.uint64)
         if pivots.size and np.any(pivots[1:] < pivots[:-1]):
@@ -152,6 +159,9 @@ class BalanceEngine:
         self.matcher = matcher
         self.rng = rng or np.random.default_rng(0)
         self.check_invariants = check_invariants
+        # Kernel backend name (None = follow the process default at call
+        # time, so `kernels.use_backend(...)` contexts apply here too).
+        self.kernel_backend = backend
         self.stats = EngineStats()
         self._partials: list[list[np.ndarray]] = [[] for _ in range(self.n_buckets)]
         self._partial_sizes = np.zeros(self.n_buckets, dtype=np.int64)
@@ -249,41 +259,27 @@ class BalanceEngine:
             raise ParameterError("engine already finished")
         if records.size == 0:
             return
+        kernels = get_backend(self.kernel_backend)
         self.stats.records_fed += int(records.size)
         buckets = np.searchsorted(self.pivots, composite_keys(records), side="right")
         order = np.argsort(buckets, kind="stable")
         sorted_recs = records[order]
         sorted_buckets = buckets[order]
-        boundaries = np.searchsorted(sorted_buckets, np.arange(self.n_buckets + 1))
         vb = self.block_size
-        for b in range(self.n_buckets):
-            chunk = sorted_recs[boundaries[b] : boundaries[b + 1]]
-            if chunk.size == 0:
-                continue
+        for b, chunk in kernels.bucket_chunks(
+            sorted_recs, sorted_buckets, self.n_buckets
+        ):
             self._bucket_records[b] += int(chunk.size)
             self._partials[b].append(chunk)
             self._partial_sizes[b] += chunk.size
-            while self._partial_sizes[b] >= vb:
-                block = self._carve_block(b)
-                self._queue.append((b, block, self.block_size))
-
-    def _carve_block(self, b: int) -> np.ndarray:
-        """Take exactly one virtual block's worth from bucket b's partials."""
-        vb = self.block_size
-        parts = []
-        need = vb
-        while need > 0:
-            head = self._partials[b][0]
-            if head.shape[0] <= need:
-                parts.append(head)
-                need -= head.shape[0]
-                self._partials[b].pop(0)
-            else:
-                parts.append(head[:need])
-                self._partials[b][0] = head[need:]
-                need = 0
-        self._partial_sizes[b] -= vb
-        return np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+            if self._partial_sizes[b] >= vb:
+                blocks, rem_parts, rem_size = kernels.carve_full_blocks(
+                    self._partials[b], int(self._partial_sizes[b]), vb
+                )
+                self._partials[b] = rem_parts
+                self._partial_sizes[b] = rem_size
+                for block in blocks:
+                    self._queue.append((b, block, vb))
 
     @property
     def queued_blocks(self) -> int:
@@ -406,9 +402,11 @@ class BalanceEngine:
         if callable(self.matcher):
             return self.matcher(instance, self.matrices, self.rng)
         if self.matcher == "derandomized":
-            return derandomized_partial_match(instance)
+            return derandomized_partial_match(instance, backend=self.kernel_backend)
         if self.matcher == "randomized":
-            return randomized_partial_match(instance, self.rng)
+            return randomized_partial_match(
+                instance, self.rng, backend=self.kernel_backend
+            )
         if self.matcher == "greedy":
             return greedy_match(instance)
         if self.matcher == "mincost":
@@ -436,6 +434,7 @@ class BalanceEngine:
         """Pad partial blocks, place everything, and return the bucket runs."""
         if self._finished:
             raise ParameterError("engine already finished")
+        kernels = get_backend(self.kernel_backend)
         vb = self.block_size
         for b in range(self.n_buckets):
             if self._partial_sizes[b] > 0:
@@ -447,9 +446,8 @@ class BalanceEngine:
                 self.stats.pad_records += n_pad
                 self._partials[b] = []
                 self._partial_sizes[b] = 0
-                for i in range(0, padded.shape[0], vb):
-                    fill = min(vb, max(0, true_n - i))
-                    self._queue.append((b, padded[i : i + vb], fill))
+                for block, fill in kernels.tail_blocks(padded, true_n, vb):
+                    self._queue.append((b, block, fill))
         self.run_rounds(drain_below=0, drain=True)
         self._finished = True
         return [

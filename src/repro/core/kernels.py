@@ -1,0 +1,278 @@
+"""Selectable compute kernels for the Balance-engine hot paths.
+
+The per-round bookkeeping of the Balance engine (Algorithm 3) and the
+conflict-resolution step of the matchers (Algorithm 7, step 2) were
+originally written as straightforward per-bucket / per-vertex Python
+loops.  Those loops are exactly the "CPU work" the paper charges to its
+PRAM — simulating them record-by-record in Python is where the wall-clock
+of large grid sweeps goes.
+
+This module provides two interchangeable **kernel backends**:
+
+* ``"scalar"`` — the original pure-Python loops, kept verbatim as the
+  reference semantics;
+* ``"vectorized"`` — NumPy formulations of the same computations.
+
+Both backends are required (and tested, see
+``tests/test_kernels_differential.py``) to be **bit-identical**: same
+queue entries in the same order, same records in every emitted block, and
+therefore the same I/O schedule, matrices, and ``IOStats`` on any seeded
+run.  The vectorized backend is the default; select globally with
+:func:`set_default_backend` / the ``REPRO_KERNEL_BACKEND`` environment
+variable, per call site with the ``backend=`` parameters on
+:class:`~repro.core.balance.BalanceEngine` and the matchers, or
+temporarily with the :func:`use_backend` context manager.
+
+Kernel surface
+--------------
+``bucket_chunks``
+    Split a bucket-sorted record chunk into per-bucket sub-arrays
+    (Algorithm 3 step 1's "collect into virtual blocks" feed path,
+    previously the per-bucket loop in ``balance.feed``).
+``carve_full_blocks``
+    Carve every full virtual block out of a bucket's buffered partial
+    chunks (previously ``BalanceEngine._carve_block`` in a while loop).
+``tail_blocks``
+    Slice a bucket's padded tail into (block, fill) pairs at flush time
+    (previously the stripe-assembly loop in ``BalanceEngine.flush``).
+``resolve_conflicts``
+    Algorithm 7 step 2 — smallest-numbered ``u`` wins each contested
+    ``v`` (previously the pick loop in ``matching._resolve_conflicts``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "KernelBackend",
+    "ScalarBackend",
+    "VectorizedBackend",
+    "BACKENDS",
+    "get_backend",
+    "default_backend_name",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+class KernelBackend:
+    """Interface of a kernel backend (see module docstring)."""
+
+    name = "abstract"
+
+    # -- feed path -------------------------------------------------------
+
+    @staticmethod
+    def bucket_chunks(sorted_recs, sorted_buckets, n_buckets):
+        """Yield ``(bucket, chunk)`` for every non-empty bucket, ascending.
+
+        ``sorted_recs`` holds the chunk's records stably sorted by bucket;
+        ``sorted_buckets`` the matching bucket ids.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def carve_full_blocks(parts, buffered, vb):
+        """Carve full blocks from ``parts`` (arrival-ordered arrays).
+
+        Returns ``(blocks, remainder_parts, remainder_size)`` where
+        ``blocks`` is the list of exactly-``vb``-record arrays in carve
+        order and ``remainder_parts`` the leftover (< ``vb`` records).
+        """
+        raise NotImplementedError
+
+    # -- flush path ------------------------------------------------------
+
+    @staticmethod
+    def tail_blocks(padded, true_n, vb):
+        """Slice a padded tail into ``(block, fill)`` pairs in order."""
+        raise NotImplementedError
+
+    # -- matching --------------------------------------------------------
+
+    @staticmethod
+    def resolve_conflicts(u_channels, picks):
+        """Algorithm 7 step 2: smallest-numbered ``u`` wins each ``v``.
+
+        ``picks[i]`` is vertex ``i``'s picked channel (−1 = no pick);
+        returns ``[(u_channel, v), ...]`` ordered by vertex index.
+        """
+        raise NotImplementedError
+
+
+class ScalarBackend(KernelBackend):
+    """The original pure-Python loops (reference semantics)."""
+
+    name = "scalar"
+
+    @staticmethod
+    def bucket_chunks(sorted_recs, sorted_buckets, n_buckets):
+        """Per-bucket loop over all S buckets, slicing at searchsorted edges."""
+        boundaries = np.searchsorted(sorted_buckets, np.arange(n_buckets + 1))
+        for b in range(n_buckets):
+            chunk = sorted_recs[boundaries[b] : boundaries[b + 1]]
+            if chunk.size == 0:
+                continue
+            yield b, chunk
+
+    @staticmethod
+    def carve_full_blocks(parts, buffered, vb):
+        """Head-of-queue while-loop carving one ``vb``-record block at a time."""
+        parts = list(parts)
+        blocks = []
+        while buffered >= vb:
+            taken = []
+            need = vb
+            while need > 0:
+                head = parts[0]
+                if head.shape[0] <= need:
+                    taken.append(head)
+                    need -= head.shape[0]
+                    parts.pop(0)
+                else:
+                    taken.append(head[:need])
+                    parts[0] = head[need:]
+                    need = 0
+            buffered -= vb
+            blocks.append(np.concatenate(taken) if len(taken) > 1 else taken[0].copy())
+        return blocks, parts, buffered
+
+    @staticmethod
+    def tail_blocks(padded, true_n, vb):
+        """Stride loop slicing ``vb``-wide windows with per-window fill."""
+        out = []
+        for i in range(0, padded.shape[0], vb):
+            fill = min(vb, max(0, true_n - i))
+            out.append((padded[i : i + vb], fill))
+        return out
+
+    @staticmethod
+    def resolve_conflicts(u_channels, picks):
+        """First-come loop over vertex indices with a seen-``v`` set."""
+        pairs = []
+        seen: set[int] = set()
+        for i in range(picks.size):
+            v = int(picks[i])
+            if v >= 0 and v not in seen:
+                seen.add(v)
+                pairs.append((u_channels[i], v))
+        return pairs
+
+
+class VectorizedBackend(KernelBackend):
+    """NumPy formulations of the same kernels (bit-identical outputs)."""
+
+    name = "vectorized"
+
+    @staticmethod
+    def bucket_chunks(sorted_recs, sorted_buckets, n_buckets):
+        """One ``np.unique`` over the present buckets; slice between starts."""
+        # Only the buckets actually present — one np.unique call instead of
+        # an S-iteration Python loop (S can be ≫ the number of non-empty
+        # buckets deep in the recursion).
+        present, starts = np.unique(sorted_buckets, return_index=True)
+        ends = np.append(starts[1:], sorted_buckets.size)
+        for b, lo, hi in zip(present.tolist(), starts.tolist(), ends.tolist()):
+            yield int(b), sorted_recs[lo:hi]
+
+    @staticmethod
+    def carve_full_blocks(parts, buffered, vb):
+        """Single concatenate, then stride-slice every full block at once."""
+        n_full = buffered // vb
+        if n_full == 0:
+            return [], list(parts), buffered
+        buf = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        cut = n_full * vb
+        blocks = [buf[i * vb : (i + 1) * vb] for i in range(n_full)]
+        remainder = buf[cut:]
+        rem_parts = [remainder] if remainder.shape[0] else []
+        return blocks, rem_parts, buffered - cut
+
+    @staticmethod
+    def tail_blocks(padded, true_n, vb):
+        """Vectorized window starts + ``np.clip`` fills, sliced in one pass."""
+        starts = np.arange(0, padded.shape[0], vb)
+        fills = np.clip(true_n - starts, 0, vb)
+        return [
+            (padded[s : s + vb], int(f))
+            for s, f in zip(starts.tolist(), fills.tolist())
+        ]
+
+    @staticmethod
+    def resolve_conflicts(u_channels, picks):
+        """``np.unique(return_index=True)`` keeps each ``v``'s first claimant."""
+        valid = np.nonzero(picks >= 0)[0]
+        if valid.size == 0:
+            return []
+        vs = picks[valid]
+        # np.unique's return_index is the *first* occurrence of each value
+        # in `vs`; first occurrence == smallest vertex index because
+        # `valid` is ascending.  Re-sorting the kept indices restores the
+        # scalar loop's output order (by vertex index).
+        _, first = np.unique(vs, return_index=True)
+        keep = np.sort(first)
+        return [
+            (u_channels[int(valid[i])], int(vs[i]))
+            for i in keep.tolist()
+        ]
+
+
+BACKENDS: dict[str, KernelBackend] = {
+    ScalarBackend.name: ScalarBackend(),
+    VectorizedBackend.name: VectorizedBackend(),
+}
+
+_state = threading.local()
+
+
+def default_backend_name() -> str:
+    """The process-wide default backend name.
+
+    Resolution order: :func:`set_default_backend` /
+    :func:`use_backend` override → ``REPRO_KERNEL_BACKEND`` environment
+    variable → ``"vectorized"``.
+    """
+    override = getattr(_state, "name", None)
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_KERNEL_BACKEND", VectorizedBackend.name)
+
+
+def set_default_backend(name: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    if name is not None and name not in BACKENDS:
+        raise ParameterError(
+            f"unknown kernel backend {name!r} (have {sorted(BACKENDS)})"
+        )
+    _state.name = name
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend: explicit ``name``, else the current default."""
+    if name is None:
+        name = default_backend_name()
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown kernel backend {name!r} (have {sorted(BACKENDS)})"
+        ) from None
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily make ``name`` the default backend (re-entrant)."""
+    get_backend(name)  # validate eagerly
+    prev = getattr(_state, "name", None)
+    _state.name = name
+    try:
+        yield BACKENDS[name]
+    finally:
+        _state.name = prev

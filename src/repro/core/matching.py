@@ -39,6 +39,7 @@ import numpy as np
 
 from ..exceptions import InvariantViolation
 from ..util.pairwise import PairwiseSpace
+from .kernels import get_backend
 
 __all__ = [
     "MatchingInstance",
@@ -175,6 +176,7 @@ def randomized_partial_match(
     instance: MatchingInstance,
     rng: np.random.Generator,
     max_rounds: int = 1000,
+    backend: str | None = None,
 ) -> MatchResult:
     """Algorithm 7 verbatim (randomized).
 
@@ -197,25 +199,27 @@ def randomized_partial_match(
         unresolved = unresolved[~hit]
     if unresolved.size:
         raise InvariantViolation("randomized matching failed to find neighbors")
-    pairs = _resolve_conflicts(instance, picks)
+    pairs = _resolve_conflicts(instance, picks, backend)
     result = MatchResult(pairs=pairs, picking_rounds=rounds)
     _validate(instance, pairs)
     return result
 
 
-def _resolve_conflicts(instance: MatchingInstance, picks: np.ndarray) -> list:
-    """Smallest-numbered u wins each contested v (Algorithm 7, step 2)."""
-    pairs = []
-    seen: set[int] = set()
-    for i in range(picks.size):
-        v = int(picks[i])
-        if v >= 0 and v not in seen:
-            seen.add(v)
-            pairs.append((instance.u_channels[i], v))
-    return pairs
+def _resolve_conflicts(
+    instance: MatchingInstance, picks: np.ndarray, backend: str | None = None
+) -> list:
+    """Smallest-numbered u wins each contested v (Algorithm 7, step 2).
+
+    Dispatched through the kernel backend (:mod:`repro.core.kernels`):
+    the scalar reference loop and the vectorized ``np.unique`` kernel are
+    bit-identical (same pairs, same order).
+    """
+    return get_backend(backend).resolve_conflicts(instance.u_channels, picks)
 
 
-def derandomized_partial_match(instance: MatchingInstance) -> MatchResult:
+def derandomized_partial_match(
+    instance: MatchingInstance, backend: str | None = None
+) -> MatchResult:
     """Theorem 5: deterministic ≥ ⌈H'/4⌉ matching via the pairwise space.
 
     Every sample point ``(a, b) ∈ Z_p²`` deterministically drives the
@@ -246,7 +250,7 @@ def derandomized_partial_match(instance: MatchingInstance) -> MatchResult:
             undecided = undecided[~ok]
             if undecided.size == 0:
                 break
-        pairs = _resolve_conflicts(instance, picks)
+        pairs = _resolve_conflicts(instance, picks, backend)
         if len(pairs) >= target:
             result = MatchResult(pairs=pairs, picking_rounds=DERAND_RETRIES, sample_points_tried=tried)
             _validate(instance, pairs)

@@ -1,0 +1,100 @@
+"""Content-addressed result cache for the parallel runner.
+
+Each entry maps a config fingerprint (see
+:mod:`repro.exec.fingerprint`) to the run's full payload — result
+summary, metrics export, and trace events — stored as one JSON file
+``<digest>.json`` in the cache directory.  Repeated grid cells (the same
+``N × D × S × seed`` point appearing in several sweeps, or a re-run after
+an interrupted benchmark) are then served without re-simulating.
+
+``ResultCache(None)`` keeps entries in memory only — useful for
+deduplicating *within* one sweep without touching disk.  All writes are
+atomic (``os.replace`` of a temp file), so a crashed worker can never
+leave a truncated JSON behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Fingerprint → payload store (directory-backed or in-memory)."""
+
+    def __init__(self, directory: str | None = None):
+        self.directory = directory
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------ lookups
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")  # type: ignore[arg-type]
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or None (counts hit/miss)."""
+        payload = self._memory.get(key)
+        if payload is None and self.directory:
+            try:
+                with open(self._path(key)) as fh:
+                    payload = json.load(fh)
+                self._memory[key] = payload
+            except FileNotFoundError:
+                payload = None
+            except json.JSONDecodeError:
+                payload = None  # treat a corrupt entry as a miss; put() rewrites it
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` (atomic on disk)."""
+        self._memory[key] = payload
+        self.stores += 1
+        if not self.directory:
+            return
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Hit/miss/store counters plus the backing directory."""
+        return {
+            "directory": self.directory,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return bool(self.directory) and os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        if not self.directory:
+            return len(self._memory)
+        return sum(1 for n in os.listdir(self.directory) if n.endswith(".json"))

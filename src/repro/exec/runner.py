@@ -1,0 +1,194 @@
+"""The ParallelRunner: shard independent simulation runs across cores.
+
+Every benchmark grid (E1–E13), ``repro compare`` sweep, and workload
+matrix is a list of *independent* deterministic simulations — exactly the
+shape Rahn–Sanders–Singler exploit when they turn an external-sort
+algorithm into a system: the engineering is in the execution layer, not
+the algorithm.  :class:`ParallelRunner` is that layer for this repo:
+
+* **sharding** — grid cells run in a ``ProcessPoolExecutor`` (``jobs``
+  workers); each worker re-creates the simulation from its
+  :class:`RunSpec` (task name + params), so nothing unpicklable crosses
+  the process boundary;
+* **content-hashed cache** — every cell is fingerprinted
+  (:mod:`repro.exec.fingerprint`); hits skip execution entirely
+  (:mod:`repro.exec.cache`);
+* **deterministic ordering** — results come back in spec order no matter
+  which worker finished first, so tables and reports are bit-identical
+  to a serial run;
+* **observability merging** — per-run metrics/trace payloads fold into a
+  single registry / trace via :mod:`repro.exec.merge`.
+
+``jobs=None`` or ``jobs<=1`` runs serially in-process (no pool, no
+pickling) but through the same cache and payload path, which is what
+makes serial-vs-parallel bit-identity testable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .cache import ResultCache
+from .fingerprint import fingerprint
+from .tasks import run_task
+
+__all__ = ["RunSpec", "RunResult", "ParallelRunner", "grid"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One grid cell: a registered task name plus its parameter dict."""
+
+    task: str
+    params: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """The cell's content hash (cache key)."""
+        return fingerprint(self.task, self.params)
+
+
+@dataclass
+class RunResult:
+    """One executed (or cache-served) grid cell, in spec order."""
+
+    spec: RunSpec
+    payload: dict
+    cached: bool = False
+    key: str = ""
+
+    @property
+    def result(self) -> dict:
+        """The task's result summary (``payload["result"]``)."""
+        return self.payload["result"]
+
+
+def grid(**axes) -> list[dict]:
+    """The cartesian product of parameter axes, in deterministic order.
+
+    ``grid(n=[4000, 16000], disks=[4, 8])`` yields four dicts; the last
+    axis varies fastest (row-major over the axes in keyword order).
+    Scalar values are broadcast as single-value axes.
+    """
+    cells: list[dict] = [{}]
+    for name, values in axes.items():
+        if not isinstance(values, (list, tuple)):
+            values = [values]
+        cells = [{**cell, name: v} for cell in cells for v in values]
+    return cells
+
+
+def _execute(task: str, params: dict) -> dict:
+    """Worker entry point (top-level, hence picklable)."""
+    return run_task(task, params)
+
+
+class ParallelRunner:
+    """Run specs across a process pool with caching and stable ordering.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None``, 0, or 1 → serial in-process
+        execution (identical results; no pool overhead).
+    cache_dir:
+        Directory for the content-hashed result cache; ``None`` keeps an
+        in-memory cache (still deduplicates repeated specs in one
+        process).
+    cache:
+        Pass an existing :class:`ResultCache` to share across runners.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+        cache: ResultCache | None = None,
+    ):
+        self.jobs = int(jobs) if jobs else 0
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache or cache_dir, not both")
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.executed = 0
+        self.served_from_cache = 0
+
+    # ---------------------------------------------------------------- map
+
+    def map(self, specs: Iterable[RunSpec]) -> list[RunResult]:
+        """Execute every spec; results return in spec order.
+
+        Cache hits are served without execution; duplicate specs within
+        one call execute once (the second occurrence is a cache hit even
+        with an in-memory cache).  Misses run serially or on the pool
+        depending on ``jobs``; either way the returned list is ordered by
+        input position, so downstream tables are bit-identical to a
+        serial sweep.
+        """
+        specs = list(specs)
+        keys = [spec.fingerprint() for spec in specs]
+        results: list[RunResult | None] = [None] * len(specs)
+
+        # Serve cache hits; collect the first occurrence of each missing key.
+        pending: dict[str, int] = {}
+        order: list[int] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            if key in pending:
+                continue  # duplicate of an in-flight miss; filled below
+            payload = self.cache.get(key)
+            if payload is not None:
+                results[i] = RunResult(spec=spec, payload=payload, cached=True, key=key)
+                self.served_from_cache += 1
+            else:
+                pending[key] = i
+                order.append(i)
+
+        # Execute the misses (pool when jobs > 1, else inline).
+        if order:
+            if self.jobs > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = [
+                        pool.submit(_execute, specs[i].task, specs[i].params)
+                        for i in order
+                    ]
+                    payloads = [f.result() for f in futures]
+            else:
+                payloads = [
+                    _execute(specs[i].task, specs[i].params) for i in order
+                ]
+            for i, payload in zip(order, payloads):
+                self.cache.put(keys[i], payload)
+                results[i] = RunResult(
+                    spec=specs[i], payload=payload, cached=False, key=keys[i]
+                )
+                self.executed += 1
+
+        # Fill duplicates / late cache hits from the now-warm cache.
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            if results[i] is None:
+                payload = self.cache.get(key)
+                assert payload is not None  # just stored above
+                results[i] = RunResult(spec=spec, payload=payload, cached=True, key=key)
+                self.served_from_cache += 1
+        return results  # type: ignore[return-value]
+
+    # -------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Execution and cache counters for reporting."""
+        return {
+            "jobs": self.jobs or 1,
+            "executed": self.executed,
+            "served_from_cache": self.served_from_cache,
+            "cache": self.cache.stats,
+        }
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: the usable core count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

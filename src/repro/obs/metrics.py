@@ -249,6 +249,65 @@ class MetricsRegistry:
                 out[k] = sub
         return out
 
+    def merge_export(self, exported: dict) -> None:
+        """Fold a previously exported registry dict back into this registry.
+
+        The inverse of :meth:`export`, used by the parallel runner
+        (:mod:`repro.exec`) to combine per-worker registries into one:
+        counters add, gauges keep the last value while widening their
+        min/max watermarks, histograms re-accumulate their distributions
+        (exact histograms replay every value; bucketed histograms add
+        their bucket counts, which requires identical bucket bounds).
+        Scopes merge recursively; merging is associative, so worker order
+        only affects gauge *values* (never counters or histograms).
+        """
+        for key, val in exported.items():
+            if key == "counters":
+                for name, v in val.items():
+                    self.counter(name).inc(int(v))
+            elif key == "gauges":
+                for name, g in val.items():
+                    inst = self.gauge(name)
+                    # set() min/max/value in turn: widens the watermarks
+                    # and leaves `value` at the incoming last-value.
+                    inst.set(g["min"])
+                    inst.set(g["max"])
+                    inst.set(g["value"])
+            elif key == "histograms":
+                for name, h in val.items():
+                    self._merge_histogram(name, h)
+            else:
+                self.scope(key).merge_export(val)
+
+    def _merge_histogram(self, name: str, data: dict) -> None:
+        dist = data.get("dist", {})
+        labels = list(dist)
+        if labels and labels[0].startswith("le="):
+            bounds = [float(l[3:]) for l in labels if l != "le=+Inf"]
+            inst = self.histogram(name, buckets=bounds)
+            if inst.buckets != sorted(bounds):
+                raise TypeError(
+                    f"histogram {name!r}: cannot merge mismatched buckets "
+                    f"{bounds} into {inst.buckets}"
+                )
+            for i, label in enumerate(labels):
+                inst.counts[i] += int(dist[label])
+            inst.count += int(data.get("count", 0))
+            inst.sum += float(data.get("sum", 0.0))
+            for attr, better in (("min", min), ("max", max)):
+                incoming = data.get(attr)
+                if incoming is not None:
+                    current = getattr(inst, attr)
+                    setattr(
+                        inst, attr,
+                        incoming if current is None else better(current, incoming),
+                    )
+        else:
+            inst = self.histogram(name)
+            for key, n in dist.items():
+                value = float(key)
+                inst.observe(int(value) if value.is_integer() else value, int(n))
+
     def reset(self) -> None:
         """Zero every instrument in this scope and all child scopes."""
         for group in (self._counters, self._gauges, self._histograms):

@@ -1,0 +1,125 @@
+"""Golden-trace regression corpus.
+
+Each file under ``tests/golden/`` is one canonical exec payload
+(``repro.exec_payload/1``): the full result + merged metrics + zero-clock
+trace of a small, fast, deterministic run.  The test re-executes the
+run from the stored ``(task, params)`` and requires the fresh payload to
+equal the stored one *exactly* — any drift in I/O counts, metrics,
+trace structure, or result schema fails loudly with the offending paths.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_reports.py --regen
+
+and commit the diff; the diff *is* the review artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import run_task
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: The corpus: small enough to re-run in seconds, wide enough to cover
+#: every task type and both PDM algorithm families.
+CASES = {
+    "sort_pdm_small": (
+        "sort_pdm",
+        {"n": 2000, "memory": 512, "block": 4, "disks": 4,
+         "workload": "uniform", "seed": 0, "verify": True},
+    ),
+    "sort_pdm_adversarial": (
+        "sort_pdm",
+        {"n": 1500, "memory": 512, "block": 2, "disks": 8,
+         "workload": "adversarial_striping", "seed": 2},
+    ),
+    "compare_pdm_greed": (
+        "compare_pdm",
+        {"algorithm": "greed", "n": 2000, "memory": 512, "block": 4,
+         "disks": 4, "workload": "uniform", "seed": 1},
+    ),
+    "hierarchy_sort_umh": (
+        "hierarchy_sort",
+        {"n": 1024, "h": 64, "model": "hmm", "cost": "umh",
+         "workload": "uniform", "seed": 0},
+    ),
+}
+
+
+def _path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def _diff_paths(a, b, prefix=""):
+    """Paths where two JSON-ish values disagree (first 20)."""
+    out = []
+    if type(a) is not type(b):
+        return [f"{prefix or '$'}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                out.append(f"{prefix}.{k}: only in fresh")
+            elif k not in b:
+                out.append(f"{prefix}.{k}: only in golden")
+            else:
+                out.extend(_diff_paths(a[k], b[k], f"{prefix}.{k}"))
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{prefix}: length {len(a)} != {len(b)}")
+        for i, (x, y) in enumerate(zip(a, b)):
+            out.extend(_diff_paths(x, y, f"{prefix}[{i}]"))
+    elif a != b:
+        out.append(f"{prefix or '$'}: {a!r} != {b!r}")
+    return out[:20]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_payload_unchanged(name):
+    task, params = CASES[name]
+    path = _path(name)
+    assert os.path.exists(path), (
+        f"missing golden file {path}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
+    )
+    with open(path) as fh:
+        golden = json.load(fh)
+    # The stored file must itself be self-consistent with the corpus.
+    assert golden["task"] == task
+    assert golden["params"] == params
+    fresh = run_task(task, params)
+    if fresh != golden:
+        diff = "\n  ".join(_diff_paths(golden, fresh))
+        pytest.fail(
+            f"golden payload {name!r} drifted; first differing paths "
+            f"(golden != fresh):\n  {diff}\nIf intentional, regenerate and "
+            f"commit the diff."
+        )
+
+
+def test_golden_corpus_has_no_strays():
+    """Every .json in tests/golden/ belongs to a declared case."""
+    files = {f[:-5] for f in os.listdir(GOLDEN_DIR) if f.endswith(".json")}
+    assert files == set(CASES)
+
+
+def regenerate():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, (task, params) in sorted(CASES.items()):
+        payload = run_task(task, params)
+        with open(_path(name), "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {_path(name)} "
+              f"({os.path.getsize(_path(name))} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
