@@ -45,7 +45,7 @@ from ..exceptions import ParameterError
 from ..pdm.machine import ParallelDiskMachine
 from ..pdm.striping import VirtualDisks
 from ..pram.sorting import cole_merge_sort
-from ..records import composite_keys
+from ..records import composite_keys, concat_records
 from ..core.streams import (
     OrderedRun,
     load_ordered_run,
@@ -134,7 +134,7 @@ def greed_sort(
     def emit(chunks, size):
         if size == 0:
             return
-        load = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        load = concat_records(chunks) if len(chunks) > 1 else chunks[0]
         # Stagger each run's round-robin phase so lockstep merging does not
         # ask every run for a block on the same disk (NoV's layout).
         runs.append(
@@ -255,7 +255,7 @@ def _greedy_merge(
         nonlocal out_parts, out_count
         if not out_parts:
             return
-        data = np.concatenate(out_parts)
+        data = concat_records(out_parts)
         # Write only in full-machine-width batches so every output I/O uses
         # all D disks (tiny trickle writes would serialize the array).
         if not final and data.shape[0] < full_width:
@@ -300,8 +300,8 @@ def _greedy_merge(
                 room -= k
         if claims:
             refs = [c.pending[i] for c, k in claims for i in range(k)]
-            blocks = storage.parallel_read([r.address for r in refs])
-            storage.free([r.address for r in refs])
+            addresses = [r.address for r in refs]
+            blocks = storage.parallel_read_arr(addresses, free=True)
             bi = 0
             for c, k in claims:
                 parts = [] if c.buffer is None or c.buffer.size == 0 else [c.buffer]
@@ -313,7 +313,7 @@ def _greedy_merge(
                     if n_pad:
                         storage.release_memory(n_pad)
                     parts.append(block)
-                c.buffer = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                c.buffer = parts[0] if len(parts) == 1 else concat_records(parts)
                 c.buffered_blocks += k
                 total_buffered += k
 
@@ -337,7 +337,7 @@ def _greedy_merge(
                 total_buffered -= c.buffered_blocks
                 c.buffered_blocks = -(-int(c.buffer.shape[0]) // vb)
                 total_buffered += c.buffered_blocks
-        block = np.concatenate(emit_parts)
+        block = concat_records(emit_parts)
         out_parts.append(block[np.argsort(composite_keys(block), kind="stable")])
         flush_output()
     flush_output(final=True)
@@ -382,7 +382,7 @@ def _approximate_merge(
         nonlocal buffered, buffered_n, out_count
         if buffered_n == 0:
             return
-        data = np.concatenate(buffered) if len(buffered) > 1 else buffered[0]
+        data = concat_records(buffered) if len(buffered) > 1 else buffered[0]
         data = data[np.argsort(composite_keys(data), kind="stable")]
         if final:
             take = buffered_n
@@ -439,9 +439,8 @@ def _approximate_merge(
                     claims.append((c, k))
             if claims:
                 refs = [c.pending[i] for c, k in claims for i in range(k)]
-                blocks = storage.parallel_read([ref.address for ref in refs])
-                if free_source:
-                    storage.free([ref.address for ref in refs])
+                addresses = [ref.address for ref in refs]
+                blocks = storage.parallel_read_arr(addresses, free=free_source)
                 bi = 0
                 for c, k in claims:
                     parts = [] if c.buffer is None or c.buffer.size == 0 else [c.buffer]
@@ -453,7 +452,7 @@ def _approximate_merge(
                         if n_pad:
                             storage.release_memory(n_pad)
                         parts.append(block)
-                    c.buffer = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                    c.buffer = parts[0] if len(parts) == 1 else concat_records(parts)
             # move every cursor's buffered records into the shared pool,
             # remembering the last key as the run's forecast floor
             for c in cursors:
@@ -543,7 +542,7 @@ def _cleanup_pass(
         take = pending_n if final else (pending_n // width) * width
         if take == 0:
             return
-        data = np.concatenate(pending_out) if len(pending_out) > 1 else pending_out[0]
+        data = concat_records(pending_out) if len(pending_out) > 1 else pending_out[0]
         head, tail = data[:take], data[take:]
         written = write_ordered_run(
             storage, head, start_channel=stagger + len(out_blocks)
@@ -571,7 +570,7 @@ def _cleanup_pass(
     try:
         for chunk in read_run_batches(storage, run, free=free_source):
             held += int(chunk.shape[0])
-            merged = np.concatenate([pool, chunk])
+            merged = concat_records([pool, chunk])
             merged = merged[np.argsort(composite_keys(merged), kind="stable")]
             if merged.shape[0] > window:
                 emit(merged[: merged.shape[0] - window])

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..exceptions import ParameterError
 from ..hierarchies.parallel import ParallelHierarchies, VirtualHierarchies
-from ..records import composite_keys, sort_records
+from ..records import composite_keys, concat_records, sort_records
 from ..core.streams import (
     OrderedRun,
     load_ordered_run,
@@ -85,7 +85,7 @@ def hierarchy_merge_sort(
     def emit(chunks, size):
         if size == 0:
             return
-        load = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        load = concat_records(chunks) if len(chunks) > 1 else chunks[0]
         batches = -(-load.shape[0] // h)
         machine.charge_base_sort(rounds=batches)
         if batches > 1:  # binary merge of the ≤3 base-sorted lists
@@ -148,7 +148,7 @@ def _merge(machine, storage, in_runs: list[OrderedRun]) -> OrderedRun:
         nonlocal out_parts, out_count
         if not out_parts:
             return
-        data = np.concatenate(out_parts)
+        data = concat_records(out_parts)
         cut = data.shape[0] if final else (data.shape[0] // vb) * vb
         if cut == 0:
             out_parts = [data]
@@ -173,7 +173,7 @@ def _merge(machine, storage, in_runs: list[OrderedRun]) -> OrderedRun:
             if cut:
                 emit_parts.append(b[:cut])
                 buffers[i] = b[cut:]
-        block = np.concatenate(emit_parts)
+        block = concat_records(emit_parts)
         out_parts.append(block[np.argsort(composite_keys(block), kind="stable")])
         flush()
     flush(final=True)

@@ -27,7 +27,7 @@ from ..pdm.machine import ParallelDiskMachine
 from ..pdm.striping import VirtualDisks
 from ..pram.primitives import log2_ceil
 from ..pram.sorting import cole_merge_sort
-from ..records import composite_keys, pad_records
+from ..records import composite_keys, concat_records, pad_records
 from ..core.balance import BlockRef, BucketRun
 from ..core.partition import pdm_partition_elements
 from ..core.sort_pdm import default_bucket_count
@@ -102,7 +102,7 @@ class RandomizedPlacer:
             self._partials[b].append(chunk)
             self._sizes[b] += chunk.size
             while self._sizes[b] >= vb:
-                merged = np.concatenate(self._partials[b])
+                merged = concat_records(self._partials[b])
                 self._partials[b] = [merged[vb:]] if merged.shape[0] > vb else []
                 self._sizes[b] -= vb
                 self._queue.append((b, merged[:vb], vb))
@@ -138,7 +138,7 @@ class RandomizedPlacer:
         vb = self.block_size
         for b in range(self.n_buckets):
             if self._sizes[b] > 0:
-                tail = np.concatenate(self._partials[b])
+                tail = concat_records(self._partials[b])
                 padded = pad_records(tail, vb)
                 self.storage.acquire_memory(padded.shape[0] - tail.shape[0])
                 self._partials[b] = []

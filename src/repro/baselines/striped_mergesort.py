@@ -26,7 +26,7 @@ from ..exceptions import ParameterError
 from ..pdm.machine import ParallelDiskMachine
 from ..pdm.striping import fully_striped_view
 from ..pram.sorting import cole_merge_sort
-from ..records import RECORD_DTYPE, composite_keys
+from ..records import RECORD_DTYPE, composite_keys, concat_records
 from ..core.streams import (
     OrderedRun,
     load_ordered_run,
@@ -88,7 +88,7 @@ def striped_merge_sort(
     def emit(chunks: list, size: int) -> None:
         if size == 0:
             return
-        load = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        load = concat_records(chunks) if len(chunks) > 1 else chunks[0]
         ordered = cole_merge_sort(machine.cpu, load)
         runs.append(write_ordered_run(storage, ordered))
 
@@ -142,7 +142,7 @@ def _merge_runs(machine, storage, in_runs: list[OrderedRun]) -> OrderedRun:
         nonlocal out_parts, out_count
         if not out_parts:
             return
-        data = np.concatenate(out_parts)
+        data = concat_records(out_parts)
         cut = data.shape[0] if final else (data.shape[0] // superblock) * superblock
         if cut == 0:
             out_parts = [data]
@@ -181,7 +181,7 @@ def _merge_runs(machine, storage, in_runs: list[OrderedRun]) -> OrderedRun:
                 emit_parts.append(b[:cut])
                 buffers[i] = b[cut:]
         # The boundary-owning run's whole buffer is emitted ⇒ progress.
-        block = np.concatenate(emit_parts)
+        block = concat_records(emit_parts)
         out_parts.append(block[np.argsort(composite_keys(block), kind="stable")])
         flush_output()
     flush_output(final=True)

@@ -466,6 +466,13 @@ def cmd_sweep(args) -> int:
     if show_table:
         t.print()
     stats = runner.stats
+    if stats["jobs"] != stats["jobs_requested"]:
+        print(
+            f"[sweep] --jobs {stats['jobs_requested']} clamped to "
+            f"{stats['jobs']} usable cores (oversubscription only adds "
+            f"pickling and contention)",
+            file=sys.stderr,
+        )
     print(
         f"[sweep] jobs={stats['jobs']} executed={stats['executed']} "
         f"cached={stats['served_from_cache']} "

@@ -38,7 +38,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..exceptions import InvariantViolation, ParameterError
-from ..records import composite_keys, pad_records
+from ..records import RECORD_DTYPE, composite_keys, concat_records, pad_records
 from .kernels import get_backend
 from .matching import (
     MatchingInstance,
@@ -152,6 +152,12 @@ class BalanceEngine:
         self.n_channels = storage.n_virtual
         self.block_size = storage.virtual_block_size
         self.matrices = BalanceMatrices(self.n_buckets, self.n_channels)
+        # Section 5's incremental matrix upkeep: every engine update goes
+        # through add_block/remove_block, so A and its derived views are
+        # maintained in O(H') per change instead of O(S·H') per refresh.
+        # (Ablations that swap in a different matrices class after
+        # construction get that class's default batch behaviour.)
+        self.matrices.enable_incremental()
         if not callable(matcher) and matcher not in (
             "derandomized", "randomized", "greedy", "mincost",
         ):
@@ -219,6 +225,7 @@ class BalanceEngine:
         swap_hist = reg.histogram("swaps.per_round")
         bf = reg.gauge("max_balance_factor")
         prev = {"swapped": 0, "unprocessed": 0, "match_calls": 0}
+        trace_event = obs.tracer.event  # bound: one event per round
 
         def _observe(engine, info):
             rounds.inc()
@@ -227,7 +234,7 @@ class BalanceEngine:
             match_calls.inc(info["match_calls"] - prev["match_calls"])
             swap_hist.observe(info["swapped"] - prev["swapped"])
             bf.set(info["max_balance_factor"])
-            obs.event("balance.round", **info)
+            trace_event("balance.round", **info)
             prev.update(
                 swapped=info["swapped"], unprocessed=info["unprocessed"],
                 match_calls=info["match_calls"],
@@ -262,13 +269,28 @@ class BalanceEngine:
         kernels = get_backend(self.kernel_backend)
         self.stats.records_fed += int(records.size)
         buckets = np.searchsorted(self.pivots, composite_keys(records), side="right")
-        order = np.argsort(buckets, kind="stable")
-        sorted_recs = records[order]
-        sorted_buckets = buckets[order]
         vb = self.block_size
-        for b, chunk in kernels.bucket_chunks(
-            sorted_recs, sorted_buckets, self.n_buckets
-        ):
+        if records.size <= 64:
+            # Small tracks (the streaming common case: one chunk per
+            # parallel read, ≤ H'·VB records): group indices per bucket
+            # with a dict instead of argsort + np.unique.  Bit-identical
+            # to the kernel path — a stable sort by bucket groups equal
+            # buckets in arrival order, which is exactly what the
+            # insertion-ordered index lists reproduce.
+            groups: dict[int, list[int]] = {}
+            for i, b in enumerate(buckets.tolist()):
+                g = groups.get(b)
+                if g is None:
+                    groups[b] = [i]
+                else:
+                    g.append(i)
+            pairs = ((b, records[groups[b]]) for b in sorted(groups))
+        else:
+            order = np.argsort(buckets, kind="stable")
+            pairs = kernels.bucket_chunks(
+                records[order], buckets[order], self.n_buckets
+            )
+        for b, chunk in pairs:
             self._bucket_records[b] += int(chunk.size)
             self._partials[b].append(chunk)
             self._partial_sizes[b] += chunk.size
@@ -416,11 +438,15 @@ class BalanceEngine:
     def _write_batch(self, batch: list) -> None:
         if not batch:
             return
-        items = [(p["channel"], p["block"]) for p in batch]
+        k = len(batch)
+        channels = np.fromiter((p["channel"] for p in batch), np.int64, k)
+        matrix = np.empty((k, self.block_size), dtype=RECORD_DTYPE)
+        for i, p in enumerate(batch):
+            matrix[i] = p["block"]
         # Distribution output parks out of the compaction zone on hierarchy
         # backends (a no-op on disks): buckets are repositioned to the front
         # before their recursion (see streams.reposition_run).
-        addresses = self.storage.parallel_write(items, park=True)
+        addresses = self.storage.parallel_write_arr(channels, matrix, park=True)
         for p, addr in zip(batch, addresses):
             self.matrices.record_location(
                 p["bucket"], p["channel"], BlockRef(address=addr, fill=p["fill"])
@@ -438,7 +464,7 @@ class BalanceEngine:
         vb = self.block_size
         for b in range(self.n_buckets):
             if self._partial_sizes[b] > 0:
-                tail = np.concatenate(self._partials[b])
+                tail = concat_records(self._partials[b])
                 true_n = tail.shape[0]
                 padded = pad_records(tail, vb)
                 n_pad = padded.shape[0] - true_n
@@ -478,10 +504,13 @@ def read_bucket_run(storage, run: BucketRun, free: bool = True):
     while any(chains):
         refs = [chain.pop(0) for chain in chains if chain]
         batch = [r.address for r in refs]
-        blocks = storage.parallel_read(batch)
-        if free:
-            storage.free(batch)
-        merged = np.concatenate(blocks)
+        merged = storage.parallel_read_arr(batch, free=free).reshape(-1)
+        promised = sum(r.fill for r in refs)
+        if promised == merged.shape[0]:
+            # All blocks full — nothing to strip (fills are authoritative;
+            # padding only ever sits at the tail of partially filled blocks).
+            yield merged
+            continue
         trimmed = strip_pad_records(merged)
         n_pad = merged.shape[0] - trimmed.shape[0]
         if n_pad:

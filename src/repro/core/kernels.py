@@ -49,6 +49,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..records import concat_records
 
 __all__ = [
     "KernelBackend",
@@ -188,7 +189,7 @@ class VectorizedBackend(KernelBackend):
         n_full = buffered // vb
         if n_full == 0:
             return [], list(parts), buffered
-        buf = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        buf = concat_records(parts) if len(parts) > 1 else parts[0]
         cut = n_full * vb
         blocks = [buf[i * vb : (i + 1) * vb] for i in range(n_full)]
         remainder = buf[cut:]

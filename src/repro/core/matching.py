@@ -234,6 +234,8 @@ def derandomized_partial_match(
         return MatchResult(pairs=[])
     target = min(k, -(-instance.n_channels // 4))  # ⌈H'/4⌉ capped by |U|
     space = PairwiseSpace(instance.n_channels)
+    if k <= 4 and instance.n_channels <= 8:
+        return _derandomized_small(instance, space, target)
     u_ids = np.arange(k, dtype=np.int64)
 
     tried = 0
@@ -257,6 +259,51 @@ def derandomized_partial_match(
             return result
 
     # Degenerate tiny instance: stay deterministic via greedy (perfect).
+    result = greedy_match(instance)
+    result.sample_points_tried = tried
+    result.used_fallback = True
+    return result
+
+
+def _derandomized_small(
+    instance: MatchingInstance, space: PairwiseSpace, target: int
+) -> MatchResult:
+    """Scalar evaluation of the pairwise-space search for tiny instances.
+
+    Bit-identical to the vectorized loop in
+    :func:`derandomized_partial_match` (same sample-point order, same
+    per-vertex retry sequence, same smallest-``u``-wins conflict rule —
+    the scalar kernel's reference semantics), just without the ~15 NumPy
+    array constructions per sample point, which dominate when ``|U| ≤ 4``
+    — the common case, since ``|U| ≤ ⌊H'/2⌋`` per Rearrange call.
+    """
+    k = instance.size
+    adj = instance.adjacency.tolist()
+    p = space.p
+    n_ch = instance.n_channels
+    u_channels = instance.u_channels
+    tried = 0
+    for a, b in space.points():
+        tried += 1
+        pairs = []
+        seen = set()
+        for i in range(k):
+            row = adj[i]
+            for r in range(DERAND_RETRIES):
+                cand = (a * i + b + r) % p
+                if cand < n_ch and row[cand]:
+                    # Conflict rule folded in: i ascends, so the first
+                    # claimant of a v is the smallest-numbered u.
+                    if cand not in seen:
+                        seen.add(cand)
+                        pairs.append((u_channels[i], cand))
+                    break
+        if len(pairs) >= target:
+            result = MatchResult(
+                pairs=pairs, picking_rounds=DERAND_RETRIES, sample_points_tried=tried
+            )
+            _validate(instance, pairs)
+            return result
     result = greedy_match(instance)
     result.sample_points_tried = tried
     result.used_fallback = True

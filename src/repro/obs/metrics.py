@@ -126,7 +126,10 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
         if self.buckets is None:
-            key = int(value) if float(value).is_integer() else float(value)
+            if type(value) is int:  # hot path: discrete counts (stripe widths)
+                key = value
+            else:
+                key = int(value) if float(value).is_integer() else float(value)
             self.counts[key] = self.counts.get(key, 0) + n
         else:
             self.counts[bisect.bisect_left(self.buckets, value)] += n

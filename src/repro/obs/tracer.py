@@ -164,9 +164,24 @@ class Tracer:
         return span
 
     def event(self, name: str, **attrs) -> None:
-        """Emit a point event under the innermost open span."""
-        parent = self._stack[-1].span_id if self._stack else None
-        self._emit_event(name, parent, attrs)
+        """Emit a point event under the innermost open span.
+
+        Hot path (machines emit one event per parallel I/O): the record is
+        built and delivered inline — identical content to
+        :meth:`_emit_event` → :meth:`_emit`, minus two call frames.
+        """
+        stack = self._stack
+        record = {
+            "ev": "event",
+            "span": stack[-1].span_id if stack else None,
+            "name": name,
+            "ts": round(self._clock() - self._epoch, 6),
+            "attrs": attrs,
+        }
+        if self._events is not None:
+            self._events.append(record)
+        if self.sink is not None:
+            self.sink.emit(record)
 
     def _emit_event(self, name: str, span_id: int | None, attrs: dict) -> None:
         self._emit(

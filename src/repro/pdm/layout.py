@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import AddressError, ParameterError
-from ..records import PAD_KEY, RECORD_DTYPE, pad_records, strip_pad_records
+from ..records import PAD_KEY, RECORD_DTYPE, concat_records, pad_records, strip_pad_records
 from .machine import BlockAddress, ParallelDiskMachine
 
 __all__ = ["PAD_KEY", "Extent", "StripedFile", "pad_to_block", "strip_padding"]
@@ -106,20 +106,35 @@ class StripedFile:
             raise ParameterError(
                 f"file was sized for {self.length} records, got {records.shape[0]}"
             )
-        b = self.machine.B
-        padded = pad_to_block(records, b) if self.length else records
-        for i in range(self.n_blocks):
-            addr = self.block_address(i)
-            self.machine._disks[addr.disk][addr.slot] = padded[i * b : (i + 1) * b].copy()
+        if not self.length:
+            return
+        b, d = self.machine.B, self.machine.D
+        padded = pad_to_block(records, b)
+        logical = np.arange(self.n_blocks, dtype=np.int64)
+        self.machine.load_blocks_arr(
+            logical % d,
+            self.start_slot + logical // d,
+            padded.reshape(self.n_blocks, b),
+        )
+
+    def _stripe_addr_arrays(self, stripe: int) -> tuple[np.ndarray, np.ndarray]:
+        blocks = np.array(self._stripe_blocks(stripe), dtype=np.int64)
+        d = self.machine.D
+        return blocks % d, self.start_slot + blocks // d
 
     def read_stripe(self, stripe: int) -> np.ndarray:
-        """One parallel I/O: read the (≤ D) blocks of one stripe, trimmed."""
+        """One parallel I/O: read the (≤ D) blocks of one stripe, trimmed.
+
+        The file knows its logical length, so the final stripe's padding
+        is trimmed by count (a view of the freshly gathered batch — no
+        pad scan, no extra copy) and returned to the memory ledger.
+        """
         blocks = self._stripe_blocks(stripe)
-        data = self.machine.read_blocks([self.block_address(i) for i in blocks])
-        out = np.concatenate(data)
-        trimmed = strip_padding(out)
-        self.machine.mem_release(out.shape[0] - trimmed.shape[0])
-        return trimmed
+        disks, slots = self._stripe_addr_arrays(stripe)
+        flat = self.machine.read_blocks_arr(disks, slots).reshape(-1)
+        n_real = sum(self._block_record_count(i) for i in blocks)
+        self.machine.mem_release(flat.shape[0] - n_real)
+        return flat[:n_real]
 
     def write_stripe(self, stripe: int, records: np.ndarray) -> None:
         """One parallel I/O: write one stripe's blocks (padded if final)."""
@@ -132,18 +147,15 @@ class StripedFile:
             )
         padded = pad_to_block(records, b)
         self.machine.mem_acquire(padded.shape[0] - records.shape[0])
-        writes = [
-            (self.block_address(i), padded[j * b : (j + 1) * b])
-            for j, i in enumerate(blocks)
-        ]
-        self.machine.write_blocks(writes)
+        disks, slots = self._stripe_addr_arrays(stripe)
+        self.machine.write_blocks_arr(disks, slots, padded.reshape(len(blocks), b))
 
     def read_all(self) -> np.ndarray:
         """Stream the whole file (n_stripes parallel I/Os)."""
         if self.length == 0:
             return np.empty(0, dtype=RECORD_DTYPE)
         parts = [self.read_stripe(t) for t in range(self.n_stripes)]
-        return np.concatenate(parts)
+        return concat_records(parts)
 
     def write_all(self, records: np.ndarray) -> None:
         """Stream records into the file (n_stripes parallel I/Os)."""
@@ -157,6 +169,9 @@ class StripedFile:
             self.write_stripe(t, records[t * per_stripe : min((t + 1) * per_stripe, self.length)])
 
     def free(self) -> None:
-        """Drop all the file's blocks from the disks."""
-        for i in range(self.n_blocks):
-            self.machine.free_block(self.block_address(i))
+        """Drop all the file's blocks from the disks (one batched call)."""
+        if not self.n_blocks:
+            return
+        logical = np.arange(self.n_blocks, dtype=np.int64)
+        d = self.machine.D
+        self.machine.free_blocks_arr(logical % d, self.start_slot + logical // d)

@@ -18,6 +18,12 @@ rules still enforced there):
   disks;
 * read at most one virtual block from each of a set of distinct virtual
   disks.
+
+Both come in two flavours: the classic list-of-arrays API, and the
+batched ``*_arr`` fast path that expands virtual addresses to physical
+``(disk, slot)`` index arrays with two vectorized expressions and moves
+one ``(k, virtual_block_size)`` record matrix per parallel I/O (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -28,7 +34,8 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import DiskContentionError, ParameterError
-from .machine import BlockAddress, ParallelDiskMachine
+from ..records import RECORD_DTYPE
+from .machine import ParallelDiskMachine
 
 __all__ = ["VirtualBlockAddress", "VirtualDisks", "fully_striped_view", "default_virtual_disk_count"]
 
@@ -68,15 +75,132 @@ class VirtualDisks:
         self.machine = machine
         self.n_virtual = int(n_virtual)
         self.group = machine.D // self.n_virtual
+        # Cached per-group disk offsets for the vectorized expansion.
+        self._offsets = np.arange(self.group, dtype=np.int64)
+        # Physical-disk expansions keyed by the virtual-disk tuple.  The key
+        # space is tiny (H'! orderings at most, H' = D^(1/3)-ish), while the
+        # expansion itself runs once per parallel I/O — caching it removes
+        # two array constructions from every I/O.  Consumers only *read*
+        # the cached arrays (fancy-index sources), never mutate them.
+        self._pdisk_cache: dict[tuple, np.ndarray] = {}
 
     @property
     def virtual_block_size(self) -> int:
         """Records per virtual block: B · (D / D')."""
         return self.machine.B * self.group
 
-    def _physical(self, addr: VirtualBlockAddress) -> list[BlockAddress]:
-        base = addr.vdisk * self.group
-        return [BlockAddress(disk=base + j, slot=addr.slot) for j in range(self.group)]
+    # --------------------------------------------------- address expansion
+
+    def _expand(self, vdisks: np.ndarray, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Virtual ``(vdisk, slot)`` arrays → physical ``(disk, slot)`` arrays.
+
+        Virtual disk ``v`` owns physical disks ``[v·g, (v+1)·g)``; every
+        physical block of a virtual block shares the virtual slot.
+        """
+        g = self.group
+        if g == 1:
+            return vdisks, slots
+        return self._expand_disks(vdisks), np.repeat(slots, g)
+
+    def _expand_disks(self, vdisks: np.ndarray) -> np.ndarray:
+        """Memoized virtual→physical disk expansion (``group > 1`` only)."""
+        key = tuple(vdisks.tolist())
+        pdisks = self._pdisk_cache.get(key)
+        if pdisks is None:
+            pdisks = (vdisks[:, None] * self.group + self._offsets).ravel()
+            self._pdisk_cache[key] = pdisks
+        return pdisks
+
+    def _check_vdisks(self, vdisks: np.ndarray, verb: str) -> None:
+        # Tiny batches (k ≤ H'): a Python set/min/max beats numpy reductions.
+        listed = vdisks.tolist()
+        k = len(listed)
+        if k > 1 and len(set(listed)) != k:
+            raise DiskContentionError(
+                f"two virtual blocks {verb} one virtual disk"
+            )
+        if k and (min(listed) < 0 or max(listed) >= self.n_virtual):
+            bad = next(v for v in listed if not 0 <= v < self.n_virtual)
+            raise ParameterError(
+                f"virtual disk {bad} out of range [0, {self.n_virtual})"
+            )
+
+    @staticmethod
+    def _addr_arrays(addresses: Sequence[VirtualBlockAddress]) -> tuple[np.ndarray, np.ndarray]:
+        k = len(addresses)
+        vdisks = np.fromiter((a.vdisk for a in addresses), np.int64, k)
+        slots = np.fromiter((a.slot for a in addresses), np.int64, k)
+        return vdisks, slots
+
+    # ------------------------------------------------------ batched fast path
+
+    def parallel_write_arr(
+        self, vdisks: np.ndarray, data: np.ndarray, park: bool = False
+    ) -> list[VirtualBlockAddress]:
+        """Write ≤1 virtual block per virtual disk — one parallel I/O.
+
+        ``data`` is one ``(k, virtual_block_size)`` record matrix; row
+        ``i`` lands on virtual disk ``vdisks[i]``.  Rows may be views of
+        caller buffers (the store scatters a copy).  Returns the address
+        of each written block (slots are bump-allocated per write so
+        blocks never collide).  ``park`` is accepted for interface
+        parity with the hierarchy backend and ignored: disk I/O cost is
+        address-independent.
+        """
+        vdisks = np.asarray(vdisks, dtype=np.int64)
+        k = vdisks.size
+        if k == 0:
+            return []
+        self._check_vdisks(vdisks, "addressed to")
+        vb = self.virtual_block_size
+        if data.shape != (k, vb):
+            raise ParameterError(
+                f"virtual block must hold {vb} records, got {data.shape[1] if data.ndim == 2 else data.shape[0]}"
+            )
+        slot = self.machine.allocate_slots(1)
+        g = self.group
+        # All k blocks share the freshly allocated slot, so the physical
+        # slot array is a single np.full — no per-write expansion needed.
+        pdisks = vdisks if g == 1 else self._expand_disks(vdisks)
+        pslots = np.full(k * g, slot, dtype=np.int64)
+        # checked=False: _check_vdisks guaranteed distinct in-range virtual
+        # disks (hence distinct in-range physical disks) and the slot came
+        # from the machine's own bump allocator.
+        self.machine.write_blocks_arr(
+            pdisks, pslots, data.reshape(-1, self.machine.B), checked=False
+        )
+        return [VirtualBlockAddress(vdisk=int(v), slot=slot) for v in vdisks.tolist()]
+
+    def parallel_read_arr(
+        self, addresses: Sequence[VirtualBlockAddress], free: bool = False
+    ) -> np.ndarray:
+        """Read ≤1 virtual block per virtual disk — one parallel I/O.
+
+        Returns a freshly gathered ``(k, virtual_block_size)`` record
+        matrix (row ``i`` is the block at ``addresses[i]``); never views
+        into the store, so the caller may hold it indefinitely.
+        ``free=True`` drops the blocks right after the gather (one fused
+        store pass — the streaming consume pattern; no extra I/O charge,
+        exactly like a follow-up :meth:`free_arr`).
+        """
+        if not addresses:
+            return np.empty((0, self.virtual_block_size), dtype=RECORD_DTYPE)
+        vdisks, slots = self._addr_arrays(addresses)
+        self._check_vdisks(vdisks, "read from")
+        pdisks, pslots = self._expand(vdisks, slots)
+        # checked=False: distinct in-range vdisks imply distinct in-range
+        # physical disks; the machine still guards negative slots.
+        matrix = self.machine.read_blocks_arr(pdisks, pslots, free=free, checked=False)
+        return matrix.reshape(len(addresses), self.virtual_block_size)
+
+    def free_arr(self, addresses: Sequence[VirtualBlockAddress]) -> None:
+        """Drop virtual blocks from the disks (no I/O cost) — one batch."""
+        if not addresses:
+            return
+        pdisks, pslots = self._expand(*self._addr_arrays(addresses))
+        self.machine.free_blocks_arr(pdisks, pslots)
+
+    # --------------------------------------------------------- classic API
 
     def parallel_write(
         self, items: Sequence[tuple[int, np.ndarray]], park: bool = False
@@ -84,62 +208,48 @@ class VirtualDisks:
         """Write ≤1 virtual block per virtual disk — one parallel I/O.
 
         ``items`` is a sequence of ``(vdisk, data)`` with ``data`` exactly
-        one virtual block of records.  Returns the address of each written
-        block (slots are bump-allocated per write so blocks never collide).
-        ``park`` is accepted for interface parity with the hierarchy
-        backend and ignored: disk I/O cost is address-independent.
+        one virtual block of records.  Thin shim over
+        :meth:`parallel_write_arr`.
         """
         if not items:
             return []
-        vdisks = [v for v, _ in items]
-        if len(set(vdisks)) != len(vdisks):
-            raise DiskContentionError("two virtual blocks addressed to one virtual disk")
         vb = self.virtual_block_size
-        b = self.machine.B
-        slot = self.machine.allocate_slots(1)
-        addresses = []
-        writes = []
-        for v, data in items:
-            if not 0 <= v < self.n_virtual:
-                raise ParameterError(f"virtual disk {v} out of range [0, {self.n_virtual})")
+        k = len(items)
+        vdisks = np.fromiter((v for v, _ in items), np.int64, k)
+        matrix = np.empty((k, vb), dtype=RECORD_DTYPE)
+        for i, (_, data) in enumerate(items):
             if data.shape[0] != vb:
                 raise ParameterError(
                     f"virtual block must hold {vb} records, got {data.shape[0]}"
                 )
-            addr = VirtualBlockAddress(vdisk=v, slot=slot)
-            addresses.append(addr)
-            for j, phys in enumerate(self._physical(addr)):
-                writes.append((phys, data[j * b : (j + 1) * b]))
-        self.machine.write_blocks(writes)
-        return addresses
+            matrix[i] = data
+        return self.parallel_write_arr(vdisks, matrix, park=park)
 
     def parallel_read(self, addresses: Sequence[VirtualBlockAddress]) -> list[np.ndarray]:
-        """Read ≤1 virtual block per virtual disk — one parallel I/O."""
-        if not addresses:
-            return []
-        vdisks = [a.vdisk for a in addresses]
-        if len(set(vdisks)) != len(vdisks):
-            raise DiskContentionError("two virtual blocks read from one virtual disk")
-        phys: list[BlockAddress] = []
-        for addr in addresses:
-            phys.extend(self._physical(addr))
-        blocks = self.machine.read_blocks(phys)
-        vb_blocks = []
-        for i in range(len(addresses)):
-            vb_blocks.append(np.concatenate(blocks[i * self.group : (i + 1) * self.group]))
-        return vb_blocks
+        """Read ≤1 virtual block per virtual disk — one parallel I/O.
+
+        Thin shim over :meth:`parallel_read_arr`; the returned blocks
+        are rows of the fresh batch matrix (safe to hold and mutate).
+        """
+        matrix = self.parallel_read_arr(addresses)
+        return list(matrix)
 
     def peek(self, address: VirtualBlockAddress) -> np.ndarray:
         """Inspect a virtual block without an I/O (tests/validators only)."""
-        return np.concatenate(
-            [self.machine.peek_block(phys) for phys in self._physical(address)]
-        )
+        from .machine import BlockAddress
+
+        g, b = self.group, self.machine.B
+        out = np.empty(self.virtual_block_size, dtype=RECORD_DTYPE)
+        base = address.vdisk * g
+        for j in range(g):
+            out[j * b : (j + 1) * b] = self.machine.peek_block(
+                BlockAddress(disk=base + j, slot=address.slot)
+            )
+        return out
 
     def free(self, addresses: Sequence[VirtualBlockAddress]) -> None:
         """Drop virtual blocks from the disks (no I/O cost)."""
-        for addr in addresses:
-            for phys in self._physical(addr):
-                self.machine.free_block(phys)
+        self.free_arr(list(addresses))
 
     def load_initial(self, blocks: Sequence[tuple[int, np.ndarray]]) -> list[VirtualBlockAddress]:
         """Place input blocks on the disks without charging I/Os.
@@ -148,18 +258,25 @@ class VirtualDisks:
         the initial layout is part of the problem statement, not the
         algorithm's cost.
         """
+        if not blocks:
+            return []
         vb = self.virtual_block_size
-        b = self.machine.B
+        k = len(blocks)
+        matrix = np.empty((k, vb), dtype=RECORD_DTYPE)
+        vdisks = np.empty(k, dtype=np.int64)
+        slots = np.empty(k, dtype=np.int64)
         addresses = []
-        for v, data in blocks:
+        for i, (v, data) in enumerate(blocks):
             if data.shape[0] != vb:
                 raise ParameterError(
                     f"virtual block must hold {vb} records, got {data.shape[0]}"
                 )
-            addr = VirtualBlockAddress(vdisk=v, slot=self.machine.allocate_slots(1))
-            for j, phys in enumerate(self._physical(addr)):
-                self.machine._disks[phys.disk][phys.slot] = data[j * b : (j + 1) * b].copy()
-            addresses.append(addr)
+            matrix[i] = data
+            vdisks[i] = v
+            slots[i] = self.machine.allocate_slots(1)
+            addresses.append(VirtualBlockAddress(vdisk=int(v), slot=int(slots[i])))
+        pdisks, pslots = self._expand(vdisks, slots)
+        self.machine.load_blocks_arr(pdisks, pslots, matrix.reshape(-1, self.machine.B))
         return addresses
 
     # Memory-ledger hooks used by the backend-agnostic Balance engine when

@@ -166,6 +166,60 @@ class TestRunner:
         assert all(ev.get("wall_s", 0.0) == 0.0 for ev in payload["trace"])
 
 
+# ------------------------------------------------------------ jobs clamp
+
+
+class TestJobsClamp:
+    """``jobs`` is clamped to the usable core count (oversubscription only
+    adds pickling and contention; see the ParallelRunner docstring)."""
+
+    def test_oversubscription_clamps_and_traces(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+        from repro.obs import Observation
+
+        monkeypatch.setattr(runner_mod, "default_jobs", lambda: 2)
+        obs = Observation()
+        runner = ParallelRunner(jobs=8, obs=obs)
+        assert runner.jobs == 2
+        assert runner.jobs_requested == 8
+        assert runner.stats["jobs"] == 2
+        assert runner.stats["jobs_requested"] == 8
+        clamped = [e for e in obs.tracer.events
+                   if e.get("name") == "runner.jobs_clamped"]
+        assert len(clamped) == 1
+        assert clamped[0]["attrs"] == {"requested": 8, "usable": 2}
+
+    def test_within_budget_not_clamped(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+        from repro.obs import Observation
+
+        monkeypatch.setattr(runner_mod, "default_jobs", lambda: 4)
+        obs = Observation()
+        runner = ParallelRunner(jobs=3, obs=obs)
+        assert runner.jobs == 3 and runner.jobs_requested == 3
+        assert not [e for e in obs.tracer.events
+                    if e.get("name") == "runner.jobs_clamped"]
+
+    def test_serial_requests_stay_serial(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "default_jobs", lambda: 1)
+        for jobs in (None, 0, 1):
+            runner = ParallelRunner(jobs=jobs)
+            assert runner.jobs <= 1  # no pool; stats still report >= 1
+            assert runner.stats["jobs"] == 1
+            assert runner.stats["jobs_requested"] == 1
+
+    def test_clamped_runner_results_correct(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "default_jobs", lambda: 1)
+        runner = ParallelRunner(jobs=16)  # clamps to 1 → inline path
+        assert runner.jobs == 1
+        results = runner.map(SPECS[:1])
+        assert results[0].result["records"] == CELLS[0]["n"]
+
+
 # ---------------------------------------------------------------- merging
 
 

@@ -7,6 +7,12 @@ run from the stored ``(task, params)`` and requires the fresh payload to
 equal the stored one *exactly* — any drift in I/O counts, metrics,
 trace structure, or result schema fails loudly with the offending paths.
 
+The corpus is stored gzipped (``*.json.gz``) — traces dominate the
+payloads and compress ~20×, which keeps the repo slim as the corpus
+grows.  The gzip stream is deterministic (``mtime=0``, no embedded
+filename), so regeneration without behaviour change is byte-stable and
+an intentional regen diffs as exactly the changed cases.
+
 Regenerate after an intentional behaviour change with::
 
     PYTHONPATH=src python tests/test_golden_reports.py --regen
@@ -14,6 +20,7 @@ Regenerate after an intentional behaviour change with::
 and commit the diff; the diff *is* the review artifact.
 """
 
+import gzip
 import json
 import os
 
@@ -50,7 +57,20 @@ CASES = {
 
 
 def _path(name: str) -> str:
-    return os.path.join(GOLDEN_DIR, f"{name}.json")
+    return os.path.join(GOLDEN_DIR, f"{name}.json.gz")
+
+
+def load_golden(path: str) -> dict:
+    """Load one golden payload, transparently decompressing ``.json.gz``.
+
+    Plain ``.json`` paths still load (useful when bisecting across the
+    compression change), but the corpus itself is stored gzipped only.
+    """
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return json.load(fh)
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 def _diff_paths(a, b, prefix=""):
@@ -84,8 +104,7 @@ def test_golden_payload_unchanged(name):
         f"missing golden file {path}; regenerate with "
         f"`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
     )
-    with open(path) as fh:
-        golden = json.load(fh)
+    golden = load_golden(path)
     # The stored file must itself be self-consistent with the corpus.
     assert golden["task"] == task
     assert golden["params"] == params
@@ -100,18 +119,37 @@ def test_golden_payload_unchanged(name):
 
 
 def test_golden_corpus_has_no_strays():
-    """Every .json in tests/golden/ belongs to a declared case."""
-    files = {f[:-5] for f in os.listdir(GOLDEN_DIR) if f.endswith(".json")}
+    """Every file in tests/golden/ is a declared case, stored gzipped."""
+    listing = os.listdir(GOLDEN_DIR)
+    files = {f[:-8] for f in listing if f.endswith(".json.gz")}
     assert files == set(CASES)
+    plain = [f for f in listing if f.endswith(".json")]
+    assert not plain, f"uncompressed strays in golden corpus: {plain}"
+
+
+def test_golden_gzip_streams_are_deterministic():
+    """Stored gzip bytes carry no timestamp/filename — regen is byte-stable."""
+    for name in sorted(CASES):
+        with open(_path(name), "rb") as fh:
+            header = fh.read(10)
+        assert header[:2] == b"\x1f\x8b", f"{name}: not a gzip stream"
+        assert header[3] == 0, f"{name}: FLG set (embedded filename?)"
+        assert header[4:8] == b"\x00\x00\x00\x00", f"{name}: nonzero MTIME"
+
+
+def _dump_gz(path: str, payload: dict) -> None:
+    """Write one payload as a deterministic gzip stream (mtime=0, no name)."""
+    with open(path, "wb") as raw:
+        with gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0) as gz:
+            text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            gz.write(text.encode("utf-8"))
 
 
 def regenerate():
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for name, (task, params) in sorted(CASES.items()):
         payload = run_task(task, params)
-        with open(_path(name), "w") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        _dump_gz(_path(name), payload)
         print(f"wrote {_path(name)} "
               f"({os.path.getsize(_path(name))} bytes)")
 

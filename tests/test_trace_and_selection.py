@@ -169,6 +169,20 @@ class TestSelectionPivots:
 
 
 class TestWriteWidthStats:
+    def test_no_writes_reports_zero_not_perfect(self):
+        """0/0 full-stripe writes is 0.0: an empty run demonstrated no
+        full-stripe behaviour and must not score a perfect 1.0 (the old
+        behaviour, which let do-nothing runs top the Section-6 metric)."""
+        from repro.pdm.machine import IOStats
+
+        stats = IOStats()
+        assert stats.write_ios == 0
+        assert stats.write_width_fraction == 0.0
+        assert stats.snapshot()["write_width_fraction"] == 0.0
+        # A fresh machine (reads allowed, no writes) reports the same.
+        m = ParallelDiskMachine(memory=64, block=2, disks=4)
+        assert m.stats.write_width_fraction == 0.0
+
     def test_full_width_counted(self):
         from repro.records import make_records
 
