@@ -220,11 +220,17 @@ def test_pdm_store_perf_smoke(benchmark):
     """Nightly guard: arena must stay within 3x of the recorded point.
 
     Runs the reduced smoke grid (n <= 16000) once per backend, asserts
-    bit-identical results, and compares the measured arena total against
-    the recorded ``BENCH_pdm_store.json`` smoke-equivalent total with a
-    3x threshold — wide enough for shared-CI noise, narrow enough to
-    catch the execution layer sliding back toward pre-arena wall-clocks.
+    bit-identical results, and gates the measured arena total against the
+    recorded ``BENCH_pdm_store.json`` smoke-equivalent total through the
+    :mod:`repro.obs.diff` engine — ``threshold=2.0`` allows a relative
+    increase of 2.0, i.e. measured ≤ 3 × recorded (the same 3x window the
+    ad-hoc assert used: wide enough for shared-CI noise, narrow enough to
+    catch the execution layer sliding back toward pre-arena wall-clocks).
+    The diff result doubles as the failure message, naming exactly which
+    totals moved and by how much.
     """
+    from repro.obs import diff_runs
+
     macro = benchmark.pedantic(
         grid_comparison, args=(SMOKE_GRID,), kwargs={"repeats": 1},
         rounds=1, iterations=1,
@@ -241,10 +247,17 @@ def test_pdm_store_perf_smoke(benchmark):
             r["arena_s"] for r in recorded["e1_grid"]["rows"]
             if r["n"] <= 16_000
         )
-        measured = macro["total_arena_s"]
-        assert measured <= 3.0 * reference, (
-            f"perf regression: smoke grid took {measured:.3f}s, recorded "
-            f"point implies {reference:.3f}s (threshold 3x)"
+        verdict = diff_runs(
+            {"smoke": {"total_arena_s": round(reference, 3)}},
+            {"smoke": {"total_arena_s": macro["total_arena_s"]}},
+            threshold=2.0,
+        )
+        assert verdict.ok, (
+            "perf regression past the 3x window: "
+            + "; ".join(
+                f"{e.path}: {e.a} -> {e.b} (rel {e.rel_delta:.2f} > {e.threshold})"
+                for e in verdict.regressions
+            )
         )
 
 

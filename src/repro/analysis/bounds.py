@@ -23,6 +23,7 @@ __all__ = [
     "cpu_work_bound",
     "theorem2_power_bound",
     "theorem2_log_bound",
+    "theorem2_hypercube_extra",
     "theorem3_bound",
     "T_H",
 ]

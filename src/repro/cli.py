@@ -10,6 +10,10 @@ Examples::
     python -m repro sweep --task compare --n 24000 --cache-dir .repro-cache
     python -m repro hierarchy --n 8000 --h 64 --model bt --cost 0.5
     python -m repro report trace.jsonl
+    python -m repro audit --n 20000 --disks 8
+    python -m repro audit --target hierarchy --n 8000 --h 64 --model bt
+    python -m repro profile trace.jsonl.gz --top 10
+    python -m repro diff results/a.json results/b.json --threshold 2.0
     python -m repro workloads
 
 Every command prints an aligned table (the same formatter the benchmark
@@ -40,7 +44,17 @@ from .core.sort_hierarchy import balance_sort_hierarchy
 from .core.sort_pdm import balance_sort_pdm
 from .core.streams import peek_run
 from .hierarchies import LogCost, ParallelHierarchies, PowerCost, UMHCost
-from .obs import NULL_TRACER, Observation, RunReport, render_report, summarize_trace
+from .obs import (
+    NULL_TRACER,
+    Observation,
+    RunReport,
+    TheoryAuditor,
+    diff_runs,
+    profile_trace,
+    render_profile,
+    render_report,
+    summarize_trace,
+)
 from .pdm import ParallelDiskMachine
 from .util import assert_is_permutation, assert_sorted
 
@@ -145,10 +159,84 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_args(p_sw)
 
     p_rep = sub.add_parser("report", help="summarize a saved JSONL trace")
-    p_rep.add_argument("trace", help="path to a trace.jsonl written with --trace-out")
+    p_rep.add_argument("trace",
+                       help="path to a trace.jsonl[.gz] written with --trace-out")
     p_rep.add_argument(
         "--emit-json", metavar="PATH", default=None,
         help="also write the summary as JSON ('-' = stdout, suppresses the tables)",
+    )
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="run a sort and score it against the paper's bounds "
+             "(Theorems 1-4, Invariants 1 & 2); exit 1 on any violation",
+    )
+    p_audit.add_argument("--target", default="pdm", choices=["pdm", "hierarchy"])
+    add_machine_args(p_audit)
+    p_audit.add_argument(
+        "--matcher", default="derandomized",
+        choices=["derandomized", "randomized", "greedy", "mincost"],
+    )
+    p_audit.add_argument("--processors", type=int, default=1, help="[pdm] P: CPUs")
+    p_audit.add_argument("--buckets", type=int, default=None, help="[pdm] override S")
+    p_audit.add_argument("--virtual-disks", type=int, default=None,
+                         help="[pdm] override D'")
+    p_audit.add_argument("--h", type=int, default=64, help="[hierarchy] H")
+    p_audit.add_argument("--model", default="hmm", choices=["hmm", "bt", "umh"],
+                         help="[hierarchy] machine model")
+    p_audit.add_argument("--cost", default="log",
+                         help="[hierarchy] 'log', 'umh', or a float exponent alpha")
+    p_audit.add_argument("--interconnect", default="pram",
+                         choices=["pram", "hypercube"], help="[hierarchy]")
+    p_audit.add_argument(
+        "--theorem4-limit", type=float, default=2.0,
+        help="max allowed read-parallelism balance factor (Theorem 4; default 2.0)",
+    )
+    add_obs_args(p_audit)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile a saved trace: hotspot self-times, critical path, "
+             "I/O round-trip attribution",
+    )
+    p_prof.add_argument("trace", help="path to a trace.jsonl[.gz]")
+    p_prof.add_argument("--top", type=int, default=None,
+                        help="show only the top-K hotspots (default: all)")
+    p_prof.add_argument("--bins", type=int, default=20,
+                        help="utilization-timeline resolution (default 20)")
+    p_prof.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="write the profile as JSON ('-' = stdout, suppresses the tables)",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="diff two JSON run documents (reports, bench sidecars, "
+             "summaries) with relative thresholds; exit 1 past threshold",
+    )
+    p_diff.add_argument("a", help="baseline JSON document")
+    p_diff.add_argument("b", help="candidate JSON document")
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="default allowed relative increase (0.0 = bit-identical numbers; "
+             "2.0 allows up to 3x)",
+    )
+    p_diff.add_argument(
+        "--rule", action="append", default=[], metavar="PATTERN=THRESHOLD",
+        help="per-path override (fnmatch pattern on the dotted path; "
+             "first match wins; repeatable)",
+    )
+    p_diff.add_argument(
+        "--ignore", action="append", default=[], metavar="PATTERN",
+        help="drop matching paths from the comparison (repeatable)",
+    )
+    p_diff.add_argument(
+        "--strict", action="store_true",
+        help="also fail on added/removed paths and non-numeric changes",
+    )
+    p_diff.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="write the diff result as JSON ('-' = stdout, suppresses the tables)",
     )
 
     sub.add_parser("workloads", help="list the available workload generators")
@@ -162,7 +250,8 @@ def _make_obs(args) -> Observation | None:
     return Observation(trace_path=args.trace_out)
 
 
-def _emit(args, obs: Observation | None, command: str, result: dict) -> bool:
+def _emit(args, obs: Observation | None, command: str, result: dict,
+          audit: dict | None = None) -> bool:
     """Finalize observability output; returns True if the table should print."""
     if obs is None:
         return True
@@ -171,7 +260,9 @@ def _emit(args, obs: Observation | None, command: str, result: dict) -> bool:
         k: v for k, v in vars(args).items()
         if k not in ("command", "emit_json", "trace_out")
     }
-    report = RunReport.from_observation(obs, command=command, params=params, result=result)
+    report = RunReport.from_observation(
+        obs, command=command, params=params, result=result, audit=audit
+    )
     if args.emit_json:
         report.write(args.emit_json)
     return args.emit_json != "-"
@@ -191,6 +282,7 @@ def cmd_sort(args) -> int:
         memory=args.memory, block=args.block, disks=args.disks, processors=args.processors
     )
     obs = _make_obs(args)
+    auditor = TheoryAuditor().install(obs) if obs is not None else None
     data = workloads.by_name(args.workload, args.n, seed=args.seed)
     res = balance_sort_pdm(
         machine, data, matcher=args.matcher, buckets=args.buckets,
@@ -199,6 +291,7 @@ def cmd_sort(args) -> int:
     out = peek_run(res.storage, res.output)
     assert_sorted(out)
     assert_is_permutation(out, data)
+    audit = auditor.finish_pdm(machine, res).to_dict() if auditor else None
     bound = bounds.sort_io_bound(args.n, args.memory, args.block, args.disks)
     result = {
         "records": res.n_records,
@@ -216,7 +309,7 @@ def cmd_sort(args) -> int:
         "io": res.io_stats,
         "verified": True,
     }
-    if _emit(args, obs, "sort", result):
+    if _emit(args, obs, "sort", result, audit=audit):
         t = Table(["metric", "value"], title="Balance Sort (parallel disk model)")
         t.add("records", res.n_records)
         t.add("workload", args.workload)
@@ -301,11 +394,13 @@ def cmd_hierarchy(args) -> int:
         interconnect=args.interconnect,
     )
     obs = _make_obs(args)
+    auditor = TheoryAuditor().install(obs) if obs is not None else None
     data = workloads.by_name(args.workload, args.n, seed=args.seed)
     res = balance_sort_hierarchy(machine, data, obs=obs)
     out = peek_run(res.storage, res.output)
     assert_sorted(out)
     assert_is_permutation(out, data)
+    audit = auditor.finish_hierarchy(machine, res).to_dict() if auditor else None
     result = {
         "records": res.n_records,
         "workload": args.workload,
@@ -321,7 +416,7 @@ def cmd_hierarchy(args) -> int:
         "balance_factor": round(res.max_balance_factor, 4),
         "verified": True,
     }
-    if _emit(args, obs, "hierarchy", result):
+    if _emit(args, obs, "hierarchy", result, audit=audit):
         t = Table(["metric", "value"],
                   title=f"Balance Sort (P-{args.model.upper()}, f={args.cost}, {args.interconnect})")
         t.add("records", res.n_records)
@@ -510,6 +605,116 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    """Run a sort under the TheoryAuditor and score it against the bounds.
+
+    The engine's own ``check_invariants`` raising is disabled — the
+    auditor *observes* instead, checking Invariants 1 & 2 and the Theorem
+    4 balance factor after every matching round without aborting the run.
+    Exit code 0 iff every limited check passed with zero violations.
+    """
+    obs = _make_obs(args) or Observation()
+    auditor = TheoryAuditor(theorem4_limit=args.theorem4_limit).install(obs)
+    data = workloads.by_name(args.workload, args.n, seed=args.seed)
+    if args.target == "pdm":
+        machine = ParallelDiskMachine(
+            memory=args.memory, block=args.block, disks=args.disks,
+            processors=args.processors,
+        )
+        res = balance_sort_pdm(
+            machine, data, matcher=args.matcher, buckets=args.buckets,
+            virtual_disks=args.virtual_disks, obs=obs, check_invariants=False,
+        )
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+        assert_is_permutation(out, data)
+        report = auditor.finish_pdm(machine, res)
+        result = {
+            "records": res.n_records, "workload": args.workload,
+            "parallel_ios": res.total_ios, "verified": True,
+        }
+    else:
+        machine = ParallelHierarchies(
+            args.h, model=args.model, cost_fn=_cost_fn(args.cost),
+            interconnect=args.interconnect,
+        )
+        res = balance_sort_hierarchy(
+            machine, data, matcher=args.matcher, obs=obs, check_invariants=False
+        )
+        out = peek_run(res.storage, res.output)
+        assert_sorted(out)
+        assert_is_permutation(out, data)
+        report = auditor.finish_hierarchy(machine, res)
+        result = {
+            "records": res.n_records, "workload": args.workload,
+            "total_time": round(res.total_time, 3), "verified": True,
+        }
+    if _emit(args, obs, "audit", result, audit=report.to_dict()):
+        for t in report.tables():
+            t.print()
+            print()
+        verdict = "PASS" if report.ok else "FAIL"
+        print(f"audit: {verdict} ({len(report.violations)} violations, "
+              f"{report.rounds_checked} rounds checked)")
+    return 0 if report.ok else 1
+
+
+def cmd_profile(args) -> int:
+    """Profile a saved trace: hotspots, critical path, I/O attribution."""
+    import json
+
+    profile = profile_trace(args.trace, top=args.top, bins=args.bins)
+    if args.emit_json:
+        text = json.dumps(profile, indent=2)
+        if args.emit_json == "-":
+            print(text)
+            return 0
+        with open(args.emit_json, "w") as fh:
+            fh.write(text + "\n")
+    for t in render_profile(profile):
+        t.print()
+        print()
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Diff two JSON run documents; exit 1 when a path regresses."""
+    import json
+
+    rules = []
+    for spec in args.rule:
+        pattern, sep, threshold = spec.rpartition("=")
+        if not sep or not pattern:
+            print(f"bad --rule {spec!r} (expected PATTERN=THRESHOLD)",
+                  file=sys.stderr)
+            return 2
+        rules.append((pattern, float(threshold)))
+    result = diff_runs(
+        args.a, args.b, threshold=args.threshold, rules=rules,
+        ignore=args.ignore, strict=args.strict,
+    )
+    show = True
+    if args.emit_json:
+        text = json.dumps(result.to_dict(), indent=2)
+        if args.emit_json == "-":
+            print(text)
+            show = False
+        else:
+            with open(args.emit_json, "w") as fh:
+                fh.write(text + "\n")
+    if show:
+        tables = result.tables()
+        for t in tables:
+            t.print()
+            print()
+        verdict = "OK" if result.ok else "REGRESSION"
+        print(f"diff: {verdict} ({result.n_compared} paths compared, "
+              f"{len(result.regressions)} regressions, "
+              f"{len(result.changes)} changes, "
+              f"threshold {args.threshold})")
+    return 0 if result.ok else 1
+
+
 def cmd_workloads(_args) -> int:
     """List the available workload generators with a sample."""
     t = Table(["name", "sample keys (n=6, seed=0)"], title="workload generators")
@@ -529,6 +734,9 @@ def main(argv: list[str] | None = None) -> int:
         "hierarchy": cmd_hierarchy,
         "sweep": cmd_sweep,
         "report": cmd_report,
+        "audit": cmd_audit,
+        "profile": cmd_profile,
+        "diff": cmd_diff,
         "workloads": cmd_workloads,
     }[args.command]
     return handler(args)

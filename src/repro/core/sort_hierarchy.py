@@ -211,6 +211,10 @@ def _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, depth,
     )
     if obs is not None:
         engine.attach_obs(obs)
+        # Auditors and other engine-level monitors ride the same per-round
+        # hook (see Observation.engine_observers / obs.audit.TheoryAuditor).
+        for callback in obs.engine_observers:
+            engine.add_round_observer(callback)
     hp = storage.n_virtual
     with _phase(tracer, machine, "distribute", n=n, level=depth) as dspan:
         for group in sorted_groups:

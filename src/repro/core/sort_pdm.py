@@ -201,13 +201,19 @@ def _memoryload(machine: ParallelDiskMachine, storage: VirtualDisks, s: int) -> 
 @contextmanager
 def _phase(tracer, machine, name, **attrs):
     """Span a sort phase and attribute the machine-cost deltas to it."""
-    io0 = machine.stats.total_ios
+    stats = machine.stats
+    read0 = stats.read_ios
+    write0 = stats.write_ios
     work0 = machine.cpu.work
     time0 = machine.cpu.time
     with tracer.span(name, **attrs) as span:
         yield span
+        read_ios = stats.read_ios - read0
+        write_ios = stats.write_ios - write0
         span.annotate(
-            ios=machine.stats.total_ios - io0,
+            ios=read_ios + write_ios,
+            read_ios=read_ios,
+            write_ios=write_ios,
             cpu_work=machine.cpu.work - work0,
             cpu_time=machine.cpu.time - time0,
         )
@@ -241,6 +247,10 @@ def _sort(machine, storage, run, n, s, matcher, internal_sort, rng,
     )
     if obs is not None:
         engine.attach_obs(obs)
+        # Auditors and other engine-level monitors ride the same per-round
+        # hook (see Observation.engine_observers / obs.audit.TheoryAuditor).
+        for callback in obs.engine_observers:
+            engine.add_round_observer(callback)
     agg.passes += 1
     hp = storage.n_virtual
     with _phase(tracer, machine, "distribute", n=n, level=depth) as dspan:

@@ -121,6 +121,8 @@ def sort_pdm(params: dict, obs: Observation) -> dict:
     from ..core.sort_pdm import balance_sort_pdm
     from ..pdm import ParallelDiskMachine
 
+    from ..obs import TheoryAuditor
+
     n = int(params["n"])
     memory = int(params.get("memory", 512))
     block = int(params.get("block", 4))
@@ -132,6 +134,7 @@ def sort_pdm(params: dict, obs: Observation) -> dict:
     data = workloads.by_name(
         params.get("workload", "uniform"), n, seed=int(params.get("seed", 0))
     )
+    auditor = TheoryAuditor().install(obs)
     res = balance_sort_pdm(
         machine,
         data,
@@ -142,6 +145,10 @@ def sort_pdm(params: dict, obs: Observation) -> dict:
         check_invariants=bool(params.get("check_invariants", False)),
         obs=obs,
     )
+    # Per-cell theory audit: deterministic measured/bound ratios land as
+    # gauges under the "audit" scope and merge across the sweep like any
+    # other metric (grid-wide min/max watermarks per theorem).
+    auditor.finish_pdm(machine, res)
     verified = None
     if params.get("verify", False):
         from ..core.streams import peek_run
@@ -253,12 +260,17 @@ def hierarchy_sort(params: dict, obs: Observation) -> dict:
         cost_fn=cost_fn,
         interconnect=params.get("interconnect", "pram"),
     )
+    from ..obs import TheoryAuditor
+
     data = workloads.by_name(
         params.get("workload", "uniform"),
         int(params["n"]),
         seed=int(params.get("seed", 0)),
     )
+    auditor = TheoryAuditor().install(obs)
     res = balance_sort_hierarchy(machine, data, obs=obs)
+    # Per-cell theory audit (see sort_pdm): ratios become "audit" gauges.
+    auditor.finish_hierarchy(machine, res)
     return {
         "records": res.n_records,
         "model": params.get("model", "hmm"),

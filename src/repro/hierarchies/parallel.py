@@ -130,8 +130,16 @@ class ParallelHierarchies:
 
     # ----------------------------------------------------------- stepping
 
-    def parallel_step(self, per_hierarchy_costs: Sequence[float]) -> None:
-        """Charge one simultaneous memory step: elapsed += max(costs)."""
+    def parallel_step(
+        self, per_hierarchy_costs: Sequence[float], kind: str | None = None
+    ) -> None:
+        """Charge one simultaneous memory step: elapsed += max(costs).
+
+        ``kind`` (``"read"`` / ``"write"``, optional) tags the emitted
+        ``mem.step`` trace event with the access direction so offline
+        profilers can build per-direction stripe-width histograms — it
+        never affects the charged cost.
+        """
         if per_hierarchy_costs:
             step = max(per_hierarchy_costs)
             self.memory_time += step
@@ -143,9 +151,16 @@ class ParallelHierarchies:
                 self._obs_scope.histogram(
                     "step.cost", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
                 ).observe(step)
-                self._obs.event(
-                    "mem.step", width=len(per_hierarchy_costs), cost=round(step, 6)
-                )
+                if kind is None:
+                    self._obs.event(
+                        "mem.step", width=len(per_hierarchy_costs),
+                        cost=round(step, 6),
+                    )
+                else:
+                    self._obs.event(
+                        "mem.step", width=len(per_hierarchy_costs),
+                        cost=round(step, 6), kind=kind,
+                    )
 
     def charge_interconnect(self, time: float) -> None:
         """Accumulate interconnect (sorting/routing/compute) time."""
@@ -333,7 +348,7 @@ class VirtualHierarchies:
             VirtualBlockAddress(vdisk=int(v), slot=int(s))
             for v, s in zip(vdisks.tolist(), slots.tolist())
         ]
-        self.machine.parallel_step(self._step_costs(slots))
+        self.machine.parallel_step(self._step_costs(slots), kind="write")
         return addresses
 
     def parallel_read_arr(
@@ -360,7 +375,7 @@ class VirtualHierarchies:
                 if not self._store.has(a.vdisk, a.slot):
                     raise AddressError(f"read of unwritten virtual block {a}") from None
             raise  # pragma: no cover - read_batch raised for another reason
-        self.machine.parallel_step(self._step_costs(slots))
+        self.machine.parallel_step(self._step_costs(slots), kind="read")
         if free:
             self.free(addresses)
         return matrix

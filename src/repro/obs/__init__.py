@@ -21,10 +21,27 @@ model and sort one shared instrumentation substrate:
   (``repro sort --emit-json``), with :func:`summarize_trace` re-deriving
   the per-phase breakdown from a saved JSONL trace (``repro report``).
 
+On top of the substrate sit three analysis engines (PR 4):
+
+* :class:`TheoryAuditor` (:mod:`~repro.obs.audit`) — scores measured costs
+  against the paper's bound expressions (Theorems 1–4, Invariants 1 & 2)
+  as measured/bound constant-factor ratios, with live non-raising
+  per-round invariant checks via the Balance engine's observer hook
+  (``repro audit``);
+* :func:`profile_trace` (:mod:`~repro.obs.profile`) — span self-time and
+  critical-path aggregation, per-level and utilization timelines, and the
+  I/O-round-trip hotspot table (``repro profile``);
+* :func:`diff_runs` (:mod:`~repro.obs.diff`) — structural diffing of any
+  two run reports / bench sidecars / summaries with relative thresholds,
+  the CI regression gate (``repro diff``).
+
 See ``docs/observability.md`` for the event schema and metric names.
 """
 
+from .audit import AUDIT_SCHEMA, AuditCheck, AuditReport, TheoryAuditor, record_cell_audit
+from .diff import DIFF_SCHEMA, DiffEntry, DiffResult, diff_runs, flatten, load_doc
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import PROFILE_SCHEMA, profile_trace, render_profile
 from .report import RunReport, render_report, summarize_trace
 from .tracer import (
     NULL_TRACER,
@@ -51,4 +68,18 @@ __all__ = [
     "RunReport",
     "render_report",
     "summarize_trace",
+    "AuditCheck",
+    "AuditReport",
+    "TheoryAuditor",
+    "record_cell_audit",
+    "AUDIT_SCHEMA",
+    "profile_trace",
+    "render_profile",
+    "PROFILE_SCHEMA",
+    "DiffEntry",
+    "DiffResult",
+    "diff_runs",
+    "flatten",
+    "load_doc",
+    "DIFF_SCHEMA",
 ]

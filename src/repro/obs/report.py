@@ -51,10 +51,18 @@ def summarize_trace(events_or_path: str | Iterable[dict]) -> dict:
         {"phases": [{"name", "count", "wall_s", <cost keys...>}, ...],
          "balance_timeline": [{"round", "max_balance_factor", ...}, ...],
          "stripe_width": {"read": {width: count}, "write": {width: count}},
-         "n_events": int}
+         "n_events": int, "truncated_spans": int}
+
+    Partial traces are first-class: a path is read with
+    ``tolerate_truncated_tail=True`` (a run killed mid-write leaves a torn
+    final line), and spans that were *begun* but never *ended* — the
+    signature of a crash or interrupt inside the span — are counted in
+    ``truncated_spans`` rather than raising.  Their costs are simply
+    absent from the phase table, which is the honest answer for a run
+    that never attributed them.
     """
     if isinstance(events_or_path, str):
-        events = read_trace(events_or_path)
+        events = read_trace(events_or_path, tolerate_truncated_tail=True)
     else:
         events = list(events_or_path)
 
@@ -62,12 +70,16 @@ def summarize_trace(events_or_path: str | Iterable[dict]) -> dict:
     order: list[str] = []
     timeline: list[dict] = []
     widths = {"read": Histogram("io.read.width"), "write": Histogram("io.write.width")}
+    open_spans: set = set()
 
     for ev in events:
         kind = ev.get("ev")
         name = ev.get("name", "")
         attrs = ev.get("attrs", {}) or {}
-        if kind == "end":
+        if kind == "begin":
+            open_spans.add(ev.get("span"))
+        elif kind == "end":
+            open_spans.discard(ev.get("span"))
             agg = phases.get(name)
             if agg is None:
                 agg = phases[name] = {"name": name, "count": 0, "wall_s": 0.0}
@@ -85,6 +97,13 @@ def summarize_trace(events_or_path: str | Iterable[dict]) -> dict:
                 width = attrs.get("width", attrs.get("disks"))
                 if width is not None:
                     widths[name.split(".", 1)[1]].observe(int(width))
+            elif name == "mem.step":
+                # hierarchy machines: parallel memory steps tagged with the
+                # access kind carry the stripe width of that step.
+                step_kind = attrs.get("kind")
+                width = attrs.get("width")
+                if step_kind in ("read", "write") and width is not None:
+                    widths[step_kind].observe(int(width))
 
     return {
         "phases": [phases[n] for n in order],
@@ -94,6 +113,7 @@ def summarize_trace(events_or_path: str | Iterable[dict]) -> dict:
             for kind, h in widths.items()
         },
         "n_events": len(events),
+        "truncated_spans": len(open_spans),
     }
 
 
@@ -113,6 +133,7 @@ class RunReport:
         result: dict | None = None,
         metrics: dict | None = None,
         trace_summary: dict | None = None,
+        audit: dict | None = None,
     ):
         self.command = command
         self.params = params or {}
@@ -121,6 +142,7 @@ class RunReport:
         self.trace_summary = trace_summary or {
             "phases": [], "balance_timeline": [], "stripe_width": {}, "n_events": 0,
         }
+        self.audit = audit
 
     @classmethod
     def from_observation(
@@ -129,6 +151,7 @@ class RunReport:
         command: str = "",
         params: dict | None = None,
         result: dict | None = None,
+        audit: dict | None = None,
     ) -> "RunReport":
         """Build a report from a live observation (registry + tracer)."""
         return cls(
@@ -137,13 +160,14 @@ class RunReport:
             result=result,
             metrics=obs.registry.export(),
             trace_summary=summarize_trace(obs.tracer.events),
+            audit=audit,
         )
 
     # ------------------------------------------------------------- export
 
     def to_dict(self) -> dict:
         """The schema-stable report dict (see module docstring)."""
-        return {
+        report = {
             "schema": SCHEMA,
             "command": self.command,
             "params": self.params,
@@ -154,6 +178,12 @@ class RunReport:
             "metrics": self.metrics,
             "n_trace_events": self.trace_summary.get("n_events", 0),
         }
+        truncated = self.trace_summary.get("truncated_spans", 0)
+        if truncated:
+            report["truncated_spans"] = truncated
+        if self.audit is not None:
+            report["audit"] = self.audit
+        return report
 
     def to_json(self, indent: int | None = 2) -> str:
         """The report as a JSON string (numpy values coerced)."""

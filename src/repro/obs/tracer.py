@@ -26,6 +26,8 @@ costs are bit-identical).
 
 from __future__ import annotations
 
+import gzip
+import io as _io
 import json
 import time
 from typing import Callable, Iterable, TextIO
@@ -59,12 +61,26 @@ class ListSink:
 
 
 class JsonlSink:
-    """Stream events to a JSONL file (one compact JSON object per line)."""
+    """Stream events to a JSONL file (one compact JSON object per line).
+
+    Paths ending in ``.gz`` are written gzip-compressed (with ``mtime=0``
+    so repeated runs of a deterministic trace produce byte-identical
+    files — the same convention the golden corpus uses).  Every trace
+    reader in the repo (:func:`read_trace`, ``summarize_trace``,
+    ``repro report`` / ``repro profile``) transparently reopens them.
+    """
 
     def __init__(self, path_or_file: str | TextIO):
+        self._extra: list = []
         if hasattr(path_or_file, "write"):
             self._fh: TextIO = path_or_file  # type: ignore[assignment]
             self._owned = False
+        elif str(path_or_file).endswith(".gz"):
+            raw = open(path_or_file, "wb")
+            gz = gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
+            self._fh = _io.TextIOWrapper(gz, encoding="utf-8")
+            self._extra = [gz, raw]  # GzipFile.close() leaves `raw` open
+            self._owned = True
         else:
             self._fh = open(path_or_file, "w")
             self._owned = True
@@ -79,6 +95,8 @@ class JsonlSink:
         self._fh.flush()
         if self._owned:
             self._fh.close()
+            for layer in self._extra:
+                layer.close()
 
 
 def _jsonable(value):
@@ -287,6 +305,13 @@ class Observation:
             tracer = Tracer(JsonlSink(trace_path)) if trace_path else Tracer()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        #: Callbacks the sorts register on every BalanceEngine they build
+        #: (signature ``cb(engine, info)`` — see
+        #: :meth:`repro.core.balance.BalanceEngine.add_round_observer`).
+        #: The :class:`~repro.obs.audit.TheoryAuditor` appends its round
+        #: checker here so Invariants 1 & 2 and the Theorem 4 factor are
+        #: verified after every matching round of every engine in the run.
+        self.engine_observers: list = []
 
     _DISABLED: "Observation | None" = None
 
@@ -297,6 +322,7 @@ class Observation:
             obs = cls.__new__(cls)
             obs.registry = MetricsRegistry("disabled")
             obs.tracer = NULL_TRACER
+            obs.engine_observers = []
             cls._DISABLED = obs
         return cls._DISABLED
 
@@ -317,18 +343,39 @@ class Observation:
         self.tracer.close()
 
 
-def read_trace(path_or_lines: str | Iterable[str]) -> list[dict]:
+def _open_trace(path: str) -> TextIO:
+    """Open a trace file, transparently decompressing gzip.
+
+    Detection is by magic bytes (``\\x1f\\x8b``), not extension, so a
+    ``.jsonl`` that is secretly gzipped (or a ``.gz`` that is not) still
+    opens correctly.
+    """
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path)
+
+
+def read_trace(
+    path_or_lines: str | Iterable[str], tolerate_truncated_tail: bool = False
+) -> list[dict]:
     """Load a JSONL trace back into a list of event dicts.
 
-    Accepts a path or an iterable of lines; blank lines are skipped,
-    malformed lines raise ``ValueError`` with the offending line number.
+    Accepts a path (plain or gzipped JSONL) or an iterable of lines; blank
+    lines are skipped, malformed lines raise ``ValueError`` with the
+    offending line number.  ``tolerate_truncated_tail=True`` forgives a
+    malformed **final** line — the signature of a run that crashed or was
+    interrupted mid-write — while still rejecting corruption anywhere
+    else; offline summarizers pass it so partial traces stay readable.
     """
     if isinstance(path_or_lines, str):
-        with open(path_or_lines) as fh:
+        with _open_trace(path_or_lines) as fh:
             lines = fh.readlines()
     else:
         lines = list(path_or_lines)
     events = []
+    last_index = len(lines)
     for i, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
@@ -336,5 +383,7 @@ def read_trace(path_or_lines: str | Iterable[str]) -> list[dict]:
         try:
             events.append(json.loads(line))
         except json.JSONDecodeError as exc:
+            if tolerate_truncated_tail and i == last_index:
+                break  # torn tail of an interrupted run
             raise ValueError(f"bad trace line {i}: {exc}") from None
     return events

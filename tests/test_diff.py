@@ -1,0 +1,204 @@
+"""Tests for the run-diff regression gate (:mod:`repro.obs.diff`).
+
+The acceptance contract from the issue: ``repro diff old.json new.json
+--threshold 0.1`` exits non-zero when any tracked metric regressed past
+the threshold and zero when reports match.  These tests pin the flatten/
+coerce semantics, the threshold algebra (signed deltas, zero baselines,
+per-path rules, ignore masks, strict shape checking), and the CLI exit
+codes — including against a real recorded bench sidecar.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.obs import DIFF_SCHEMA, DiffResult, diff_runs, flatten
+
+
+class TestFlatten:
+    def test_nested_paths(self):
+        flat = flatten({"a": {"b": [{"c": 1}, {"c": 2}]}, "d": 3})
+        assert flat == {"a.b[0].c": 1, "a.b[1].c": 2, "d": 3}
+
+    def test_numeric_string_coercion(self):
+        # Bench sidecar tables store rows as lists of strings.
+        flat = flatten({"row": ["4000", "1.895", "label"]})
+        assert flat["row[0]"] == 4000
+        assert flat["row[1]"] == 1.895
+        assert flat["row[2]"] == "label"
+
+    def test_non_finite_strings_stay_strings(self):
+        flat = flatten({"x": "inf", "y": "nan"})
+        assert flat["x"] == "inf" and flat["y"] == "nan"
+
+    def test_bools_not_coerced(self):
+        flat = flatten({"ok": True})
+        assert flat["ok"] is True
+
+    def test_empty_containers_survive(self):
+        flat = flatten({"a": [], "b": {}})
+        assert flat["a"] == [] and flat["b"] == {}
+
+
+class TestDiffRuns:
+    def test_identical_docs_ok(self):
+        doc = {"x": 1, "y": {"z": [1.5, "s"]}}
+        result = diff_runs(doc, dict(doc))
+        assert result.ok and result.regressions == [] and result.changes == []
+
+    def test_zero_threshold_flags_any_numeric_drift(self):
+        result = diff_runs({"ios": 100}, {"ios": 101})
+        assert not result.ok
+        entry = result.regressions[0]
+        assert entry.path == "ios" and entry.kind == "exceeds"
+        assert entry.rel_delta == pytest.approx(0.01)
+
+    def test_within_threshold_is_ok_but_reported(self):
+        result = diff_runs({"s": 10.0}, {"s": 12.0}, threshold=0.5)
+        assert result.ok
+        assert result.changes[0].kind == "within"
+
+    def test_past_threshold_regresses(self):
+        # threshold=2.0 is the CI wall-clock gate: measured <= 3x recorded.
+        ok = diff_runs({"s": 10.0}, {"s": 29.0}, threshold=2.0)
+        bad = diff_runs({"s": 10.0}, {"s": 31.0}, threshold=2.0)
+        assert ok.ok and not bad.ok
+
+    def test_deltas_are_signed_improvements_pass(self):
+        # A faster run is not a regression (except at threshold zero).
+        result = diff_runs({"s": 10.0}, {"s": 1.0}, threshold=0.1)
+        assert result.ok
+        assert result.changes[0].rel_delta == pytest.approx(-0.9)
+
+    def test_zero_baseline_is_infinite_delta(self):
+        result = diff_runs({"x": 0}, {"x": 5}, threshold=1e9)
+        assert not result.ok
+        assert math.isinf(result.regressions[0].rel_delta)
+
+    def test_per_path_rules_first_match_wins(self):
+        a = {"wall_s": 1.0, "ios": 100}
+        b = {"wall_s": 2.5, "ios": 101}
+        # Default 0 (exact) but wall-clock gets a loose rule.
+        result = diff_runs(a, b, threshold=0.0, rules=[("wall_s", 2.0)])
+        assert len(result.regressions) == 1
+        assert result.regressions[0].path == "ios"
+
+    def test_ignore_masks_paths(self):
+        a = {"host": "a", "params": {"jobs": 1}, "ios": 5}
+        b = {"host": "b", "params": {"jobs": 4}, "ios": 5}
+        result = diff_runs(a, b, ignore=["host", "params.*"])
+        assert result.ok and result.changes == []
+
+    def test_strict_flags_shape_changes(self):
+        a, b = {"x": 1}, {"x": 1, "extra": 2}
+        assert diff_runs(a, b).ok  # informational by default
+        strict = diff_runs(a, b, strict=True)
+        assert not strict.ok
+        assert strict.regressions[0].kind == "added"
+
+    def test_strict_flags_non_numeric_change_at_zero_threshold(self):
+        a, b = {"algo": "balance"}, {"algo": "greed"}
+        assert diff_runs(a, b).ok
+        assert not diff_runs(a, b, strict=True).ok
+
+    def test_result_to_dict_json_safe(self):
+        result = diff_runs({"x": 0}, {"x": 1})
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["schema"] == DIFF_SCHEMA
+        assert doc["ok"] is False
+        assert doc["regressions"][0]["rel_delta"] == "inf"
+
+    def test_tables_render(self):
+        result = diff_runs({"x": 1, "y": 5.0}, {"x": 2, "y": 5.5},
+                           threshold=0.5)
+        text = "\n".join(t.render() for t in result.tables())
+        assert "regressions (1)" in text
+        assert "changes within threshold (1)" in text
+
+    def test_recorded_bench_sidecar_self_diff(self):
+        # The real CI gate input: a recorded sidecar diffs clean against
+        # itself at threshold zero in strict mode.
+        path = os.path.join(os.path.dirname(__file__), "..",
+                            "benchmarks", "results", "e1_pdm_io.json")
+        result = diff_runs(path, path, threshold=0.0, strict=True)
+        assert result.ok and result.n_compared > 0
+
+
+class TestDiffCli:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_identical_exits_zero(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", {"result": {"ios": 100}})
+        b = self._write(tmp_path, "b.json", {"result": {"ios": 100}})
+        rc = main(["diff", a, b])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "diff: OK" in out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", {"result": {"ios": 100}})
+        b = self._write(tmp_path, "b.json", {"result": {"ios": 400}})
+        rc = main(["diff", a, b, "--threshold", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "diff: REGRESSION" in out
+        assert "result.ios" in out
+
+    def test_threshold_window_passes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", {"wall_s": 10.0})
+        b = self._write(tmp_path, "b.json", {"wall_s": 25.0})
+        assert main(["diff", a, b, "--threshold", "2.0"]) == 0
+        capsys.readouterr()
+
+    def test_rule_and_ignore_flags(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json",
+                        {"wall_s": 1.0, "ios": 100, "host": "x"})
+        b = self._write(tmp_path, "b.json",
+                        {"wall_s": 2.0, "ios": 100, "host": "y"})
+        rc = main(["diff", a, b, "--rule", "wall_s=2.0", "--ignore", "host"])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_malformed_rule_exits_two(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", {"x": 1})
+        rc = main(["diff", a, a, "--rule", "nothreshold"])
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_emit_json_verdict(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", {"ios": 100})
+        b = self._write(tmp_path, "b.json", {"ios": 150})
+        rc = main(["diff", a, b, "--threshold", "0.1", "--emit-json", "-"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["schema"] == DIFF_SCHEMA and doc["ok"] is False
+
+    def test_strict_gates_run_report_shape(self, capsys, tmp_path):
+        # The CI determinism gate: two run reports from the same params
+        # diff clean under --threshold 0 --strict with volatile paths
+        # ignored; a shape change fails.
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", {"params": {"n": 100}, "ios": 5})
+        b = self._write(tmp_path, "b.json",
+                        {"params": {"n": 100}, "ios": 5, "extra": 1})
+        assert main(["diff", a, a, "--threshold", "0", "--strict"]) == 0
+        assert main(["diff", a, b, "--threshold", "0", "--strict"]) == 1
+        capsys.readouterr()

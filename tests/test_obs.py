@@ -210,6 +210,73 @@ class TestJsonlRoundTrip:
         assert len(events) == 2
 
 
+class TestGzipTraces:
+    def _emit(self, path):
+        tr = Tracer(sink=JsonlSink(path))
+        with tr.span("distribute", level=0) as sp:
+            sp.event("io.read", width=8)
+            sp.annotate(ios=1)
+        tr.close()
+        return tr.events
+
+    def test_gz_suffix_writes_gzip_and_reads_back(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl.gz")
+        events = self._emit(path)
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"  # gzip magic
+        assert read_trace(path) == events
+
+    def test_gzip_output_is_byte_deterministic(self, tmp_path):
+        # mtime is pinned to zero in the gzip header, so identical event
+        # streams (zero-clock, as the exec layer emits) produce identical
+        # files — the diff/cache contract.
+        def emit(path):
+            tr = Tracer(sink=JsonlSink(path), clock=lambda: 0.0)
+            with tr.span("distribute", level=0) as sp:
+                sp.event("io.read", width=8)
+                sp.annotate(ios=1)
+            tr.close()
+
+        a, b = str(tmp_path / "a.jsonl.gz"), str(tmp_path / "b.jsonl.gz")
+        emit(a)
+        emit(b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_magic_byte_detection_beats_extension(self, tmp_path):
+        # A .jsonl that is secretly gzipped still reads (and vice versa).
+        import gzip as gz
+
+        path = tmp_path / "trace.jsonl"
+        with gz.open(path, "wt", encoding="utf-8") as fh:
+            fh.write('{"ev":"event","name":"e"}\n')
+        assert read_trace(str(path))[0]["name"] == "e"
+        plain = tmp_path / "trace2.jsonl.gz"
+        plain.write_text('{"ev":"event","name":"p"}\n')
+        assert read_trace(str(plain))[0]["name"] == "p"
+
+    def test_truncated_tail_tolerated_only_when_asked(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"ev":"event","name":"ok"}\n{"ev":"eve')
+        with pytest.raises(ValueError):
+            read_trace(str(path))
+        events = read_trace(str(path), tolerate_truncated_tail=True)
+        assert [e["name"] for e in events] == ["ok"]
+
+    def test_torn_middle_line_still_raises(self):
+        lines = ['{"ev":"eve', '{"ev":"event","name":"ok"}']
+        with pytest.raises(ValueError, match="line 1"):
+            read_trace(lines, tolerate_truncated_tail=True)
+
+    def test_observation_trace_path_gz(self, tmp_path):
+        path = str(tmp_path / "t.jsonl.gz")
+        obs = Observation(trace_path=path)
+        with obs.span("s"):
+            obs.event("e")
+        obs.close()
+        assert [e["ev"] for e in read_trace(path)] == ["begin", "event", "end"]
+
+
 class TestSummarizeTrace:
     def _trace(self):
         tr = Tracer()
@@ -237,6 +304,122 @@ class TestSummarizeTrace:
         assert s["stripe_width"]["read"] == {"4": 1, "8": 1}
         assert s["stripe_width"]["write"] == {"8": 1}
         assert s["n_events"] == len(self._trace())
+
+    def test_unclosed_spans_counted_not_fatal(self):
+        # Regression test: a crashed / interrupted run leaves begins
+        # without ends.  Summarize must not raise and must report the
+        # truncation instead of silently pretending the trace is whole.
+        events = self._trace()
+        truncated = [e for e in events if e["ev"] != "end"]
+        s = summarize_trace(truncated)
+        assert s["truncated_spans"] == 2
+        assert s["n_events"] == len(truncated)
+        # A complete trace reports zero.
+        assert summarize_trace(events)["truncated_spans"] == 0
+
+    def test_partial_span_costs_not_double_counted(self):
+        tr = Tracer()
+        with tr.span("distribute") as sp:
+            sp.event("io.read", width=8)
+            sp.annotate(ios=1)
+        events = list(tr.events)
+        events.append({"ev": "begin", "span": 99, "parent": None,
+                       "name": "distribute", "ts": 0.0, "attrs": {}})
+        s = summarize_trace(events)
+        (phase,) = s["phases"]
+        # The unclosed span contributes no end-annotations; the closed
+        # span's totals survive unchanged.
+        assert phase["ios"] == 1
+        assert s["truncated_spans"] == 1
+
+    def test_truncated_tail_file_summarizes(self, tmp_path):
+        # End-to-end: a torn final line on disk (killed mid-write) is
+        # forgiven when summarizing from a path.
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"ev":"begin","span":1,"parent":null,"name":"s","ts":0,"attrs":{}}\n'
+            '{"ev":"event","span":1,"name":"io.read","ts":0,"attrs":{"width":4}}\n'
+            '{"ev":"end","span":1,"pare'
+        )
+        s = summarize_trace(str(path))
+        assert s["truncated_spans"] == 1
+        assert s["stripe_width"]["read"] == {"4": 1}
+
+
+class TestMergeTraceEvents:
+    """Span-rebasing edge cases for the exec-layer trace merge."""
+
+    def _payload(self, task="sort_pdm", trace=None, **extra):
+        return {"task": task, "trace": trace or [], **extra}
+
+    def _run_trace(self):
+        tr = Tracer()
+        with tr.span("distribute") as sp:
+            sp.event("io.read", width=4)
+        return list(tr.events)
+
+    def test_empty_child_trace_still_wrapped(self):
+        from repro.exec import merge_trace_events
+
+        merged = merge_trace_events([self._payload(trace=[])])
+        assert [e["ev"] for e in merged] == ["begin", "end"]
+        assert merged[0]["name"] == "run:sort_pdm[0]"
+        assert merged[0]["span"] == merged[1]["span"]
+
+    def test_colliding_span_ids_rebased_unique(self):
+        from repro.exec import merge_trace_events
+
+        # Two runs whose traces both use span id 1 (every zero-clock run
+        # does) must not collide after the merge.
+        a, b = self._run_trace(), self._run_trace()
+        assert a[0]["span"] == b[0]["span"] == 1
+        merged = merge_trace_events([self._payload(trace=a),
+                                     self._payload(trace=b)])
+        begins = [e for e in merged if e["ev"] == "begin"]
+        ids = [e["span"] for e in begins]
+        assert len(ids) == len(set(ids)) == 4  # 2 wrappers + 2 rebased
+        # Each run's root span now parents to its wrapper.
+        wrappers = [e["span"] for e in begins if e["name"].startswith("run:")]
+        children = [e for e in begins if not e["name"].startswith("run:")]
+        assert [c["parent"] for c in children] == wrappers
+
+    def test_merged_stream_is_valid_for_summarize(self):
+        from repro.exec import merge_trace_events
+
+        merged = merge_trace_events(
+            [self._payload(trace=self._run_trace()) for _ in range(3)]
+        )
+        s = summarize_trace(merged)
+        assert s["truncated_spans"] == 0
+        assert s["stripe_width"]["read"] == {"4": 3}
+
+    def test_out_of_order_timestamps_preserved(self):
+        from repro.exec import merge_trace_events
+
+        # Zero-clock runs all carry ts=0; a child trace with descending
+        # timestamps must survive verbatim (merge never sorts — relative
+        # order is the contract).
+        trace = [
+            {"ev": "begin", "span": 1, "parent": None, "name": "s",
+             "ts": 5.0, "attrs": {}},
+            {"ev": "event", "span": 1, "name": "io.read", "ts": 2.0,
+             "attrs": {"width": 2}},
+            {"ev": "end", "span": 1, "parent": None, "name": "s",
+             "ts": 1.0, "wall_s": 1.0, "attrs": {}},
+        ]
+        merged = merge_trace_events([self._payload(trace=trace)])
+        inner = [e for e in merged if e["name"] == "s"]
+        assert [e["ts"] for e in inner] == [5.0, 1.0]
+        event = next(e for e in merged if e["ev"] == "event")
+        assert event["ts"] == 2.0
+        # And the stream still summarizes / profiles without raising.
+        assert summarize_trace(merged)["truncated_spans"] == 0
+
+    def test_cached_flag_lands_on_wrapper(self):
+        from repro.exec import merge_trace_events
+
+        merged = merge_trace_events([self._payload(trace=[], cached=True)])
+        assert merged[0]["attrs"] == {"index": 0, "cached": True}
 
 
 class TestRunReport:
