@@ -156,6 +156,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="PATH",
         help="content-hashed result cache directory (hits skip simulation)",
     )
+    p_sw.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per cell after the first (default 0: fail fast "
+             "into a structured repro.failures/1 record)",
+    )
+    p_sw.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget (pool mode; a hung worker "
+             "triggers a pool rebuild and the cell is charged a retry)",
+    )
+    p_sw.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="deterministic exponential backoff base: attempt k sleeps "
+             "backoff*2^k before retrying (default 0.05)",
+    )
+    p_sw.add_argument(
+        "--fault-plan", default=None, metavar="PATH|JSON",
+        help="seeded chaos plan (repro.fault_plan/1 JSON file, or inline "
+             "JSON starting with '{'); see docs/resilience.md",
+    )
+    p_sw.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="checkpoint completed cells to DIR (journal.jsonl + payload "
+             "store) so --resume re-executes only the missing ones",
+    )
+    p_sw.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already completed in --journal DIR from the "
+             "checkpoint (grid fingerprint must match)",
+    )
     add_obs_args(p_sw)
 
     p_rep = sub.add_parser("report", help="summarize a saved JSONL trace")
@@ -513,6 +543,16 @@ _SWEEP_COLUMNS = {
 }
 
 
+#: Sweep CLI flags that never enter the report params: execution-shape
+#: knobs (jobs, cache) and the whole resilience surface.  Excluding the
+#: chaos flags is what lets ``repro diff --threshold 0`` compare a chaos
+#: run's report against the fault-free run — the chaos-determinism gate.
+_SWEEP_PARAM_EXCLUDES = (
+    "command", "emit_json", "trace_out", "jobs", "cache_dir",
+    "retries", "timeout", "backoff", "fault_plan", "journal", "resume",
+)
+
+
 def cmd_sweep(args) -> int:
     """Run a parameter grid through the ParallelRunner and print the table.
 
@@ -522,26 +562,106 @@ def cmd_sweep(args) -> int:
     grid order — the table is bit-identical whether the sweep ran
     serially, on a pool, or from cache.  Runner statistics go to stderr
     so stdout stays deterministic.
+
+    Resilience: ``--retries/--timeout/--backoff`` make faults (injected
+    via ``--fault-plan`` or real) survivable; cells that exhaust their
+    budget become ``repro.failures/1`` records in the report and a
+    failures table on stderr-adjacent output.  ``--journal DIR``
+    checkpoints completed cells; ``--resume`` serves them back.
+
+    Exit codes: 0 when every cell succeeded, 2 on usage errors (bad
+    fault plan, ``--resume`` without ``--journal``, grid mismatch), 3
+    when any cell exhausted its retries — mirroring ``repro diff``'s
+    documented contract.
     """
+    from .exceptions import ParameterError
     from .exec import ParallelRunner, merge_metrics, merge_trace_events, write_merged_trace
     from .obs import summarize_trace
+    from .resilience import (
+        FaultPlan,
+        SweepJournal,
+        grid_fingerprint,
+        inject_cache_faults,
+    )
 
     task, specs = _sweep_specs(args)
-    runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    keys = [spec.fingerprint() for spec in specs]
+
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.load(args.fault_plan)
+        except ParameterError as exc:
+            print(f"[sweep] error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.resume and not args.journal:
+        print("[sweep] error: --resume requires --journal DIR", file=sys.stderr)
+        return 2
+    journal = None
+    cache_dir = args.cache_dir
+    if args.journal:
+        journal = SweepJournal(args.journal)
+        if args.resume:
+            start = journal.last_start()
+            if start is not None and start.get("grid") != grid_fingerprint(keys):
+                print(
+                    f"[sweep] error: journal {args.journal} records a "
+                    f"different grid (fingerprint {start.get('grid')} != "
+                    f"{grid_fingerprint(keys)}); refusing to resume",
+                    file=sys.stderr,
+                )
+                return 2
+            key_set = set(keys)
+            journal.resumed = sum(
+                1 for k, st in journal.completed().items()
+                if st == "done" and k in key_set
+            )
+        if cache_dir is None:
+            cache_dir = journal.cells_dir
+        journal.begin(task, keys)
+
+    if plan is not None and cache_dir:
+        damaged = inject_cache_faults(cache_dir, plan)
+        if damaged:
+            print(
+                f"[sweep] fault plan damaged {damaged} cache entr"
+                f"{'y' if damaged == 1 else 'ies'}",
+                file=sys.stderr,
+            )
+
+    runner = ParallelRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        retries=args.retries,
+        timeout=args.timeout,
+        backoff=args.backoff,
+        fault_plan=plan,
+        journal=journal,
+    )
     results = runner.map(specs)
-    payloads = [r.payload for r in results]
+    ok_payloads = [r.payload for r in results if not r.failed]
 
     columns, row_fn = _SWEEP_COLUMNS[task]
     t = Table(columns, title=f"sweep · {task} · {len(results)} cells")
     rows = []
+    failures = []
     for res in results:
+        if res.failed:
+            failures.append({
+                "params": dict(res.spec.params),
+                "error": res.payload["error"],
+                "attempts": res.payload["attempts"],
+                "key": res.key,
+            })
+            continue
         cells = row_fn(res.spec.params, res.result, res.cached)
         t.add(*cells)
         rows.append({**res.result, "params": dict(res.spec.params),
                      "cached": res.cached})
 
     if args.trace_out:
-        write_merged_trace(payloads, args.trace_out)
+        write_merged_trace(ok_payloads, args.trace_out)
 
     show_table = True
     if args.emit_json is not None or args.trace_out is not None:
@@ -549,17 +669,34 @@ def cmd_sweep(args) -> int:
             command="sweep",
             params={
                 k: v for k, v in vars(args).items()
-                if k not in ("command", "emit_json", "trace_out", "jobs", "cache_dir")
+                if k not in _SWEEP_PARAM_EXCLUDES
             },
-            result={"task": task, "n_cells": len(results), "rows": rows},
-            metrics=merge_metrics(payloads).export(),
-            trace_summary=summarize_trace(merge_trace_events(payloads)),
+            result={
+                "task": task,
+                "n_cells": len(results),
+                "rows": rows,
+                "n_failed": len(failures),
+                "failures": failures,
+            },
+            metrics=merge_metrics(ok_payloads).export(),
+            trace_summary=summarize_trace(merge_trace_events(ok_payloads)),
         )
         if args.emit_json:
             report.write(args.emit_json)
             show_table = args.emit_json != "-"
     if show_table:
         t.print()
+        if failures:
+            ft = Table(
+                ["task", "error", "message", "attempts"],
+                title=f"failed cells · {len(failures)}",
+            )
+            for f in failures:
+                ft.add(
+                    task, f["error"]["type"],
+                    f["error"]["message"][:60], f["attempts"],
+                )
+            ft.print()
     stats = runner.stats
     if stats["jobs"] != stats["jobs_requested"]:
         print(
@@ -571,10 +708,21 @@ def cmd_sweep(args) -> int:
     print(
         f"[sweep] jobs={stats['jobs']} executed={stats['executed']} "
         f"cached={stats['served_from_cache']} "
-        f"cache_hits={stats['cache']['hits']}",
+        f"cache_hits={stats['cache']['hits']} "
+        f"retried={stats['retried']} failed={stats['failed']} "
+        f"corrupt={stats['cache']['corrupt']}",
         file=sys.stderr,
     )
-    return 0
+    if journal is not None:
+        js = journal.stats
+        print(
+            f"[sweep] journal={journal.directory} resumed={js['resumed']} "
+            f"recorded_done={js['recorded_done']} "
+            f"recorded_failed={js['recorded_failed']} "
+            f"total_done={js['total_done']}",
+            file=sys.stderr,
+        )
+    return 3 if stats["failed"] else 0
 
 
 def cmd_report(args) -> int:

@@ -44,3 +44,44 @@ class InvariantViolation(ReproError):
 
 class ParameterError(ReproError, ValueError):
     """Machine or algorithm parameters are out of the model's legal range."""
+
+
+class BlockCorruptionError(ReproError):
+    """A stored block's content no longer matches its recorded checksum.
+
+    Raised by the checksum-enabled block stores (:mod:`repro.pdm.store`)
+    when a read or peek observes bit rot — in practice, a ``corrupt``-mode
+    fault injected by a :class:`~repro.resilience.FaultPlan`.  The failed
+    operation has **no partial effects**: a fused ``read(free=True)`` that
+    detects corruption frees nothing, on either backend.
+    """
+
+
+class ResilienceError(ReproError):
+    """Base class for the fault-injection / recovery subsystem errors."""
+
+
+class InjectedFault(ResilienceError):
+    """Base class for faults fired deterministically by a FaultPlan."""
+
+
+class InjectedIOError(InjectedFault):
+    """A deterministically injected (transient or permanent) I/O failure."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """Serial-mode surrogate for a worker-process crash.
+
+    In process-pool mode a ``crash``-effect fault calls ``os._exit`` in
+    the worker (the real thing — the parent sees ``BrokenProcessPool``);
+    in serial mode the same plan raises this instead so serial and pool
+    sweeps converge on identical retry behaviour.
+    """
+
+
+class PoisonedPayloadError(ResilienceError):
+    """A worker returned a payload that failed schema/shape validation."""
+
+
+class TaskTimeout(ResilienceError):
+    """A grid cell exceeded the runner's per-task timeout."""

@@ -18,21 +18,37 @@ package turns that shape into throughput without giving up determinism:
   :class:`~repro.obs.MetricsRegistry` / one JSONL trace, keeping the
   ``repro.run_report/1`` schema stable.
 
+With ``retries``/``timeout``/``fault_plan``/``journal`` configured the
+runner additionally survives worker crashes, hangs, poisoned payloads,
+and injected I/O faults — failed cells become structured
+``repro.failures/1`` records instead of tracebacks (see
+``docs/resilience.md`` and :mod:`repro.resilience`).
+
 Entry points: ``repro sweep --jobs N --cache-dir ...`` on the CLI and
 ``parallel_sweep`` in ``benchmarks/_harness.py``.  See
 ``docs/testing.md`` for the testing tiers that pin the determinism
 guarantees.
 """
 
-from .cache import ResultCache
+from .cache import CACHE_ENTRY_SCHEMA, ResultCache, payload_digest
 from .fingerprint import SCHEMA_SALT, canonical_params, fingerprint
 from .merge import merge_metrics, merge_trace_events, write_merged_trace
-from .runner import ParallelRunner, RunResult, RunSpec, default_jobs, grid
+from .runner import (
+    FAILURES_SCHEMA,
+    ParallelRunner,
+    RunResult,
+    RunSpec,
+    default_jobs,
+    grid,
+)
 from .tasks import get_task, run_task, task, task_names
 
 __all__ = [
+    "CACHE_ENTRY_SCHEMA",
+    "FAILURES_SCHEMA",
     "ResultCache",
     "SCHEMA_SALT",
+    "payload_digest",
     "canonical_params",
     "fingerprint",
     "merge_metrics",

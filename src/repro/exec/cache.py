@@ -11,15 +11,34 @@ an interrupted benchmark) are then served without re-simulating.
 deduplicating *within* one sweep without touching disk.  All writes are
 atomic (``os.replace`` of a temp file), so a crashed worker can never
 leave a truncated JSON behind.
+
+Integrity (schema ``repro.cache_entry/1``)
+------------------------------------------
+On-disk entries are wrapped as ``{"schema", "sha256", "payload"}`` where
+``sha256`` digests the canonical JSON of the payload.  A read that finds
+unparseable JSON, a missing wrapper field, or a digest mismatch
+**quarantines** the file (rename to ``<key>.json.quarantine``), bumps the
+``corrupt`` counter, and reports a miss — so bit rot (or an injected
+``cache.entry`` fault) costs one re-execution, never a wrong result.
+Legacy bare-payload entries (no wrapper) are still accepted.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "CACHE_ENTRY_SCHEMA", "payload_digest"]
+
+CACHE_ENTRY_SCHEMA = "repro.cache_entry/1"
+
+
+def payload_digest(payload: dict) -> str:
+    """sha256 over the canonical (sorted, compact) JSON of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -31,6 +50,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
         if directory:
             os.makedirs(directory, exist_ok=True)
 
@@ -39,18 +59,54 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")  # type: ignore[arg-type]
 
-    def get(self, key: str) -> dict | None:
-        """The cached payload for ``key``, or None (counts hit/miss)."""
+    def _quarantine(self, key: str, obs=None) -> None:
+        """Move a damaged entry aside (``*.quarantine``) and count it."""
+        self.corrupt += 1
+        path = self._path(key)
+        try:
+            os.replace(path, path + ".quarantine")
+        except OSError:  # pragma: no cover - raced unlink; miss either way
+            pass
+        if obs is not None:
+            obs.event("cache.quarantined", key=key[:16])
+            obs.scope("resilience").counter("cache.quarantined").inc()
+
+    def _load_entry(self, key: str, obs=None) -> dict | None:
+        """Read + verify one on-disk entry; quarantine anything damaged."""
+        try:
+            with open(self._path(key)) as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # A flipped byte can break JSON *or* UTF-8; either way the
+            # entry is damaged and gets quarantined.
+            self._quarantine(key, obs)
+            return None
+        if not isinstance(doc, dict):
+            self._quarantine(key, obs)
+            return None
+        if doc.get("schema") != CACHE_ENTRY_SCHEMA:
+            # Legacy bare payload (pre-integrity format): accept as-is.
+            return doc
+        payload = doc.get("payload")
+        if not isinstance(payload, dict) or payload_digest(payload) != doc.get("sha256"):
+            self._quarantine(key, obs)
+            return None
+        return payload
+
+    def get(self, key: str, obs=None) -> dict | None:
+        """The cached payload for ``key``, or None (counts hit/miss).
+
+        Damaged on-disk entries are quarantined (renamed to
+        ``<key>.json.quarantine``), counted in :attr:`corrupt`, and
+        reported as misses — the caller simply re-executes.
+        """
         payload = self._memory.get(key)
         if payload is None and self.directory:
-            try:
-                with open(self._path(key)) as fh:
-                    payload = json.load(fh)
+            payload = self._load_entry(key, obs)
+            if payload is not None:
                 self._memory[key] = payload
-            except FileNotFoundError:
-                payload = None
-            except json.JSONDecodeError:
-                payload = None  # treat a corrupt entry as a miss; put() rewrites it
         if payload is None:
             self.misses += 1
             return None
@@ -58,17 +114,22 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Store ``payload`` under ``key`` (atomic on disk)."""
+        """Store ``payload`` under ``key`` (atomic + integrity-wrapped on disk)."""
         self._memory[key] = payload
         self.stores += 1
         if not self.directory:
             return
+        entry = {
+            "schema": CACHE_ENTRY_SCHEMA,
+            "sha256": payload_digest(payload),
+            "payload": payload,
+        }
         fd, tmp = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+                json.dump(entry, fh, separators=(",", ":"))
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -81,12 +142,13 @@ class ResultCache:
 
     @property
     def stats(self) -> dict:
-        """Hit/miss/store counters plus the backing directory."""
+        """Hit/miss/store/corrupt counters plus the backing directory."""
         return {
             "directory": self.directory,
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
         }
 
     def __contains__(self, key: str) -> bool:

@@ -17,25 +17,56 @@ the algorithm.  :class:`ParallelRunner` is that layer for this repo:
   which worker finished first, so tables and reports are bit-identical
   to a serial run;
 * **observability merging** — per-run metrics/trace payloads fold into a
-  single registry / trace via :mod:`repro.exec.merge`.
+  single registry / trace via :mod:`repro.exec.merge`;
+* **failure isolation** — with ``retries``/``timeout`` configured, a
+  fault (injected or real) in one cell never takes down the sweep: the
+  attempt is retried with deterministic exponential backoff, a crashed
+  worker triggers a pool rebuild that resubmits innocent cells *at the
+  same attempt number* (crash attribution via
+  :func:`~repro.resilience.exec_decision`), and a cell that exhausts its
+  budget becomes a structured ``repro.failures/1`` payload instead of a
+  traceback.  Failure payloads are **never cached** — a re-run retries
+  them.
 
 ``jobs=None`` or ``jobs<=1`` runs serially in-process (no pool, no
-pickling) but through the same cache and payload path, which is what
-makes serial-vs-parallel bit-identity testable.
+pickling) but through the same cache, retry, and payload path, which is
+what makes serial-vs-parallel bit-identity testable — including under a
+seeded :class:`~repro.resilience.FaultPlan` (the chaos-determinism gate
+of ``docs/resilience.md``).
+
+Completed payloads are written to the cache **as each future lands**, so
+a ``KeyboardInterrupt`` (or SIGKILL) mid-sweep leaves every finished
+cell cached: the interrupted sweep is warm on restart.  The interrupt
+handler additionally drains any already-completed-but-unprocessed
+futures into the cache before shutting the pool down with
+``cancel_futures=True`` and re-raising.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
+from ..exceptions import InjectedWorkerCrash, PoisonedPayloadError, TaskTimeout
+from ..resilience import FaultInjector, activate, exec_decision
 from .cache import ResultCache
-from .fingerprint import fingerprint
+from .fingerprint import SCHEMA_SALT, fingerprint
 from .tasks import run_task
 
-__all__ = ["RunSpec", "RunResult", "ParallelRunner", "grid"]
+__all__ = ["RunSpec", "RunResult", "ParallelRunner", "grid", "FAILURES_SCHEMA"]
+
+#: Schema tag of the structured payload a cell gets when it exhausts its
+#: retry budget.  Failure payloads are never cached and never carry a
+#: ``result`` — downstream consumers must branch on :attr:`RunResult.failed`.
+FAILURES_SCHEMA = "repro.failures/1"
+
+#: Schema tag a ``corrupt``-mode ``exec.task`` fault stamps on its poisoned
+#: payload — guaranteed to fail the runner's schema validation.
+_POISON_SCHEMA = "repro.poisoned/0"
 
 
 @dataclass(frozen=True)
@@ -52,17 +83,27 @@ class RunSpec:
 
 @dataclass
 class RunResult:
-    """One executed (or cache-served) grid cell, in spec order."""
+    """One executed (or cache-served) grid cell, in spec order.
+
+    ``failed=True`` marks a cell that exhausted its retry budget; its
+    ``payload`` is then a ``repro.failures/1`` record (no ``result``).
+    """
 
     spec: RunSpec
     payload: dict
     cached: bool = False
     key: str = ""
+    failed: bool = False
 
     @property
     def result(self) -> dict:
         """The task's result summary (``payload["result"]``)."""
         return self.payload["result"]
+
+    @property
+    def error(self) -> dict | None:
+        """The final-attempt error of a failed cell (or None)."""
+        return self.payload.get("error") if self.failed else None
 
 
 def grid(**axes) -> list[dict]:
@@ -80,9 +121,46 @@ def grid(**axes) -> list[dict]:
     return cells
 
 
-def _execute(task: str, params: dict) -> dict:
-    """Worker entry point (top-level, hence picklable)."""
-    return run_task(task, params)
+def _execute(
+    task: str,
+    params: dict,
+    plan=None,
+    cell: str = "",
+    attempt: int = 0,
+    in_worker: bool = False,
+) -> dict:
+    """Worker entry point (top-level, hence picklable).
+
+    With a fault plan attached, one :class:`FaultInjector` scoped to this
+    ``(cell, attempt)`` is installed as the ambient injector for the
+    duration of the task: the exec gate fires first (raise / crash /
+    hang), then every :class:`~repro.pdm.machine.ParallelDiskMachine` the
+    task builds picks the injector up for ``store.*`` faults.  The
+    injector deliberately carries **no observation** — task payloads must
+    stay pure functions of ``(task, params)``, so chaos instrumentation
+    never leaks into them (the chaos-determinism guarantee).
+    """
+    if plan is None:
+        return run_task(task, params)
+    injector = FaultInjector(plan, cell=cell, attempt=attempt)
+    with activate(injector):
+        gate = injector.exec_gate(in_worker=in_worker)
+        payload = run_task(task, params)
+    if gate == "poison":
+        return {"schema": _POISON_SCHEMA, "task": task}
+    return payload
+
+
+def _validate_payload(payload, task: str) -> None:
+    """Schema/shape check on a worker's payload (poison detection)."""
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != SCHEMA_SALT
+        or "result" not in payload
+    ):
+        raise PoisonedPayloadError(
+            f"worker returned an invalid payload for task {task!r}"
+        )
 
 
 class ParallelRunner:
@@ -100,8 +178,28 @@ class ParallelRunner:
     cache:
         Pass an existing :class:`ResultCache` to share across runners.
     obs:
-        Optional :class:`~repro.obs.Observation`; an oversubscription
-        clamp emits a ``runner.jobs_clamped`` trace event on it.
+        Optional :class:`~repro.obs.Observation`; retries, pool
+        rebuilds, timeouts, and cell failures then emit ``retry.*`` /
+        ``runner.*`` trace events and counters under the ``resilience``
+        metrics scope (run-level only — never inside task payloads).
+    retries:
+        Extra attempts per cell after the first (default 0: one attempt,
+        the legacy fail-fast behaviour surfaced as a failure record).
+    timeout:
+        Per-attempt wall-clock budget in seconds (pool mode only; a hung
+        worker cannot be cancelled, so an expiry rebuilds the pool and
+        resubmits the innocent in-flight cells at their same attempt).
+    backoff:
+        Base of the deterministic exponential backoff: attempt ``k``
+        (0-based) sleeps ``backoff · 2^k`` before its retry.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; every attempt of
+        every cell then runs under its own deterministic
+        :class:`~repro.resilience.FaultInjector`.
+    journal:
+        Optional :class:`~repro.resilience.SweepJournal`; each cell's
+        terminal state (``done`` / ``failed``) is checkpointed as it
+        completes.
 
     ``jobs`` is clamped to the *usable* core count
     (:func:`default_jobs`): worker processes beyond the cores the
@@ -117,6 +215,11 @@ class ParallelRunner:
         cache_dir: str | None = None,
         cache: ResultCache | None = None,
         obs=None,
+        retries: int = 0,
+        timeout: float | None = None,
+        backoff: float = 0.05,
+        fault_plan=None,
+        journal=None,
     ):
         requested = int(jobs) if jobs else 0
         usable = default_jobs()
@@ -128,9 +231,37 @@ class ParallelRunner:
             )
         if cache is not None and cache_dir is not None:
             raise ValueError("pass cache or cache_dir, not both")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
         self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.retries = int(retries)
+        self.timeout = timeout
+        self.backoff = float(backoff)
+        self.fault_plan = fault_plan
+        self.journal = journal
         self.executed = 0
         self.served_from_cache = 0
+        self.retried = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self._obs = obs
+        self._scope = obs.scope("resilience") if obs is not None else None
+        self._failed_payloads: dict[str, dict] = {}
+
+    # ------------------------------------------------------- obs plumbing
+
+    def _event(self, name: str, **fields) -> None:
+        if self._obs is not None:
+            self._obs.event(name, **fields)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self._scope is not None:
+            self._scope.counter(name).inc(n)
 
     # ---------------------------------------------------------------- map
 
@@ -142,7 +273,8 @@ class ParallelRunner:
         with an in-memory cache).  Misses run serially or on the pool
         depending on ``jobs``; either way the returned list is ordered by
         input position, so downstream tables are bit-identical to a
-        serial sweep.
+        serial sweep.  Cells that exhaust their retry budget come back
+        with ``failed=True`` and a ``repro.failures/1`` payload.
         """
         specs = list(specs)
         keys = [spec.fingerprint() for spec in specs]
@@ -154,7 +286,7 @@ class ParallelRunner:
         for i, (spec, key) in enumerate(zip(specs, keys)):
             if key in pending:
                 continue  # duplicate of an in-flight miss; filled below
-            payload = self.cache.get(key)
+            payload = self.cache.get(key, obs=self._obs)
             if payload is not None:
                 results[i] = RunResult(spec=spec, payload=payload, cached=True, key=key)
                 self.served_from_cache += 1
@@ -165,37 +297,302 @@ class ParallelRunner:
         # Execute the misses (pool when jobs > 1, else inline).
         if order:
             if self.jobs > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = [
-                        pool.submit(_execute, specs[i].task, specs[i].params)
-                        for i in order
-                    ]
-                    payloads = [f.result() for f in futures]
+                self._map_pool(specs, keys, order, results)
             else:
-                payloads = [
-                    _execute(specs[i].task, specs[i].params) for i in order
-                ]
-            for i, payload in zip(order, payloads):
-                self.cache.put(keys[i], payload)
-                results[i] = RunResult(
-                    spec=specs[i], payload=payload, cached=False, key=keys[i]
-                )
-                self.executed += 1
+                for i in order:
+                    payload, failed = self._run_cell_serial(specs[i], keys[i])
+                    self._finish(i, specs[i], keys[i], payload, failed, results)
 
         # Fill duplicates / late cache hits from the now-warm cache.
         for i, (spec, key) in enumerate(zip(specs, keys)):
             if results[i] is None:
-                payload = self.cache.get(key)
+                failure = self._failed_payloads.get(key)
+                if failure is not None:
+                    results[i] = RunResult(
+                        spec=spec, payload=failure, cached=False, key=key, failed=True
+                    )
+                    continue
+                payload = self.cache.get(key, obs=self._obs)
                 assert payload is not None  # just stored above
                 results[i] = RunResult(spec=spec, payload=payload, cached=True, key=key)
                 self.served_from_cache += 1
         return results  # type: ignore[return-value]
 
+    # ------------------------------------------------------ cell plumbing
+
+    def _finish(self, i, spec, key, payload, failed, results) -> None:
+        """Record one cell's terminal state (cache, journal, counters)."""
+        if failed:
+            self.failed += 1
+            self._failed_payloads[key] = payload
+            results[i] = RunResult(
+                spec=spec, payload=payload, cached=False, key=key, failed=True
+            )
+            self._event(
+                "runner.cell_failed",
+                key=key[:16],
+                attempts=payload.get("attempts"),
+                error=payload.get("error", {}).get("type"),
+            )
+            self._count("cell_failed")
+        else:
+            self.cache.put(key, payload)  # incremental: interrupts stay warm
+            results[i] = RunResult(spec=spec, payload=payload, cached=False, key=key)
+            self.executed += 1
+        if self.journal is not None:
+            self.journal.record(key, "failed" if failed else "done")
+
+    def _failure_payload(self, spec: RunSpec, key: str, errors: list[dict]) -> dict:
+        """The structured ``repro.failures/1`` record for an exhausted cell."""
+        return {
+            "schema": FAILURES_SCHEMA,
+            "task": spec.task,
+            "params": dict(spec.params),
+            "key": key,
+            "attempts": len(errors),
+            "retries": self.retries,
+            "error": errors[-1],
+            "errors": errors,
+        }
+
+    @staticmethod
+    def _error_record(attempt: int, exc: BaseException) -> dict:
+        return {
+            "attempt": attempt,
+            "type": type(exc).__name__,
+            "message": str(exc),
+        }
+
+    def _note_retry(self, key: str, attempt: int, exc: BaseException) -> None:
+        """Count one retry and sleep its deterministic backoff slot."""
+        self.retried += 1
+        delay = self.backoff * (2 ** attempt)
+        self._event(
+            "retry.attempt",
+            key=key[:16],
+            attempt=attempt + 1,
+            error=type(exc).__name__,
+            backoff=delay,
+        )
+        self._count("retry.attempt")
+        if delay > 0:
+            time.sleep(delay)
+
+    # --------------------------------------------------------- serial path
+
+    def _run_cell_serial(self, spec: RunSpec, key: str) -> tuple[dict, bool]:
+        """Run one cell inline with the full retry loop.
+
+        Serial mode cannot preempt a wedged task, so ``timeout`` is a
+        pool-mode feature; ``hang``-effect faults self-release after
+        their configured duration, which keeps serial and pool retry
+        accounting identical.
+        """
+        errors: list[dict] = []
+        attempt = 0
+        while True:
+            try:
+                payload = _execute(
+                    spec.task, spec.params, self.fault_plan, key, attempt, False
+                )
+                _validate_payload(payload, spec.task)
+                return payload, False
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                errors.append(self._error_record(attempt, exc))
+                if attempt >= self.retries:
+                    return self._failure_payload(spec, key, errors), True
+                self._note_retry(key, attempt, exc)
+                attempt += 1
+
+    # ----------------------------------------------------------- pool path
+
+    def _map_pool(self, specs, keys, order, results) -> None:
+        """Dispatch pending cells on a process pool with recovery.
+
+        Three failure surfaces are handled:
+
+        * a future resolving to an exception (injected fault, poison, or
+          a real bug) → per-cell retry with backoff;
+        * ``BrokenProcessPool`` (a worker died — in chaos runs, a
+          ``crash``-effect fault calling ``os._exit``) → rebuild the
+          pool, charge the crash to the cell whose plan *says* it
+          crashed (:func:`~repro.resilience.exec_decision`, a pure
+          function of ``(plan, cell, attempt)``), and resubmit every
+          innocent in-flight cell at its **same** attempt number, so
+          pool and serial sweeps converge on identical retry accounting;
+        * a per-attempt ``timeout`` expiring → hung workers cannot be
+          cancelled, so this also rebuilds the pool; expired cells are
+          charged a :class:`~repro.exceptions.TaskTimeout`, innocents
+          resubmit unchanged.
+
+        A bounded rebuild budget stops a genuinely broken environment
+        (workers dying for non-injected reasons) from rebuilding
+        forever: once exhausted, crashed cells are charged directly.
+        """
+        state = {i: {"attempt": 0, "errors": []} for i in order}
+        inflight: dict = {}  # future -> (index, attempt)
+        deadlines: dict = {}  # future -> monotonic deadline (or None)
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        rebuilds_left = self.jobs + (self.retries + 1) * len(order) + 2
+
+        def submit(idx: int) -> None:
+            st = state[idx]
+            f = pool.submit(
+                _execute,
+                specs[idx].task,
+                specs[idx].params,
+                self.fault_plan,
+                keys[idx],
+                st["attempt"],
+                True,
+            )
+            inflight[f] = (idx, st["attempt"])
+            deadlines[f] = (
+                time.monotonic() + self.timeout if self.timeout else None
+            )
+
+        def charge(idx: int, attempt: int, exc: BaseException, resubmit: list) -> None:
+            st = state[idx]
+            st["errors"].append(self._error_record(attempt, exc))
+            if attempt >= self.retries:
+                payload = self._failure_payload(specs[idx], keys[idx], st["errors"])
+                self._finish(idx, specs[idx], keys[idx], payload, True, results)
+                return
+            self._note_retry(keys[idx], attempt, exc)
+            st["attempt"] = attempt + 1
+            resubmit.append(idx)
+
+        def settle(f, idx: int, attempt: int, resubmit: list) -> bool:
+            """Process one completed future; True unless the pool broke."""
+            try:
+                payload = f.result()
+                _validate_payload(payload, specs[idx].task)
+            except BrokenProcessPool:
+                return False
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                charge(idx, attempt, exc, resubmit)
+                return True
+            self._finish(idx, specs[idx], keys[idx], payload, False, results)
+            return True
+
+        def rebuild(reason: str):
+            nonlocal pool, rebuilds_left
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self.pool_rebuilds += 1
+            rebuilds_left -= 1
+            self._event("runner.pool_rebuilt", reason=reason)
+            self._count("pool_rebuilds")
+
+        try:
+            for idx in order:
+                submit(idx)
+            while inflight:
+                wait_for = None
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    nearest = min(d for d in deadlines.values() if d is not None)
+                    wait_for = max(0.0, nearest - now) + 0.02
+                done, _ = wait(
+                    set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                resubmit: list[int] = []
+                crashed: list[tuple[int, int]] = []
+                for f in done:
+                    idx, attempt = inflight.pop(f)
+                    deadlines.pop(f, None)
+                    if not settle(f, idx, attempt, resubmit):
+                        crashed.append((idx, attempt))
+                if crashed:
+                    # The pool is broken: drain what finished, bucket the rest.
+                    for f, (idx, attempt) in list(inflight.items()):
+                        if f.done() and settle(f, idx, attempt, resubmit):
+                            continue
+                        crashed.append((idx, attempt))
+                    inflight.clear()
+                    deadlines.clear()
+                    rebuild("crash")
+                    for idx, attempt in crashed:
+                        rule = (
+                            exec_decision(self.fault_plan, keys[idx], attempt)
+                            if self.fault_plan is not None
+                            else None
+                        )
+                        if rule is not None and rule.effect == "crash":
+                            charge(
+                                idx,
+                                attempt,
+                                InjectedWorkerCrash(
+                                    f"injected {rule.mode} worker crash "
+                                    f"(attempt {attempt})"
+                                ),
+                                resubmit,
+                            )
+                        elif rebuilds_left <= 0:
+                            charge(
+                                idx,
+                                attempt,
+                                RuntimeError("worker process crashed"),
+                                resubmit,
+                            )
+                        else:
+                            resubmit.append(idx)  # innocent: same attempt
+                elif self.timeout is not None and inflight:
+                    now = time.monotonic()
+                    if any(
+                        d is not None and now > d for d in deadlines.values()
+                    ):
+                        # A wedged worker can't be cancelled: rebuild, charge
+                        # the expired cells, resubmit the innocents as-is.
+                        expired: list[tuple[int, int]] = []
+                        for f, (idx, attempt) in list(inflight.items()):
+                            d = deadlines.get(f)
+                            if f.done():
+                                if not settle(f, idx, attempt, resubmit):
+                                    expired.append((idx, attempt))
+                            elif d is not None and now > d:
+                                expired.append((idx, attempt))
+                            else:
+                                resubmit.append(idx)
+                        inflight.clear()
+                        deadlines.clear()
+                        rebuild("timeout")
+                        for idx, attempt in expired:
+                            self.timeouts += 1
+                            self._count("timeouts")
+                            charge(
+                                idx,
+                                attempt,
+                                TaskTimeout(
+                                    f"cell exceeded the {self.timeout}s "
+                                    f"per-attempt timeout (attempt {attempt})"
+                                ),
+                                resubmit,
+                            )
+                for idx in resubmit:
+                    submit(idx)
+        except KeyboardInterrupt:
+            # Persist every already-finished payload so restart is warm,
+            # then cancel what never started and re-raise.
+            for f, (idx, attempt) in inflight.items():
+                if not f.done() or results[idx] is not None:
+                    continue
+                try:
+                    payload = f.result()
+                    _validate_payload(payload, specs[idx].task)
+                except BaseException:
+                    continue
+                self._finish(idx, specs[idx], keys[idx], payload, False, results)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown()
+
     # -------------------------------------------------------------- stats
 
     @property
     def stats(self) -> dict:
-        """Execution and cache counters for reporting.
+        """Execution, cache, and resilience counters for reporting.
 
         ``jobs`` is the *effective* worker count after the usable-core
         clamp; ``jobs_requested`` preserves what the caller asked for.
@@ -205,6 +602,10 @@ class ParallelRunner:
             "jobs_requested": self.jobs_requested or 1,
             "executed": self.executed,
             "served_from_cache": self.served_from_cache,
+            "retried": self.retried,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
             "cache": self.cache.stats,
         }
 

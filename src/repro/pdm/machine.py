@@ -30,6 +30,7 @@ classic :class:`BlockAddress`-list API is a thin shim over them.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -43,6 +44,7 @@ from ..exceptions import (
 )
 from ..pram.machine import PRAM, Variant
 from ..records import RECORD_DTYPE
+from ..resilience.injector import active_fault_injector
 from .store import make_store
 
 __all__ = ["BlockAddress", "IOStats", "ParallelDiskMachine"]
@@ -124,6 +126,13 @@ class ParallelDiskMachine:
         Storage backend name (``"arena"`` or ``"dict"``); defaults to
         ``$REPRO_PDM_STORE`` or the arena.  Backends are observationally
         identical — only wall-clock differs.
+    checksums:
+        Keep a per-block CRC-32 in the store so bit rot (in practice, a
+        ``corrupt``-mode injected fault) raises
+        :class:`~repro.exceptions.BlockCorruptionError` on read/peek.
+        ``None`` (the default) consults ``$REPRO_PDM_CHECKSUMS`` and
+        then the ambient fault plan: a plan that corrupts stored blocks
+        turns checksums on automatically so its damage is detectable.
     """
 
     def __init__(
@@ -134,6 +143,7 @@ class ParallelDiskMachine:
         processors: int = 1,
         pram_variant: str | Variant = Variant.EREW,
         store: str | None = None,
+        checksums: bool | None = None,
     ) -> None:
         if block < 1 or disks < 1:
             raise ParameterError(f"need B >= 1 and D >= 1, got B={block}, D={disks}")
@@ -149,7 +159,20 @@ class ParallelDiskMachine:
         self.P = int(processors)
         self.cpu = PRAM(processors, pram_variant)
         self.stats = IOStats()
-        self.store = make_store(store, self.D, self.B)
+        # Fault injection (optional; None keeps the hot path untouched).
+        # The ambient injector is captured at construction — each attempt
+        # of each cell builds its simulation from scratch, so this scoping
+        # makes a cell's fault schedule a pure function of (plan, cell,
+        # attempt), independent of worker scheduling.
+        injector = active_fault_injector()
+        self._fault = (
+            injector if injector is not None and injector.watches_store else None
+        )
+        if checksums is None:
+            checksums = os.environ.get("REPRO_PDM_CHECKSUMS", "0") not in ("", "0")
+            if not checksums and self._fault is not None:
+                checksums = self._fault.wants_store_checksums
+        self.store = make_store(store, self.D, self.B, checksums=bool(checksums))
         self._mem_used = 0
         self._alloc_ptr = 0
         # Observability (optional; None keeps the hot path untouched).
@@ -157,6 +180,24 @@ class ParallelDiskMachine:
         self._obs_scope = None
         self._m_read = self._m_write = None
         self._trace_event = None
+
+    # ------------------------------------------------------- fault injection
+
+    def attach_faults(self, injector) -> None:
+        """Attach a :class:`~repro.resilience.FaultInjector` directly.
+
+        Tests use this to target one machine; production code relies on
+        the ambient :func:`~repro.resilience.activate` context consulted
+        at construction instead.  Only plans that watch ``store.*`` sites
+        take effect here.
+        """
+        self._fault = (
+            injector if injector is not None and injector.watches_store else None
+        )
+
+    def detach_faults(self) -> None:
+        """Remove the attached fault injector (I/O hooks become no-ops)."""
+        self._fault = None
 
     # ---------------------------------------------------------- observability
 
@@ -253,6 +294,11 @@ class ParallelDiskMachine:
                 raise AddressError(
                     f"negative slot in BlockAddress(disk={int(disks[i])}, slot={sl[i]})"
                 )
+        if self._fault is not None:
+            # One opportunity per parallel I/O; fires *before* the store is
+            # touched, so a failed read has no partial effects (nothing
+            # gathered, nothing freed) — identically on both backends.
+            self._fault.on_read()
         matrix = self.store.read_batch(disks, slots, free=free)
         self.mem_acquire(k * self.B)
         self.stats.read_ios += 1
@@ -291,7 +337,16 @@ class ParallelDiskMachine:
             )
         if checked:
             self._check_io_batch(disks, slots)
+        corrupt = None
+        if self._fault is not None:
+            # Raise-class rules fire *before* the write (no partial
+            # effects); corrupt rules return the (row, bit_seed) to damage
+            # after the scatter lands.
+            corrupt = self._fault.on_write(k)
         self.store.write_batch(disks, slots, data)
+        if corrupt is not None:
+            row, bit_seed = corrupt
+            self.store.corrupt_block(int(disks[row]), int(slots[row]), bit_seed)
         self.mem_release(k * self.B)
         self.stats.write_ios += 1
         self.stats.blocks_written += k
@@ -307,6 +362,8 @@ class ParallelDiskMachine:
         if disks.size == 0:
             return
         self._validate_addr_arr(disks, slots)
+        if self._fault is not None:
+            self._fault.on_free()
         self.store.free_batch(disks, slots)
 
     def load_blocks_arr(

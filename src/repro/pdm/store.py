@@ -38,10 +38,11 @@ Copy discipline (see ``docs/performance.md``):
 from __future__ import annotations
 
 import os
+import zlib
 
 import numpy as np
 
-from ..exceptions import AddressError, ParameterError
+from ..exceptions import AddressError, BlockCorruptionError, ParameterError
 from ..records import RECORD_DTYPE
 
 __all__ = [
@@ -68,6 +69,18 @@ def _unwritten(kind: str, disk: int, slot: int) -> AddressError:
     )
 
 
+def _block_sum(block: np.ndarray) -> int:
+    """CRC-32 of one block's raw bytes (cheap; checksums are opt-in)."""
+    return zlib.crc32(np.ascontiguousarray(block).view(np.uint8).tobytes())
+
+
+def _corrupted(kind: str, disk: int, slot: int) -> BlockCorruptionError:
+    return BlockCorruptionError(
+        f"checksum mismatch on {kind} of "
+        f"BlockAddress(disk={int(disk)}, slot={int(slot)})"
+    )
+
+
 class ArenaBlockStore:
     """Slab-allocated block store: one shared ``(capacity, B)`` arena.
 
@@ -79,16 +92,51 @@ class ArenaBlockStore:
 
     name = "arena"
 
-    def __init__(self, n_disks: int, block: int, safe_copies: bool | None = None):
+    def __init__(
+        self,
+        n_disks: int,
+        block: int,
+        safe_copies: bool | None = None,
+        checksums: bool = False,
+    ):
         self.D = int(n_disks)
         self.B = int(block)
         self.safe_copies = (
             safe_copies_enabled() if safe_copies is None else bool(safe_copies)
         )
+        #: Opt-in per-block CRC-32s, keyed ``(disk, slot)``.  ``None`` when
+        #: disabled so the hot paths pay a single attribute test.
+        self._sums: dict[tuple[int, int], int] | None = (
+            {} if checksums else None
+        )
         self._arena = np.empty((0, self.B), dtype=RECORD_DTYPE)
         self._rows = np.full((self.D, 0), -1, dtype=np.int64)
         self._free_rows: list[int] = []
         self._next_row = 0
+
+    @property
+    def checksums(self) -> bool:
+        """True when per-block integrity checksums are being kept."""
+        return self._sums is not None
+
+    def _verify(self, kind: str, disk: int, slot: int, block: np.ndarray) -> None:
+        expected = self._sums.get((int(disk), int(slot)))  # type: ignore[union-attr]
+        if expected is not None and _block_sum(block) != expected:
+            raise _corrupted(kind, disk, slot)
+
+    def corrupt_block(self, disk: int, slot: int, bit_seed: int) -> None:
+        """Flip one bit of a stored block **without** updating its checksum.
+
+        The fault injector's ``store.write``/``corrupt`` effect: the damage
+        is invisible until a checksum-verified read or peek touches the
+        block, at which point :class:`BlockCorruptionError` fires.
+        """
+        if not self.has(disk, slot):
+            raise _unwritten("corrupt", disk, slot)
+        row = int(self._rows[disk, slot])
+        flat = self._arena[row : row + 1].view(np.uint8).reshape(-1)
+        bit = int(bit_seed) % (flat.size * 8)
+        flat[bit // 8] ^= np.uint8(1 << (bit % 8))
 
     # ------------------------------------------------------------- growth
 
@@ -139,6 +187,12 @@ class ArenaBlockStore:
         follow-up :meth:`free_batch` on the same addresses, but the row
         lookup is shared (the streaming consume pattern reads each block
         exactly once and drops it).
+
+        With checksums enabled, every gathered block is verified *before*
+        any release happens, so a fused read-and-free that detects
+        corruption raises :class:`BlockCorruptionError` with **no partial
+        effects** — the corrupt batch stays fully resident on both
+        backends.
         """
         try:
             rows = self._rows[disks, slots]
@@ -151,9 +205,15 @@ class ArenaBlockStore:
             i = int(np.argmax(rows < 0))
             raise _unwritten("read", disks[i], slots[i])
         out = self._arena[rows]  # fancy index => fresh copy, never a view
+        if self._sums is not None:
+            for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
+                self._verify("read", d, s, out[i])
         if free:
             self._free_rows.extend(rows.tolist())
             self._rows[disks, slots] = -1
+            if self._sums is not None:
+                for d, s in zip(disks.tolist(), slots.tolist()):
+                    self._sums.pop((d, s), None)
         return out
 
     def write_batch(self, disks: np.ndarray, slots: np.ndarray, data: np.ndarray) -> None:
@@ -172,6 +232,9 @@ class ArenaBlockStore:
                 rows[missing] = self._alloc_rows(n_missing)
                 self._rows[disks, slots] = rows
         self._arena[rows] = data
+        if self._sums is not None:
+            for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
+                self._sums[(d, s)] = _block_sum(data[i])
 
     # --------------------------------------------------------- lifecycle
 
@@ -188,6 +251,8 @@ class ArenaBlockStore:
         if not self.has(disk, slot):
             raise _unwritten("peek", disk, slot)
         block = self._arena[int(self._rows[disk, slot])]
+        if self._sums is not None:
+            self._verify("peek", disk, slot, block)
         if self.safe_copies:
             return block.copy()
         view = block.view()
@@ -201,9 +266,14 @@ class ArenaBlockStore:
             if row >= 0:
                 self._rows[disk, slot] = -1
                 self._free_rows.append(row)
+                if self._sums is not None:
+                    self._sums.pop((int(disk), int(slot)), None)
 
     def free_batch(self, disks: np.ndarray, slots: np.ndarray) -> None:
         """Release many blocks at once (vectorized; absent addresses are no-ops)."""
+        if self._sums is not None:
+            for d, s in zip(disks.tolist(), slots.tolist()):
+                self._sums.pop((d, s), None)
         cap = self._rows.shape[1]
         k = disks.size
         if k <= 8:
@@ -276,13 +346,42 @@ class DictBlockStore:
 
     name = "dict"
 
-    def __init__(self, n_disks: int, block: int, safe_copies: bool | None = None):
+    def __init__(
+        self,
+        n_disks: int,
+        block: int,
+        safe_copies: bool | None = None,
+        checksums: bool = False,
+    ):
         self.D = int(n_disks)
         self.B = int(block)
         self.safe_copies = (
             safe_copies_enabled() if safe_copies is None else bool(safe_copies)
         )
+        #: Opt-in per-block CRC-32s, keyed ``(disk, slot)`` (mirrors arena).
+        self._sums: dict[tuple[int, int], int] | None = (
+            {} if checksums else None
+        )
         self._disks: list[dict[int, np.ndarray]] = [dict() for _ in range(self.D)]
+
+    @property
+    def checksums(self) -> bool:
+        """True when per-block integrity checksums are being kept."""
+        return self._sums is not None
+
+    def _verify(self, kind: str, disk: int, slot: int, block: np.ndarray) -> None:
+        expected = self._sums.get((int(disk), int(slot)))  # type: ignore[union-attr]
+        if expected is not None and _block_sum(block) != expected:
+            raise _corrupted(kind, disk, slot)
+
+    def corrupt_block(self, disk: int, slot: int, bit_seed: int) -> None:
+        """Flip one bit of a stored block **without** updating its checksum."""
+        store = self._disks[disk]
+        if slot not in store:
+            raise _unwritten("corrupt", disk, slot)
+        flat = store[slot].view(np.uint8).reshape(-1)
+        bit = int(bit_seed) % (flat.size * 8)
+        flat[bit // 8] ^= np.uint8(1 << (bit % 8))
 
     # ---------------------------------------------------------------- I/O
 
@@ -292,22 +391,41 @@ class DictBlockStore:
         """Assemble ``k`` blocks into a fresh ``(k, B)`` matrix (per-block loop).
 
         ``free=True`` pops each block after copying it out (the fused
-        read-and-drop the arena backend mirrors).
+        read-and-drop the arena backend mirrors).  With checksums on, the
+        whole batch is gathered and verified **before** anything is
+        dropped, so corruption detection has no partial effects — exactly
+        like the arena backend.
         """
         out = np.empty((disks.size, self.B), dtype=RECORD_DTYPE)
-        for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
+        if self._sums is None:
+            for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
+                store = self._disks[d]
+                if s not in store:
+                    raise _unwritten("read", d, s)
+                out[i] = store[s]
+                if free:
+                    del store[s]
+            return out
+        pairs = list(zip(disks.tolist(), slots.tolist()))
+        for i, (d, s) in enumerate(pairs):
             store = self._disks[d]
             if s not in store:
                 raise _unwritten("read", d, s)
             out[i] = store[s]
-            if free:
-                del store[s]
+        for i, (d, s) in enumerate(pairs):
+            self._verify("read", d, s, out[i])
+        if free:
+            for d, s in pairs:
+                self._disks[d].pop(s, None)
+                self._sums.pop((d, s), None)
         return out
 
     def write_batch(self, disks: np.ndarray, slots: np.ndarray, data: np.ndarray) -> None:
         """Store each row of a ``(k, B)`` matrix as its own defensive copy."""
         for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
             self._disks[d][s] = np.array(data[i], dtype=RECORD_DTYPE)
+            if self._sums is not None:
+                self._sums[(d, s)] = _block_sum(data[i])
 
     # --------------------------------------------------------- lifecycle
 
@@ -320,16 +438,22 @@ class DictBlockStore:
         store = self._disks[disk]
         if slot not in store:
             raise _unwritten("peek", disk, slot)
+        if self._sums is not None:
+            self._verify("peek", disk, slot, store[slot])
         return store[slot].copy()
 
     def free(self, disk: int, slot: int) -> None:
         """Drop one block (no-op when absent, like ``dict.pop(slot, None)``)."""
         self._disks[disk].pop(slot, None)
+        if self._sums is not None:
+            self._sums.pop((int(disk), int(slot)), None)
 
     def free_batch(self, disks: np.ndarray, slots: np.ndarray) -> None:
         """Drop many blocks (no-ops for absent addresses)."""
         for d, s in zip(disks.tolist(), slots.tolist()):
             self._disks[d].pop(s, None)
+            if self._sums is not None:
+                self._sums.pop((d, s), None)
 
     # -------------------------------------------------------------- misc
 
@@ -352,7 +476,11 @@ STORE_BACKENDS = {
 
 
 def make_store(
-    name: str | None, n_disks: int, block: int, safe_copies: bool | None = None
+    name: str | None,
+    n_disks: int,
+    block: int,
+    safe_copies: bool | None = None,
+    checksums: bool = False,
 ):
     """Build the storage backend ``name`` (or ``$REPRO_PDM_STORE``, or arena)."""
     if name is None:
@@ -364,4 +492,4 @@ def make_store(
             f"unknown block store backend {name!r} "
             f"(expected one of {sorted(STORE_BACKENDS)})"
         ) from None
-    return cls(n_disks, block, safe_copies=safe_copies)
+    return cls(n_disks, block, safe_copies=safe_copies, checksums=checksums)

@@ -1,0 +1,61 @@
+"""Deterministic fault injection and recovery for the reproduction harness.
+
+The paper argues that Balance Sort's invariants make bucket readback
+robust to adversarial block placement; this package applies the same
+discipline to the *harness itself*.  A seeded :class:`FaultPlan` turns
+the simulators and the sweep runner into a chaos rig whose faults are a
+pure function of ``(plan, cell, attempt)`` — never of scheduling — which
+makes the headline guarantee testable at diff threshold 0: **under any
+transient plan with retries enabled, sweep payloads are bit-identical to
+the fault-free run** (see ``docs/resilience.md``).
+
+Pieces:
+
+* :mod:`repro.resilience.plan` — the fault-plan DSL (:class:`FaultPlan`,
+  :class:`FaultRule`; sites, modes, effects, seeded decision hashing);
+* :mod:`repro.resilience.injector` — :class:`FaultInjector` (one per
+  cell-attempt), the ambient :func:`activate` context consulted by
+  :class:`~repro.pdm.machine.ParallelDiskMachine`, the parent-side
+  :func:`exec_decision` crash attributor, and
+  :func:`inject_cache_faults` for data-at-rest cache damage;
+* :mod:`repro.resilience.journal` — :class:`SweepJournal`, the fsynced
+  checkpoint log behind ``repro sweep --journal/--resume``.
+"""
+
+from __future__ import annotations
+
+from .injector import (
+    FaultInjector,
+    activate,
+    active_fault_injector,
+    exec_decision,
+    inject_cache_faults,
+)
+from .journal import JOURNAL_SCHEMA, SweepJournal, grid_fingerprint
+from .plan import (
+    EFFECTS,
+    MODES,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    corruption_seed,
+    decision_unit,
+)
+
+__all__ = [
+    "EFFECTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "JOURNAL_SCHEMA",
+    "MODES",
+    "SITES",
+    "SweepJournal",
+    "activate",
+    "active_fault_injector",
+    "corruption_seed",
+    "decision_unit",
+    "exec_decision",
+    "grid_fingerprint",
+    "inject_cache_faults",
+]

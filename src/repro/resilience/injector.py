@@ -1,0 +1,272 @@
+"""Fault injection: turn a :class:`~repro.resilience.FaultPlan` into fire.
+
+One :class:`FaultInjector` is scoped to **one attempt of one cell** —
+that scoping is the whole trick.  Opportunity counters live on the
+injector, the decision function hashes ``(plan seed, rule seed, site,
+cell, attempt, index)``, and every attempt rebuilds its simulation from
+scratch, so a cell's fault schedule is a pure function of the plan and
+the cell — independent of worker scheduling, pool rebuilds, or whether
+the sweep runs serially.
+
+Injection surfaces:
+
+* **PDM store layer** — :class:`~repro.pdm.machine.ParallelDiskMachine`
+  consults :func:`active_fault_injector` at construction and calls
+  :meth:`FaultInjector.on_read` / :meth:`~FaultInjector.on_write` /
+  :meth:`~FaultInjector.on_free` per parallel I/O (one ``is not None``
+  check when no plan is active — the machinery is fully inert);
+* **exec worker tasks** — the runner's worker entry point calls
+  :meth:`FaultInjector.exec_gate` before running the task (raise / crash
+  / hang) and poisons the payload afterwards for ``corrupt`` rules;
+* **cache entries on disk** — :func:`inject_cache_faults` deterministically
+  damages or deletes ``ResultCache`` entries (caught by the cache's
+  sha256 integrity check, which quarantines and re-executes).
+
+When an observation is attached, every fire emits a ``fault.injected``
+trace event and increments counters under the ``resilience`` metrics
+scope.  Inside sweep workers the injector runs **without** an
+observation on purpose: task payloads must stay pure functions of
+``(task, params)``, so chaos instrumentation never leaks into them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+from ..exceptions import InjectedIOError, InjectedWorkerCrash
+from .plan import FaultPlan, FaultRule, corruption_seed, decision_unit
+
+__all__ = [
+    "FaultInjector",
+    "activate",
+    "active_fault_injector",
+    "exec_decision",
+    "inject_cache_faults",
+]
+
+#: The ambient injector for the currently executing attempt (or None).
+_ACTIVE: "FaultInjector | None" = None
+
+
+def active_fault_injector() -> "FaultInjector | None":
+    """The injector installed by :func:`activate` for this attempt, if any.
+
+    :class:`~repro.pdm.machine.ParallelDiskMachine` consults this at
+    construction; with no plan active it returns ``None`` and the I/O hot
+    path stays untouched.
+    """
+    return _ACTIVE
+
+
+@contextmanager
+def activate(injector: "FaultInjector | None"):
+    """Install ``injector`` as the ambient injector for the enclosed block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+class FaultInjector:
+    """Deterministic per-(cell, attempt) fault firing for one plan."""
+
+    def __init__(self, plan: FaultPlan, cell: str = "", attempt: int = 0, obs=None):
+        self.plan = plan
+        self.cell = str(cell)
+        self.attempt = int(attempt)
+        self._counts: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self._by_site: dict[str, tuple[tuple[int, FaultRule], ...]] = {
+            site: plan.rules_for(site)
+            for site in {r.site for r in plan.rules}
+        }
+        self.fired_total = 0
+        self._obs = obs
+        self._scope = obs.scope("resilience") if obs is not None else None
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def watches_store(self) -> bool:
+        """True when the plan attaches any rule to a ``store.*`` site."""
+        return self.plan.watches_store
+
+    @property
+    def wants_store_checksums(self) -> bool:
+        """True when the plan corrupts stored blocks (checksums required)."""
+        return self.plan.wants_store_checksums
+
+    def decide(self, site: str) -> tuple[FaultRule, int] | None:
+        """Consume one opportunity at ``site``; the firing rule (or None).
+
+        Returns ``(rule, opportunity_index)`` when a rule fires.  The
+        opportunity index advances only for sites the plan watches, so
+        attaching a plan with no ``store.*`` rules leaves store behaviour
+        untouched down to the decision stream.
+        """
+        rules = self._by_site.get(site)
+        if not rules:
+            return None
+        index = self._counts.get(site, 0)
+        self._counts[site] = index + 1
+        for ri, rule in rules:
+            if rule.mode != "permanent" and self.attempt >= rule.attempts:
+                continue
+            if rule.budget is not None and self._fired.get(ri, 0) >= rule.budget:
+                continue
+            if index in rule.at:
+                pass  # site-addressed: fire unconditionally at this index
+            elif rule.rate > 0.0:
+                unit = decision_unit(
+                    self.plan.seed, rule.seed, site, self.cell, self.attempt, index
+                )
+                if unit >= rule.rate:
+                    continue
+            else:
+                continue
+            self._fired[ri] = self._fired.get(ri, 0) + 1
+            self.fired_total += 1
+            self._record(site, rule, index)
+            return rule, index
+        return None
+
+    def _record(self, site: str, rule: FaultRule, index: int) -> None:
+        if self._obs is not None:
+            self._obs.event(
+                "fault.injected", site=site, mode=rule.mode, effect=rule.effect,
+                index=index, attempt=self.attempt, cell=self.cell[:16],
+            )
+        if self._scope is not None:
+            self._scope.counter("fault.injected").inc()
+            self._scope.counter(f"fault.{site}").inc()
+
+    def _corruption_seed(self, site: str, index: int, rule: FaultRule) -> int:
+        return corruption_seed(
+            self.plan.seed, rule.seed, site, self.cell, self.attempt, index
+        )
+
+    # --------------------------------------------------------- store hooks
+
+    def on_read(self) -> None:
+        """One read-I/O opportunity; raises :class:`InjectedIOError` on fire."""
+        hit = self.decide("store.read")
+        if hit is not None:
+            rule, index = hit
+            raise InjectedIOError(
+                f"injected {rule.mode} read fault (op {index}, attempt {self.attempt})"
+            )
+
+    def on_free(self) -> None:
+        """One free opportunity; raises :class:`InjectedIOError` on fire."""
+        hit = self.decide("store.free")
+        if hit is not None:
+            rule, index = hit
+            raise InjectedIOError(
+                f"injected {rule.mode} free fault (op {index}, attempt {self.attempt})"
+            )
+
+    def on_write(self, width: int) -> tuple[int, int] | None:
+        """One write-I/O opportunity over ``width`` blocks.
+
+        Raise-class rules raise :class:`InjectedIOError` *before* the
+        write happens (no partial effects).  ``corrupt`` rules return a
+        ``(row_index, bit_seed)`` pair — the machine performs the write,
+        then flips one bit of the stored row via
+        ``store.corrupt_block`` so a later checksum-verified read raises
+        :class:`~repro.exceptions.BlockCorruptionError`.
+        """
+        hit = self.decide("store.write")
+        if hit is None:
+            return None
+        rule, index = hit
+        if rule.mode == "corrupt":
+            seed = self._corruption_seed("store.write", index, rule)
+            return seed % max(width, 1), seed // max(width, 1)
+        raise InjectedIOError(
+            f"injected {rule.mode} write fault (op {index}, attempt {self.attempt})"
+        )
+
+    # ----------------------------------------------------------- exec hook
+
+    def exec_gate(self, in_worker: bool = False) -> str | None:
+        """The single per-attempt task gate; called before the task runs.
+
+        Returns ``"poison"`` for corrupt-mode rules (the caller garbles
+        the payload after execution), otherwise fires the rule's effect:
+        ``raise`` raises :class:`InjectedIOError`, ``hang`` sleeps
+        ``rule.duration`` then raises, ``crash`` kills the worker process
+        outright in pool mode (``os._exit``) or raises
+        :class:`InjectedWorkerCrash` in serial mode.
+        """
+        hit = self.decide("exec.task")
+        if hit is None:
+            return None
+        rule, index = hit
+        if rule.mode == "corrupt":
+            return "poison"
+        if rule.effect == "crash":
+            if in_worker:  # pragma: no cover - kills the test process
+                os._exit(13)
+            raise InjectedWorkerCrash(
+                f"injected {rule.mode} worker crash (attempt {self.attempt})"
+            )
+        if rule.effect == "hang":
+            time.sleep(rule.duration)
+            raise InjectedIOError(
+                f"injected {rule.mode} hang released after {rule.duration}s "
+                f"(attempt {self.attempt})"
+            )
+        raise InjectedIOError(
+            f"injected {rule.mode} task fault (attempt {self.attempt})"
+        )
+
+
+def exec_decision(plan: FaultPlan, cell: str, attempt: int) -> FaultRule | None:
+    """The rule (if any) that a fresh attempt's exec gate would fire.
+
+    A pure function of ``(plan, cell, attempt)`` — the parent process uses
+    it to attribute a ``BrokenProcessPool`` to the cell whose plan said
+    "crash", so innocent cells resubmit without being charged a retry.
+    """
+    hit = FaultInjector(plan, cell=cell, attempt=attempt).decide("exec.task")
+    return hit[0] if hit is not None else None
+
+
+def inject_cache_faults(directory: str, plan: FaultPlan, obs=None) -> int:
+    """Deterministically damage on-disk cache entries per ``cache.entry`` rules.
+
+    Entries are visited in sorted filename order (one opportunity each):
+    ``corrupt`` rules flip one byte of the entry file (caught by the
+    cache's sha256 integrity check → quarantined and re-executed);
+    ``transient`` / ``permanent`` rules delete the entry (a plain miss).
+    Returns the number of entries damaged.
+    """
+    if not plan.rules_for("cache.entry") or not os.path.isdir(directory):
+        return 0
+    injector = FaultInjector(plan, cell="cache", obs=obs)
+    damaged = 0
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        hit = injector.decide("cache.entry")
+        if hit is None:
+            continue
+        rule, index = hit
+        path = os.path.join(directory, name)
+        if rule.mode == "corrupt":
+            with open(path, "r+b") as fh:
+                data = fh.read()
+                if not data:
+                    continue
+                pos = injector._corruption_seed("cache.entry", index, rule) % len(data)
+                fh.seek(pos)
+                fh.write(bytes([data[pos] ^ 0xFF]))
+        else:
+            os.unlink(path)
+        damaged += 1
+    return damaged

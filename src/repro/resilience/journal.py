@@ -1,0 +1,134 @@
+"""The sweep journal: checkpoint completed cells so ``--resume`` is cheap.
+
+A journal directory holds two things:
+
+* ``journal.jsonl`` — an append-only log (schema ``repro.journal/1``):
+  one ``start`` record per sweep session (task, cell count, and a grid
+  fingerprint over the sorted cell keys) and one ``cell`` record per
+  completed cell (``done`` or ``failed``).  Every line is flushed and
+  fsynced, so a SIGKILL mid-sweep loses at most the cell in flight.
+* ``cells/`` — a :class:`~repro.exec.ResultCache` directory the sweep
+  uses as its payload store when no ``--cache-dir`` was given.  Payload
+  writes are atomic per cell, so a killed sweep leaves only whole,
+  integrity-checked entries behind.
+
+``repro sweep --journal DIR --resume`` then re-runs the same grid:
+completed cells are served from the checkpoint byte-identically (payloads
+are pure functions of their specs) and only the missing ones execute.
+The grid fingerprint guards against resuming a *different* grid into an
+old journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["SweepJournal", "JOURNAL_SCHEMA", "grid_fingerprint"]
+
+JOURNAL_SCHEMA = "repro.journal/1"
+
+
+def grid_fingerprint(keys: Iterable[str]) -> str:
+    """A short digest identifying a sweep grid (order-independent)."""
+    joined = "\n".join(sorted(keys))
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only completion log + payload checkpoint for one sweep grid."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, "journal.jsonl")
+        self.cells_dir = os.path.join(directory, "cells")
+        #: Cells recorded done / failed *by this session*.
+        self.recorded_done = 0
+        self.recorded_failed = 0
+        #: Cells this session served from the checkpoint (set by the sweep).
+        self.resumed = 0
+
+    # ------------------------------------------------------------- writing
+
+    def _append(self, record: dict) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def begin(self, task: str, keys: Sequence[str]) -> None:
+        """Append a session-start record (task, cell count, grid digest)."""
+        self._append({
+            "ev": "start",
+            "schema": JOURNAL_SCHEMA,
+            "task": task,
+            "cells": len(keys),
+            "grid": grid_fingerprint(keys),
+        })
+
+    def record(self, key: str, status: str) -> None:
+        """Checkpoint one completed cell (``status`` ∈ done | failed)."""
+        self._append({"ev": "cell", "key": key, "status": status})
+        if status == "done":
+            self.recorded_done += 1
+        else:
+            self.recorded_failed += 1
+
+    # ------------------------------------------------------------- reading
+
+    def read(self) -> list[dict]:
+        """All journal records; a torn final line (SIGKILL) is forgiven."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path) as fh:
+            lines = fh.readlines()
+        records = []
+        for i, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines):
+                    break  # torn tail of a killed sweep
+                raise ValueError(f"bad journal line {i} in {self.path}") from None
+        return records
+
+    def completed(self) -> dict[str, str]:
+        """``key -> status`` over all sessions (the last record wins)."""
+        out: dict[str, str] = {}
+        for record in self.read():
+            if record.get("ev") == "cell":
+                out[record["key"]] = record.get("status", "done")
+        return out
+
+    def last_start(self) -> dict | None:
+        """The most recent session-start record, if any."""
+        start = None
+        for record in self.read():
+            if record.get("ev") == "start":
+                start = record
+        return start
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Session counters plus the all-sessions completion tally."""
+        completed = self.completed()
+        return {
+            "directory": self.directory,
+            "recorded_done": self.recorded_done,
+            "recorded_failed": self.recorded_failed,
+            "resumed": self.resumed,
+            "total_done": sum(1 for s in completed.values() if s == "done"),
+            "total_failed": sum(1 for s in completed.values() if s == "failed"),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepJournal({self.directory!r})"

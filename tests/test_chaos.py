@@ -1,0 +1,233 @@
+"""The chaos-determinism gate (``-m chaos``).
+
+The headline guarantee of ``docs/resilience.md``, pinned end-to-end:
+under **any** seeded transient fault plan, with a retry budget, a
+sweep's payloads are **bit-identical** to the fault-free run — faults
+change *when* work happens, never *what* comes out.  Three seeded
+transient plans run serially in the fast tier; the pool variant, the
+cache-corruption round trip, and the kill-and-resume smoke ride the
+slow/nightly tier.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exec import ParallelRunner, RunSpec
+from repro.resilience import FaultPlan, FaultRule, SweepJournal
+
+pytestmark = pytest.mark.chaos
+
+CELLS = [
+    {"n": 600, "memory": 512, "block": 4, "disks": 4,
+     "workload": "uniform", "seed": 0},
+    {"n": 600, "memory": 512, "block": 4, "disks": 4,
+     "workload": "adversarial_striping", "seed": 1},
+]
+SPECS = [RunSpec("sort_pdm", dict(c)) for c in CELLS]
+
+#: Three seeded transient plans — exec-layer, store-layer, and mixed —
+#: plus a corrupt-store plan.  Every one must pass the bit-identity gate.
+PLANS = {
+    "exec-transient": FaultPlan(seed=11, name="exec-transient", rules=(
+        FaultRule(site="exec.task", rate=0.9, seed=1),
+    )),
+    "store-read": FaultPlan(seed=22, name="store-read", rules=(
+        FaultRule(site="store.read", at=(3,), seed=2),
+    )),
+    "mixed": FaultPlan(seed=33, name="mixed", rules=(
+        FaultRule(site="exec.task", rate=0.5, seed=3),
+        FaultRule(site="store.read", at=(7,), seed=4),
+        FaultRule(site="store.free", at=(1,), seed=5),
+    )),
+    "corrupt-store": FaultPlan(seed=44, name="corrupt-store", rules=(
+        FaultRule(site="store.write", mode="corrupt", at=(0,), seed=6),
+    )),
+}
+for _p in PLANS.values():
+    _p.validate()
+
+
+def payloads_json(results):
+    return json.dumps([r.payload for r in results], sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def clean_payloads():
+    return payloads_json(ParallelRunner(jobs=0).map(SPECS))
+
+
+# ------------------------------------------------------------ serial gate
+
+
+class TestSerialChaosGate:
+    @pytest.mark.parametrize("name", sorted(PLANS))
+    def test_payloads_bit_identical_to_fault_free(self, name, clean_payloads):
+        runner = ParallelRunner(jobs=0, retries=3, backoff=0.0,
+                                fault_plan=PLANS[name])
+        chaos = runner.map(SPECS)
+        assert runner.stats["failed"] == 0
+        assert payloads_json(chaos) == clean_payloads
+        # the plan was not a no-op: at least one attempt was retried
+        assert runner.stats["retried"] > 0, f"plan {name} never fired"
+
+    def test_chaos_runs_are_repeatable(self):
+        def run():
+            r = ParallelRunner(jobs=0, retries=3, backoff=0.0,
+                               fault_plan=PLANS["mixed"])
+            out = payloads_json(r.map(SPECS))
+            return out, r.stats["retried"]
+
+        (a, ra), (b, rb) = run(), run()
+        assert a == b and ra == rb  # same plan → same schedule, bit for bit
+
+
+# -------------------------------------------------------------- pool gate
+
+
+@pytest.mark.slow
+class TestPoolChaosGate:
+    @pytest.fixture(autouse=True)
+    def _two_cores(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+        monkeypatch.setattr(runner_mod, "default_jobs", lambda: 4)
+
+    @pytest.mark.parametrize("name", ["exec-transient", "store-read"])
+    def test_pool_payloads_bit_identical(self, name, clean_payloads):
+        runner = ParallelRunner(jobs=2, retries=3, backoff=0.0,
+                                fault_plan=PLANS[name])
+        chaos = runner.map(SPECS)
+        assert runner.stats["failed"] == 0
+        assert payloads_json(chaos) == clean_payloads
+
+
+# ---------------------------------------------------------------- via CLI
+
+
+class TestChaosCLI:
+    """The gate as CI runs it: two sweeps, one chaotic, reports compared."""
+
+    ARGS = ["sweep", "--task", "sort", "--n", "600", "--disks", "4",
+            "--workload", "uniform,adversarial_striping"]
+
+    def _report(self, tmp_path, capsys, tag, extra):
+        path = tmp_path / f"{tag}.json"
+        from repro.cli import main
+        assert main(self.ARGS + ["--emit-json", str(path)] + extra) == 0
+        captured = capsys.readouterr()
+        with open(path) as fh:
+            return json.load(fh), captured
+
+    def test_cli_chaos_report_identical(self, tmp_path, capsys):
+        clean, clean_cap = self._report(tmp_path, capsys, "clean", [])
+        plan = json.dumps(PLANS["mixed"].to_dict())
+        chaos, chaos_cap = self._report(
+            tmp_path, capsys, "chaos",
+            ["--fault-plan", plan, "--retries", "3", "--backoff", "0"],
+        )
+        assert "retried=0" not in chaos_cap.err  # faults actually fired
+        assert chaos_cap.out == clean_cap.out  # stdout tables identical
+        for report in (clean, chaos):
+            report.pop("meta", None)  # host/timestamp, when present
+        assert chaos == clean  # diff threshold 0, in spirit and in bytes
+
+    def test_cache_corruption_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        clean, _ = self._report(tmp_path, capsys, "warm",
+                                ["--cache-dir", cache])
+        plan = json.dumps(FaultPlan(seed=5, rules=(
+            FaultRule(site="cache.entry", mode="corrupt", rate=1.0),
+        )).validate().to_dict())
+        again, cap = self._report(
+            tmp_path, capsys, "again", ["--cache-dir", cache,
+                                        "--fault-plan", plan],
+        )
+        # every entry was damaged, quarantined, and re-executed...
+        assert "fault plan damaged 2 cache entries" in cap.err
+        assert "corrupt=2" in cap.err and "executed=2" in cap.err
+        # ...to a bit-identical report (cached flags and meta aside)
+        for report in (clean, again):
+            report.pop("meta", None)
+            for row in report["result"]["rows"]:
+                row.pop("cached")
+        assert again == clean
+        quarantined = [n for n in os.listdir(cache)
+                       if n.endswith(".quarantine")]
+        assert len(quarantined) == 2
+
+
+# ------------------------------------------------------- journal + resume
+
+
+class TestJournalResume:
+    def test_failed_cells_reexecute_on_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jdir = str(tmp_path / "journal")
+        # A permanent exec fault fails SOME cells: at these seeds the
+        # decision hash lands under rate=0.5 for exactly one of the two.
+        plan = json.dumps(FaultPlan(seed=0, rules=(
+            FaultRule(site="exec.task", mode="permanent", rate=0.5, seed=0),
+        )).validate().to_dict())
+        argv = ["sweep", "--task", "sort", "--n", "600", "--disks", "4",
+                "--workload", "uniform,adversarial_striping",
+                "--journal", jdir]
+        rc1 = main(argv + ["--fault-plan", plan, "--backoff", "0"])
+        capsys.readouterr()
+        journal = SweepJournal(jdir)
+        st = journal.stats
+        assert rc1 == 3 and 0 < st["total_failed"] < 2
+        assert st["total_done"] == 2 - st["total_failed"]
+        # Resume without the plan: done cells served, failed re-executed.
+        assert main(argv + ["--resume"]) == 0
+        cap = capsys.readouterr()
+        assert f"resumed={st['total_done']}" in cap.err
+        assert f"executed={st['total_failed']}" in cap.err
+        assert SweepJournal(jdir).stats["total_done"] == 2
+
+    @pytest.mark.slow
+    def test_sigkill_then_resume_reexecutes_only_missing(self, tmp_path):
+        jdir = str(tmp_path / "journal")
+        argv = ["sweep", "--task", "sort", "--n", "2000", "--disks", "4",
+                "--seed", "0,1,2,3,4,5", "--journal", jdir]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + argv,
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        journal_path = os.path.join(jdir, "journal.jsonl")
+        deadline = time.monotonic() + 60
+        try:
+            while time.monotonic() < deadline:  # pragma: no branch
+                if proc.poll() is not None:
+                    break  # finished before we could kill it — still valid
+                if os.path.exists(journal_path) and any(
+                    '"ev":"cell"' in line for line in open(journal_path)
+                ):
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait(timeout=30)
+                    break
+                time.sleep(0.02)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - watchdog
+                proc.kill()
+                proc.wait(timeout=30)
+
+        done_before = SweepJournal(jdir).stats["total_done"]
+        assert done_before >= 1  # the poll loop guaranteed progress
+
+        from repro.cli import main
+        import io, contextlib
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            assert main(argv + ["--resume"]) == 0
+        # only the missing cells re-executed; the rest came from checkpoint
+        assert f"executed={6 - done_before}" in err.getvalue()
+        assert f"resumed={done_before}" in err.getvalue()
+        assert SweepJournal(jdir).stats["total_done"] == 6

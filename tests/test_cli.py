@@ -152,3 +152,90 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "uniform" in proc.stdout
+
+
+# ------------------------------------------------------- sweep resilience
+
+
+class TestSweepExitCodes:
+    """The documented sweep contract: 0 all-success, 2 usage errors,
+    3 when any cell exhausted its retries (mirroring ``repro diff``)."""
+
+    ARGS = ["sweep", "--task", "hierarchy", "--n", "256", "--h", "16"]
+    PERMANENT = ('{"seed": 0, "rules": [{"site": "exec.task", '
+                 '"mode": "permanent", "at": [0]}]}')
+
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "failed=0" in capsys.readouterr().err
+
+    def test_exhausted_retries_exit_three(self, capsys):
+        rc = main(self.ARGS + ["--fault-plan", self.PERMANENT,
+                               "--retries", "1", "--backoff", "0"])
+        cap = capsys.readouterr()
+        assert rc == 3
+        assert "retried=1 failed=1" in cap.err
+        # the failed cell is surfaced as a table, not a traceback
+        assert "failed cells · 1" in cap.out
+        assert "InjectedIOError" in cap.out
+
+    def test_survivable_transient_exits_zero(self, capsys):
+        transient = ('{"seed": 0, "rules": [{"site": "exec.task", '
+                     '"at": [0]}]}')
+        rc = main(self.ARGS + ["--fault-plan", transient,
+                               "--retries", "1", "--backoff", "0"])
+        cap = capsys.readouterr()
+        assert rc == 0
+        assert "retried=1 failed=0" in cap.err
+
+    def test_bad_fault_plan_exits_two(self, capsys):
+        rc = main(self.ARGS + ["--fault-plan", '{"seed": "nope"'])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_fault_site_exits_two(self, capsys):
+        rc = main(self.ARGS + ["--fault-plan",
+                               '{"rules": [{"site": "disk.io", "at": [0]}]}'])
+        assert rc == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_resume_without_journal_exits_two(self, capsys):
+        rc = main(self.ARGS + ["--resume"])
+        assert rc == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_resume_grid_mismatch_exits_two(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert main(self.ARGS + ["--journal", jdir]) == 0
+        capsys.readouterr()
+        other = ["sweep", "--task", "hierarchy", "--n", "512", "--h", "16"]
+        rc = main(other + ["--journal", jdir, "--resume"])
+        assert rc == 2
+        assert "different grid" in capsys.readouterr().err
+
+    def test_failures_recorded_in_emit_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        rc = main(self.ARGS + ["--fault-plan", self.PERMANENT,
+                               "--backoff", "0",
+                               "--emit-json", str(path)])
+        capsys.readouterr()
+        assert rc == 3
+        report = json.load(open(path))
+        result = report["result"]
+        assert result["n_failed"] == 1 and result["rows"] == []
+        failure = result["failures"][0]
+        assert failure["error"]["type"] == "InjectedIOError"
+        assert failure["attempts"] == 1
+        # resilience knobs never leak into the report's params
+        for knob in ("fault_plan", "retries", "journal", "resume"):
+            assert knob not in report["params"]
+
+    def test_journal_resume_warm_sweep(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert main(self.ARGS + ["--journal", jdir]) == 0
+        assert "recorded_done=1" in capsys.readouterr().err
+        assert main(self.ARGS + ["--journal", jdir, "--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "executed=0" in err and "resumed=1" in err

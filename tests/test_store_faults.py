@@ -1,0 +1,295 @@
+"""Store-layer fault modes, pinned identical on both backends.
+
+The paper's robustness claims are about adversarial block *placement*;
+this suite extends the discipline to adversarial block *fate*: injected
+transient I/O errors mid-``read_blocks_arr``, failed fused read+free
+followed by a double free, and checksum-detected bit rot raising a typed
+:class:`~repro.exceptions.BlockCorruptionError`.  Every scenario runs
+under ``REPRO_PDM_STORE=dict`` and ``arena`` semantics via the ``store``
+parameter, and the differential cases assert the two backends fail
+**identically** — same exception type, same message, same residual
+store state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BlockCorruptionError, InjectedIOError
+from repro.pdm import BlockAddress, ParallelDiskMachine
+from repro.pdm.store import make_store
+from repro.records import make_records
+from repro.resilience import FaultInjector, FaultPlan, FaultRule, activate
+
+BACKENDS = ["arena", "dict"]
+
+B, D = 4, 4
+
+
+def machine(store, checksums=None, M=64):
+    return ParallelDiskMachine(memory=M, block=B, disks=D, store=store,
+                               checksums=checksums)
+
+
+def blocks(k, start=0):
+    data = np.arange(start, start + k * B, dtype=np.uint64)
+    return make_records(data).reshape(k, B)
+
+
+def addresses(k, slot=0):
+    return np.arange(k, dtype=np.int64), np.full(k, slot, dtype=np.int64)
+
+
+def load(m, k=D, slot=0, start=0):
+    disks, slots = addresses(k, slot)
+    m.load_blocks_arr(disks, slots, blocks(k, start))
+    return disks, slots
+
+
+def plan_for(site, **kw):
+    return FaultPlan(seed=0, rules=(FaultRule(site=site, **kw),)).validate()
+
+
+# ------------------------------------------------- transient read faults
+
+
+@pytest.mark.parametrize("store", BACKENDS)
+class TestTransientReadFaults:
+    def test_injected_read_error_leaves_state_unchanged(self, store):
+        m = machine(store)
+        disks, slots = load(m)
+        m.attach_faults(FaultInjector(plan_for("store.read", at=(0,))))
+        before = m.store.n_blocks()
+        ios_before = m.stats.read_ios
+        with pytest.raises(InjectedIOError, match="read fault"):
+            m.read_blocks_arr(disks, slots, free=True)
+        # no partial effects: nothing gathered, nothing freed, no I/O counted
+        assert m.store.n_blocks() == before
+        assert m.stats.read_ios == ios_before
+        assert m.memory_in_use == 0
+
+    def test_retry_after_transient_fault_succeeds(self, store):
+        m = machine(store)
+        disks, slots = load(m)
+        m.attach_faults(FaultInjector(plan_for("store.read", at=(0,))))
+        with pytest.raises(InjectedIOError):
+            m.read_blocks_arr(disks, slots)
+        # opportunity 1 is past the at=(0,) address: the retry runs clean
+        out = m.read_blocks_arr(disks, slots)
+        assert np.array_equal(out, blocks(D))
+
+    def test_fresh_attempt_refires_at_same_index(self, store):
+        # A rebuilt machine (new attempt) sees index 0 again — the fault
+        # schedule is a function of the cell/attempt, not of history.
+        for _ in range(2):
+            m = machine(store)
+            disks, slots = load(m)
+            m.attach_faults(FaultInjector(plan_for("store.read", at=(0,))))
+            with pytest.raises(InjectedIOError):
+                m.read_blocks_arr(disks, slots)
+
+    def test_failed_fused_read_free_then_double_free(self, store):
+        m = machine(store)
+        disks, slots = load(m)
+        m.attach_faults(FaultInjector(plan_for("store.read", at=(0,))))
+        with pytest.raises(InjectedIOError):
+            m.read_blocks_arr(disks, slots, free=True)
+        # the failed fused read freed nothing...
+        assert m.store.n_blocks() == D
+        m.detach_faults()
+        out = m.read_blocks_arr(disks, slots, free=True)
+        assert np.array_equal(out, blocks(D))
+        assert m.store.n_blocks() == 0
+        # ...and a double free after the successful one stays a no-op
+        m.free_blocks_arr(disks, slots)
+        assert m.store.n_blocks() == 0
+
+    def test_free_fault_leaves_blocks_resident(self, store):
+        m = machine(store)
+        disks, slots = load(m)
+        m.attach_faults(FaultInjector(plan_for("store.free", at=(0,))))
+        with pytest.raises(InjectedIOError, match="free fault"):
+            m.free_blocks_arr(disks, slots)
+        assert m.store.n_blocks() == D
+
+    def test_write_fault_fires_before_the_write(self, store):
+        m = machine(store)
+        m.attach_faults(FaultInjector(plan_for("store.write", at=(0,))))
+        disks, slots = addresses(D)
+        m.mem_acquire(D * B)
+        with pytest.raises(InjectedIOError, match="write fault"):
+            m.write_blocks_arr(disks, slots, blocks(D))
+        assert m.store.n_blocks() == 0  # no partial effects
+        assert m.stats.write_ios == 0
+
+
+# ------------------------------------------------------------- checksums
+
+
+@pytest.mark.parametrize("store", BACKENDS)
+class TestChecksums:
+    def test_corruption_detected_on_read(self, store):
+        m = machine(store, checksums=True)
+        disks, slots = load(m)
+        m.store.corrupt_block(2, 0, bit_seed=12345)
+        with pytest.raises(BlockCorruptionError, match="disk=2, slot=0"):
+            m.read_blocks_arr(disks, slots)
+
+    def test_corruption_detected_on_peek(self, store):
+        m = machine(store, checksums=True)
+        load(m)
+        m.store.corrupt_block(1, 0, bit_seed=7)
+        with pytest.raises(BlockCorruptionError, match="peek"):
+            m.peek_block(BlockAddress(1, 0))
+
+    def test_failed_fused_read_free_frees_nothing(self, store):
+        m = machine(store, checksums=True)
+        disks, slots = load(m)
+        m.store.corrupt_block(3, 0, bit_seed=99)
+        with pytest.raises(BlockCorruptionError):
+            m.read_blocks_arr(disks, slots, free=True)
+        # the detection aborted the whole batch: all D blocks still resident
+        assert m.store.n_blocks() == D
+
+    def test_rewrite_clears_corruption(self, store):
+        m = machine(store, checksums=True)
+        disks, slots = load(m)
+        m.store.corrupt_block(0, 0, bit_seed=5)
+        m.mem_acquire(D * B)
+        m.write_blocks_arr(disks, slots, blocks(D, start=100))
+        out = m.read_blocks_arr(disks, slots)
+        assert np.array_equal(out, blocks(D, start=100))
+
+    def test_checksums_off_is_silent(self, store):
+        m = machine(store, checksums=False)
+        disks, slots = load(m)
+        m.store.corrupt_block(2, 0, bit_seed=12345)
+        m.read_blocks_arr(disks, slots)  # no checksum, no detection
+
+    def test_env_var_enables_checksums(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_PDM_CHECKSUMS", "1")
+        m = machine(store)
+        assert m.store.checksums
+        monkeypatch.setenv("REPRO_PDM_CHECKSUMS", "0")
+        assert not machine(store).store.checksums
+
+    def test_corrupt_plan_auto_enables_checksums(self, store):
+        plan = plan_for("store.write", mode="corrupt", at=(0,))
+        with activate(FaultInjector(plan)):
+            m = machine(store)
+        assert m.store.checksums
+        with activate(FaultInjector(plan_for("store.read", at=(0,)))):
+            m2 = machine(store)
+        assert not m2.store.checksums
+
+    def test_injected_write_corruption_roundtrip(self, store):
+        plan = plan_for("store.write", mode="corrupt", at=(0,))
+        m = machine(store, checksums=True)
+        m.attach_faults(FaultInjector(plan))
+        disks, slots = addresses(D)
+        m.mem_acquire(D * B)
+        m.write_blocks_arr(disks, slots, blocks(D))
+        m.detach_faults()
+        with pytest.raises(BlockCorruptionError):
+            m.read_blocks_arr(disks, slots)
+
+    def test_freed_slot_forgets_its_checksum(self, store):
+        m = machine(store, checksums=True)
+        disks, slots = load(m)
+        m.store.corrupt_block(0, 0, bit_seed=3)
+        m.free_blocks_arr(disks, slots)
+        # rewriting the freed slots starts fresh — no stale sum to trip on
+        m.mem_acquire(D * B)
+        m.write_blocks_arr(disks, slots, blocks(D, start=50))
+        out = m.read_blocks_arr(disks, slots)
+        assert np.array_equal(out, blocks(D, start=50))
+
+
+# ----------------------------------------------------------- differential
+
+
+class TestBackendsFailIdentically:
+    """The two backends must agree on every failure, bit for bit."""
+
+    def _pair(self, checksums=None):
+        ms = [machine(s, checksums=checksums) for s in BACKENDS]
+        for m in ms:
+            load(m)
+        return ms
+
+    def test_injected_read_fault_identical(self):
+        outcomes = []
+        for m in self._pair():
+            m.attach_faults(FaultInjector(plan_for("store.read", at=(0,)),
+                                          cell="cell", attempt=0))
+            disks, slots = addresses(D)
+            with pytest.raises(InjectedIOError) as exc:
+                m.read_blocks_arr(disks, slots, free=True)
+            outcomes.append((str(exc.value), m.store.n_blocks(),
+                             m.stats.read_ios, m.memory_in_use))
+        assert outcomes[0] == outcomes[1]
+
+    def test_corruption_error_identical(self):
+        outcomes = []
+        for m in self._pair(checksums=True):
+            m.store.corrupt_block(2, 0, bit_seed=777)
+            disks, slots = addresses(D)
+            with pytest.raises(BlockCorruptionError) as exc:
+                m.read_blocks_arr(disks, slots, free=True)
+            outcomes.append((str(exc.value), m.store.n_blocks()))
+        assert outcomes[0] == outcomes[1]
+
+    def test_same_bit_flipped_on_both_backends(self):
+        # corrupt_block(bit_seed) must damage the same bit of the same
+        # block on both substrates: after the flip, the raw bytes agree.
+        reads = []
+        for m in self._pair(checksums=False):
+            m.store.corrupt_block(1, 0, bit_seed=424242)
+            disks, slots = addresses(D)
+            reads.append(m.read_blocks_arr(disks, slots))
+        assert np.array_equal(reads[0], reads[1])
+
+    def test_fault_decision_stream_identical(self):
+        # Same plan, same cell, same attempt → byte-identical fault
+        # schedule regardless of backend (the injector never sees the
+        # store, only opportunity indices).
+        plan = plan_for("store.read", rate=0.5, seed=3)
+        fired = []
+        for name in BACKENDS:
+            m = machine(name)
+            disks, slots = load(m)
+            inj = FaultInjector(plan, cell="deadbeef", attempt=0)
+            m.attach_faults(inj)
+            seen = []
+            for _ in range(16):
+                try:
+                    m.read_blocks_arr(disks, slots)
+                    m.mem_release(D * B)
+                    seen.append(0)
+                except InjectedIOError:
+                    seen.append(1)
+            fired.append(seen)
+        assert fired[0] == fired[1]
+        assert sum(fired[0]) > 0  # the plan actually fired
+
+
+# ------------------------------------------------------------- inertness
+
+
+@pytest.mark.parametrize("store", BACKENDS)
+class TestInertWithoutPlan:
+    def test_no_plan_no_hooks(self, store):
+        m = machine(store)
+        assert m._fault is None
+        assert not m.store.checksums
+
+    def test_non_store_plan_stays_inert(self, store):
+        plan = plan_for("exec.task", at=(0,))
+        with activate(FaultInjector(plan)):
+            m = machine(store)
+        assert m._fault is None  # exec-only plans never touch the I/O path
+
+    def test_store_plan_attaches(self, store):
+        plan = plan_for("store.read", at=(0,))
+        with activate(FaultInjector(plan)):
+            m = machine(store)
+        assert m._fault is not None
