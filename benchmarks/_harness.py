@@ -25,8 +25,12 @@ def report(name: str, table: Table, notes: str = "") -> str:
     Writes two files per experiment: the aligned-text table
     (``results/{name}.txt``, unchanged format) and a machine-readable
     sidecar (``results/{name}.json``) carrying the same rows plus the
-    notes, so downstream tooling never has to parse the text table.
+    notes and the normalized host metadata
+    (:func:`repro.util.capture_host`), so downstream tooling never has to
+    parse the text table and diff gates can ignore ``host.*`` wholesale.
     """
+    from repro.util import capture_host
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
     text = table.render()
     if notes:
@@ -37,6 +41,7 @@ def report(name: str, table: Table, notes: str = "") -> str:
     sidecar = {
         "schema": "repro.bench_result/1",
         "name": name,
+        "host": capture_host(),
         **table.to_dict(),
         "notes": notes.strip(),
     }

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import sys
 import tempfile
 import time
 
 import pytest
+
+from repro.util import capture_host
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -44,13 +45,6 @@ def _grids():
         ("e1", "sort_pdm", bench_e1_pdm_io.GRID),
         ("e3", "compare_pdm", bench_e3_baselines.GRID),
     ]
-
-
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def measure() -> dict:
@@ -90,11 +84,7 @@ def measure() -> dict:
         "name": "exec_runner",
         "description": "E1+E3 grid wall-clock: serial vs ParallelRunner "
                        "--jobs 4 vs warm result cache",
-        "host": {
-            "usable_cores": _usable_cores(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": capture_host(),
         "rows": rows,
         "notes": (
             "Rows are bit-identical across all three modes (asserted). "

@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
 import pytest
+
+from repro.util import capture_host
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -166,12 +167,7 @@ def measure(repeats: int = 2) -> dict:
         "name": "pdm_store",
         "description": "Arena block store vs legacy dict store: raw batch "
                        "throughput and the E1 serial grid",
-        "host": {
-            "usable_cores": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": capture_host(),
         "microbench": micro,
         "e1_grid": macro,
         "baselines": {

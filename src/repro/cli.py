@@ -114,44 +114,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_h.add_argument("--seed", type=int, default=0)
     add_obs_args(p_h)
 
+    def add_grid_args(p):
+        """The sweep-grid surface, shared by ``sweep`` and ``bench record``."""
+        p.add_argument(
+            "--task", default="sort", choices=["sort", "compare", "hierarchy"],
+            help="which registered task each grid cell runs",
+        )
+        for name, default, help_text in [
+            ("--n", "8000", "records to sort (comma list sweeps the axis)"),
+            ("--memory", "512", "M: records in internal memory (comma list)"),
+            ("--block", "4", "B: records per block (comma list)"),
+            ("--disks", "8", "D: number of disks (comma list)"),
+            ("--seed", "0", "workload seed (comma list)"),
+        ]:
+            p.add_argument(name, default=default, help=help_text)
+        p.add_argument("--workload", default="uniform",
+                       help="workload generator name (comma list)")
+        p.add_argument("--matcher", default="derandomized",
+                       help="[sort] rebalancing matcher (comma list)")
+        p.add_argument("--buckets", type=int, default=None, help="[sort] override S")
+        p.add_argument("--virtual-disks", type=int, default=None,
+                       help="[sort/compare balance] override D'")
+        p.add_argument("--verify", action="store_true",
+                       help="[sort] verify each cell's output (extra reads)")
+        p.add_argument("--algorithms", default="balance,greed,randomized,striped",
+                       help="[compare] algorithms to run (comma list)")
+        p.add_argument("--h", default="64", help="[hierarchy] H (comma list)")
+        p.add_argument("--model", default="hmm",
+                       help="[hierarchy] hmm/bt/umh (comma list)")
+        p.add_argument("--cost", default="log",
+                       help="[hierarchy] 'log', 'umh', or a float exponent")
+        p.add_argument("--interconnect", default="pram",
+                       help="[hierarchy] pram/hypercube (comma list)")
+        p.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes (default: serial; 0/1 = serial in-process)",
+        )
+
     p_sw = sub.add_parser(
         "sweep",
         help="run a parameter grid (optionally sharded across cores and cached)",
     )
-    p_sw.add_argument(
-        "--task", default="sort", choices=["sort", "compare", "hierarchy"],
-        help="which registered task each grid cell runs",
-    )
-    for name, default, help_text in [
-        ("--n", "8000", "records to sort (comma list sweeps the axis)"),
-        ("--memory", "512", "M: records in internal memory (comma list)"),
-        ("--block", "4", "B: records per block (comma list)"),
-        ("--disks", "8", "D: number of disks (comma list)"),
-        ("--seed", "0", "workload seed (comma list)"),
-    ]:
-        p_sw.add_argument(name, default=default, help=help_text)
-    p_sw.add_argument("--workload", default="uniform",
-                      help="workload generator name (comma list)")
-    p_sw.add_argument("--matcher", default="derandomized",
-                      help="[sort] rebalancing matcher (comma list)")
-    p_sw.add_argument("--buckets", type=int, default=None, help="[sort] override S")
-    p_sw.add_argument("--virtual-disks", type=int, default=None,
-                      help="[sort/compare balance] override D'")
-    p_sw.add_argument("--verify", action="store_true",
-                      help="[sort] verify each cell's output (extra reads)")
-    p_sw.add_argument("--algorithms", default="balance,greed,randomized,striped",
-                      help="[compare] algorithms to run (comma list)")
-    p_sw.add_argument("--h", default="64", help="[hierarchy] H (comma list)")
-    p_sw.add_argument("--model", default="hmm",
-                      help="[hierarchy] hmm/bt/umh (comma list)")
-    p_sw.add_argument("--cost", default="log",
-                      help="[hierarchy] 'log', 'umh', or a float exponent")
-    p_sw.add_argument("--interconnect", default="pram",
-                      help="[hierarchy] pram/hypercube (comma list)")
-    p_sw.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: serial; 0/1 = serial in-process)",
-    )
+    add_grid_args(p_sw)
     p_sw.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="content-hashed result cache directory (hits skip simulation)",
@@ -185,6 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="serve cells already completed in --journal DIR from the "
              "checkpoint (grid fingerprint must match)",
+    )
+    p_sw.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="stream repro.progress/1 live-progress events to PATH "
+             "(line-buffered JSONL; tail it with `repro top PATH`)",
+    )
+    p_sw.add_argument(
+        "--live", action="store_true",
+        help="render an in-place live progress view on stderr (uses "
+             "--telemetry PATH if given, else a temporary stream)",
+    )
+    p_sw.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write the runner/journal stats (the stderr summary table) "
+             "as JSON to PATH ('-' = stdout)",
     )
     add_obs_args(p_sw)
 
@@ -267,6 +286,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument(
         "--emit-json", metavar="PATH", default=None,
         help="write the diff result as JSON ('-' = stdout, suppresses the tables)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="inspect a repro.progress/1 telemetry stream: a snapshot by "
+             "default, or tail a running sweep with --follow",
+    )
+    p_top.add_argument("telemetry",
+                       help="telemetry JSONL written by `repro sweep --telemetry`")
+    p_top.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep tailing until the stream records sweep_end",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="--follow poll interval (default 0.5)",
+    )
+
+    p_exp = sub.add_parser(
+        "export-trace",
+        help="convert a JSONL/gz trace to Chrome trace-event / Perfetto "
+             "JSON (open it in ui.perfetto.dev)",
+    )
+    p_exp.add_argument("trace", help="path to a trace.jsonl[.gz]")
+    p_exp.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="output path (default: <trace>.perfetto.json)",
+    )
+    p_exp.add_argument(
+        "--counter-every", type=int, default=64, metavar="N",
+        help="sample the cumulative I/O-rounds counter every N round "
+             "events (default 64)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="perf-trajectory ledger: record grid wall-clock points and "
+             "gate them against their per-host baseline",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_br = bench_sub.add_parser(
+        "record",
+        help="run a grid fresh (no cache), append one repro.bench_series/1 "
+             "point to the ledger",
+    )
+    add_grid_args(p_br)
+    p_br.add_argument("--series", required=True,
+                      help="series name the point belongs to (e.g. e1-smoke)")
+    p_br.add_argument("--ledger", default="BENCH_ledger.jsonl", metavar="PATH",
+                      help="ledger file to append to (default BENCH_ledger.jsonl)")
+    p_br.add_argument("--commit", default=None,
+                      help="commit id to stamp (default: $GITHUB_SHA or git HEAD)")
+    p_br.add_argument("--notes", default="", help="free-form provenance note")
+    p_bc = bench_sub.add_parser(
+        "compare",
+        help="gate the newest point of a series against its predecessor "
+             "on the same host class; exit 1 past threshold",
+    )
+    p_bc.add_argument("--series", required=True, help="series name to gate")
+    p_bc.add_argument("--ledger", default="BENCH_ledger.jsonl", metavar="PATH")
+    p_bc.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="allowed relative increase in seconds/µs-per-record "
+             "(default 2.0 = the CI 3x wall-clock window)",
+    )
+    p_bc.add_argument(
+        "--host-key", default=None,
+        help="gate within this host class (default: the current host's key)",
     )
 
     sub.add_parser("workloads", help="list the available workload generators")
@@ -550,6 +637,7 @@ _SWEEP_COLUMNS = {
 _SWEEP_PARAM_EXCLUDES = (
     "command", "emit_json", "trace_out", "jobs", "cache_dir",
     "retries", "timeout", "backoff", "fault_plan", "journal", "resume",
+    "telemetry", "live", "stats_json",
 )
 
 
@@ -574,9 +662,12 @@ def cmd_sweep(args) -> int:
     when any cell exhausted its retries — mirroring ``repro diff``'s
     documented contract.
     """
+    import os
+    import tempfile
+
     from .exceptions import ParameterError
     from .exec import ParallelRunner, merge_metrics, merge_trace_events, write_merged_trace
-    from .obs import summarize_trace
+    from .obs import LiveProgressView, TelemetryWriter, summarize_trace
     from .resilience import (
         FaultPlan,
         SweepJournal,
@@ -630,6 +721,16 @@ def cmd_sweep(args) -> int:
                 file=sys.stderr,
             )
 
+    telemetry_path = args.telemetry
+    temp_telemetry = None
+    if args.live and telemetry_path is None:
+        fd, telemetry_path = tempfile.mkstemp(
+            prefix="repro-telemetry-", suffix=".jsonl"
+        )
+        os.close(fd)
+        temp_telemetry = telemetry_path
+    writer = TelemetryWriter(telemetry_path) if telemetry_path else None
+
     runner = ParallelRunner(
         jobs=args.jobs,
         cache_dir=cache_dir,
@@ -638,8 +739,23 @@ def cmd_sweep(args) -> int:
         backoff=args.backoff,
         fault_plan=plan,
         journal=journal,
+        telemetry=writer,
     )
-    results = runner.map(specs)
+    live = LiveProgressView(telemetry_path).start() if args.live else None
+    try:
+        results = runner.map(specs)
+    finally:
+        if live is not None:
+            live.stop()
+        if writer is not None:
+            writer.close()
+        if temp_telemetry is not None:
+            try:
+                os.unlink(temp_telemetry)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    if args.telemetry:
+        print(f"[sweep] telemetry={args.telemetry}", file=sys.stderr)
     ok_payloads = [r.payload for r in results if not r.failed]
 
     columns, row_fn = _SWEEP_COLUMNS[task]
@@ -713,16 +829,61 @@ def cmd_sweep(args) -> int:
         f"corrupt={stats['cache']['corrupt']}",
         file=sys.stderr,
     )
+    journal_stats = None
     if journal is not None:
-        js = journal.stats
+        journal_stats = journal.stats
         print(
-            f"[sweep] journal={journal.directory} resumed={js['resumed']} "
-            f"recorded_done={js['recorded_done']} "
-            f"recorded_failed={js['recorded_failed']} "
-            f"total_done={js['total_done']}",
+            f"[sweep] journal={journal.directory} "
+            f"resumed={journal_stats['resumed']} "
+            f"recorded_done={journal_stats['recorded_done']} "
+            f"recorded_failed={journal_stats['recorded_failed']} "
+            f"total_done={journal_stats['total_done']}",
             file=sys.stderr,
         )
+    print(_sweep_stats_table(stats, journal_stats).render(), file=sys.stderr)
+    if args.stats_json:
+        import json
+
+        doc = {
+            "schema": "repro.sweep_stats/1",
+            "runner": stats,
+            "journal": journal_stats,
+        }
+        text = json.dumps(doc, indent=2)
+        if args.stats_json == "-":
+            print(text)
+        else:
+            with open(args.stats_json, "w") as fh:
+                fh.write(text + "\n")
     return 3 if stats["failed"] else 0
+
+
+def _sweep_stats_table(stats: dict, journal_stats: dict | None = None) -> Table:
+    """The aligned execution/resilience/cache counter table for stderr.
+
+    Complements (does not replace) the grep-friendly ``[sweep] key=value``
+    one-liners: scripts and CI parse those, humans read this.
+    """
+    t = Table(["counter", "value"], title="sweep stats")
+    t.add("jobs (effective)", stats["jobs"])
+    t.add("jobs (requested)", stats["jobs_requested"])
+    t.add("cells executed", stats["executed"])
+    t.add("cells from cache", stats["served_from_cache"])
+    t.add("cells failed", stats["failed"])
+    t.add("retries", stats["retried"])
+    t.add("timeouts", stats["timeouts"])
+    t.add("pool rebuilds", stats["pool_rebuilds"])
+    cache = stats["cache"]
+    t.add("cache hits", cache["hits"])
+    t.add("cache misses", cache["misses"])
+    t.add("cache stores", cache["stores"])
+    t.add("cache corrupt", cache["corrupt"])
+    if journal_stats is not None:
+        t.add("journal resumed", journal_stats["resumed"])
+        t.add("journal recorded done", journal_stats["recorded_done"])
+        t.add("journal recorded failed", journal_stats["recorded_failed"])
+        t.add("journal total done", journal_stats["total_done"])
+    return t
 
 
 def cmd_report(args) -> int:
@@ -863,6 +1024,179 @@ def cmd_diff(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_top(args) -> int:
+    """Inspect (or tail) a ``repro.progress/1`` telemetry stream.
+
+    The default is a snapshot: aggregate whatever the stream holds —
+    including the remains of a SIGKILLed sweep; a torn final line is
+    forgiven like the journal's — into summary + running-cell tables.
+    ``--follow`` keeps polling until the stream records ``sweep_end``.
+    """
+    import os
+    import time as _time
+
+    from .obs.telemetry import (
+        aggregate_progress,
+        progress_tables,
+        read_telemetry,
+        render_progress_line,
+    )
+
+    if not os.path.exists(args.telemetry):
+        print(f"[top] no telemetry file at {args.telemetry}", file=sys.stderr)
+        return 2
+    if args.follow:
+        last = ""
+        while True:
+            state = aggregate_progress(read_telemetry(args.telemetry))
+            line = render_progress_line(state)
+            if line != last:
+                print(line, flush=True)
+                last = line
+            if state["finished"]:
+                return 0
+            _time.sleep(args.interval)
+    events = read_telemetry(args.telemetry)
+    if not events:
+        print(f"[top] {args.telemetry} is empty", file=sys.stderr)
+        return 0
+    state = aggregate_progress(events)
+    for t in progress_tables(state):
+        t.print()
+        print()
+    print(render_progress_line(state))
+    return 0
+
+
+def cmd_export_trace(args) -> int:
+    """Convert a saved trace to Chrome trace-event / Perfetto JSON."""
+    from .obs import write_chrome_trace
+
+    out = args.out
+    if out is None:
+        stem = args.trace
+        for suffix in (".gz", ".jsonl"):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+        out = stem + ".perfetto.json"
+    doc = write_chrome_trace(
+        args.trace, out, counter_every=args.counter_every
+    )
+    other = doc["otherData"]
+    print(
+        f"wrote {out} ({len(doc['traceEvents'])} traceEvents from "
+        f"{other['events']} records, clock={other['clock']}) — open in "
+        f"ui.perfetto.dev"
+    )
+    return 0
+
+
+def _current_commit(explicit: str | None) -> str:
+    """Best-effort commit id for a ledger point (never fails the record)."""
+    import os
+    import subprocess
+
+    if explicit:
+        return explicit
+    env = os.environ.get("GITHUB_SHA", "")
+    if env:
+        return env[:12]
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if head.returncode == 0:
+            return head.stdout.strip()[:12]
+    except Exception:  # noqa: BLE001 - provenance only, never fatal
+        pass
+    return "unknown"
+
+
+def cmd_bench(args) -> int:
+    """Dispatch ``repro bench record`` / ``repro bench compare``."""
+    import time as _time
+
+    from .obs.ledger import BenchLedger, compare_entries, make_entry
+    from .resilience import grid_fingerprint
+    from .util import host_key
+
+    if args.bench_command == "record":
+        from .exec import ParallelRunner
+
+        task, specs = _sweep_specs(args)
+        keys = [spec.fingerprint() for spec in specs]
+        # No cache on purpose: a trajectory point is an honest, fresh
+        # wall-clock measurement of every cell.
+        runner = ParallelRunner(jobs=args.jobs)
+        t0 = _time.perf_counter()
+        results = runner.map(specs)
+        seconds = _time.perf_counter() - t0
+        failed = [r for r in results if r.failed]
+        if failed:
+            print(
+                f"[bench] {len(failed)} cell(s) failed; not recording a "
+                f"ledger point",
+                file=sys.stderr,
+            )
+            return 3
+        records = sum(int(spec.params.get("n", 0)) for spec in specs)
+        entry = make_entry(
+            args.series,
+            seconds,
+            records,
+            grid=grid_fingerprint(keys),
+            cells=len(specs),
+            cache=runner.stats["cache"],
+            commit=_current_commit(args.commit),
+            notes=args.notes,
+        )
+        BenchLedger(args.ledger).append(entry)
+        t = Table(["field", "value"], title=f"bench point · {args.series}")
+        t.add("task", task)
+        t.add("cells", entry["cells"])
+        t.add("grid", entry["grid"])
+        t.add("records", entry["records"])
+        t.add("seconds", entry["seconds"])
+        t.add("records/sec", entry["records_per_sec"])
+        t.add("commit", entry["commit"])
+        t.add("host key", entry["host_key"])
+        t.add("ledger", args.ledger)
+        t.print()
+        return 0
+
+    # bench compare
+    ledger = BenchLedger(args.ledger)
+    key = args.host_key or host_key()
+    latest = ledger.latest(args.series, key)
+    if latest is None:
+        print(
+            f"[bench] no points for series {args.series!r} on host {key} "
+            f"in {args.ledger}; nothing to gate",
+            file=sys.stderr,
+        )
+        return 0
+    baseline = ledger.baseline(args.series, key)
+    if baseline is None:
+        print(
+            f"[bench] series {args.series!r} on host {key} has a single "
+            f"point (commit {latest.get('commit')}); no baseline yet",
+            file=sys.stderr,
+        )
+        return 0
+    result = compare_entries(baseline, latest, threshold=args.threshold)
+    for t in result.tables():
+        t.print()
+        print()
+    verdict = "OK" if result.ok else "REGRESSION"
+    print(
+        f"bench compare: {verdict} ({args.series} @ {latest.get('commit')} "
+        f"vs {baseline.get('commit')}: {baseline.get('seconds')}s -> "
+        f"{latest.get('seconds')}s, threshold {args.threshold})"
+    )
+    return 0 if result.ok else 1
+
+
 def cmd_workloads(_args) -> int:
     """List the available workload generators with a sample."""
     t = Table(["name", "sample keys (n=6, seed=0)"], title="workload generators")
@@ -885,6 +1219,9 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "profile": cmd_profile,
         "diff": cmd_diff,
+        "top": cmd_top,
+        "export-trace": cmd_export_trace,
+        "bench": cmd_bench,
         "workloads": cmd_workloads,
     }[args.command]
     return handler(args)

@@ -48,11 +48,13 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..exceptions import InjectedWorkerCrash, PoisonedPayloadError, TaskTimeout
-from ..resilience import FaultInjector, activate, exec_decision
+from ..obs.telemetry import PROGRESS_SCHEMA, TelemetryWriter, activate_telemetry
+from ..resilience import FaultInjector, activate, exec_decision, grid_fingerprint
 from .cache import ResultCache
 from .fingerprint import SCHEMA_SALT, fingerprint
 from .tasks import run_task
@@ -128,6 +130,7 @@ def _execute(
     cell: str = "",
     attempt: int = 0,
     in_worker: bool = False,
+    telemetry: str | None = None,
 ) -> dict:
     """Worker entry point (top-level, hence picklable).
 
@@ -139,16 +142,40 @@ def _execute(
     injector deliberately carries **no observation** — task payloads must
     stay pure functions of ``(task, params)``, so chaos instrumentation
     never leaks into them (the chaos-determinism guarantee).
+
+    With a ``telemetry`` path attached, a per-attempt
+    :class:`~repro.obs.telemetry.TelemetryWriter` (its own append handle
+    on the shared progress file) is installed as the ambient channel, so
+    :func:`run_task` tees throttled phase progress into it.  Telemetry is
+    an *observer* of the tracer stream, never an input — the payload is
+    byte-identical with it on or off.
     """
-    if plan is None:
+    if plan is None and telemetry is None:
         return run_task(task, params)
-    injector = FaultInjector(plan, cell=cell, attempt=attempt)
-    with activate(injector):
-        gate = injector.exec_gate(in_worker=in_worker)
+    gate = None
+    with ExitStack() as stack:
+        if telemetry is not None:
+            writer = stack.enter_context(
+                TelemetryWriter(telemetry, source=f"cell:{cell[:16]}")
+            )
+            stack.enter_context(activate_telemetry(writer))
+        if plan is not None:
+            injector = FaultInjector(plan, cell=cell, attempt=attempt)
+            stack.enter_context(activate(injector))
+            gate = injector.exec_gate(in_worker=in_worker)
         payload = run_task(task, params)
     if gate == "poison":
         return {"schema": _POISON_SCHEMA, "task": task}
     return payload
+
+
+def _payload_rounds(payload: dict) -> int:
+    """I/O round trips recorded in a payload's trace (for telemetry)."""
+    return sum(
+        1 for event in payload.get("trace", ())
+        if event.get("ev") == "event"
+        and event.get("name") in ("io.read", "io.write", "mem.step")
+    )
 
 
 def _validate_payload(payload, task: str) -> None:
@@ -200,6 +227,14 @@ class ParallelRunner:
         Optional :class:`~repro.resilience.SweepJournal`; each cell's
         terminal state (``done`` / ``failed``) is checkpointed as it
         completes.
+    telemetry:
+        Optional live-progress channel: a
+        :class:`~repro.obs.telemetry.TelemetryWriter` or a path to the
+        JSONL file one should append to.  The runner then streams
+        ``repro.progress/1`` lifecycle events (sweep/cell start+finish,
+        retries, pool rebuilds) and workers tee throttled phase progress
+        into the same file — run-level observability only; payload bytes
+        are identical with telemetry on or off.
 
     ``jobs`` is clamped to the *usable* core count
     (:func:`default_jobs`): worker processes beyond the cores the
@@ -220,6 +255,7 @@ class ParallelRunner:
         backoff: float = 0.05,
         fault_plan=None,
         journal=None,
+        telemetry=None,
     ):
         requested = int(jobs) if jobs else 0
         usable = default_jobs()
@@ -243,6 +279,11 @@ class ParallelRunner:
         self.backoff = float(backoff)
         self.fault_plan = fault_plan
         self.journal = journal
+        if isinstance(telemetry, str):
+            telemetry = TelemetryWriter(telemetry)
+        self.telemetry = telemetry
+        self._telemetry_path = telemetry.path if telemetry is not None else None
+        self._cell_started: dict[int, float] = {}
         self.executed = 0
         self.served_from_cache = 0
         self.retried = 0
@@ -263,6 +304,31 @@ class ParallelRunner:
         if self._scope is not None:
             self._scope.counter(name).inc(n)
 
+    def _tel(self, ev: str, **fields) -> None:
+        """Emit one live-telemetry line (no-op without a channel)."""
+        if self.telemetry is not None:
+            self.telemetry.emit(ev, **fields)
+
+    def _tel_finish(
+        self, i: int, key: str, payload: dict, cached: bool, failed: bool,
+        records=None,
+    ) -> None:
+        """The ``cell_finish`` telemetry line for one terminal cell state."""
+        if self.telemetry is None:
+            return
+        fields = {"key": key, "index": i, "cached": cached, "failed": failed}
+        started = self._cell_started.pop(i, None)
+        if started is not None:
+            seconds = time.monotonic() - started
+            fields["seconds"] = round(seconds, 4)
+            if not failed and records:
+                fields["records"] = records
+                if seconds > 0:
+                    fields["records_per_sec"] = round(records / seconds, 1)
+        if not failed:
+            fields["rounds"] = _payload_rounds(payload)
+        self.telemetry.emit("cell_finish", **fields)
+
     # ---------------------------------------------------------------- map
 
     def map(self, specs: Iterable[RunSpec]) -> list[RunResult]:
@@ -279,6 +345,15 @@ class ParallelRunner:
         specs = list(specs)
         keys = [spec.fingerprint() for spec in specs]
         results: list[RunResult | None] = [None] * len(specs)
+        t_sweep = time.monotonic()
+        self._tel(
+            "sweep_start",
+            schema=PROGRESS_SCHEMA,
+            task=specs[0].task if specs else "",
+            cells=len(specs),
+            jobs=self.jobs or 1,
+            grid=grid_fingerprint(keys),
+        )
 
         # Serve cache hits; collect the first occurrence of each missing key.
         pending: dict[str, int] = {}
@@ -290,6 +365,7 @@ class ParallelRunner:
             if payload is not None:
                 results[i] = RunResult(spec=spec, payload=payload, cached=True, key=key)
                 self.served_from_cache += 1
+                self._tel_finish(i, key, payload, cached=True, failed=False)
             else:
                 pending[key] = i
                 order.append(i)
@@ -300,6 +376,8 @@ class ParallelRunner:
                 self._map_pool(specs, keys, order, results)
             else:
                 for i in order:
+                    self._cell_started[i] = time.monotonic()
+                    self._tel("cell_start", key=keys[i], index=i, attempt=0)
                     payload, failed = self._run_cell_serial(specs[i], keys[i])
                     self._finish(i, specs[i], keys[i], payload, failed, results)
 
@@ -311,11 +389,22 @@ class ParallelRunner:
                     results[i] = RunResult(
                         spec=spec, payload=failure, cached=False, key=key, failed=True
                     )
+                    self._tel_finish(i, key, failure, cached=False, failed=True)
                     continue
                 payload = self.cache.get(key, obs=self._obs)
                 assert payload is not None  # just stored above
                 results[i] = RunResult(spec=spec, payload=payload, cached=True, key=key)
                 self.served_from_cache += 1
+                self._tel_finish(i, key, payload, cached=True, failed=False)
+        self._tel(
+            "sweep_end",
+            cells=len(specs),
+            executed=self.executed,
+            cached=self.served_from_cache,
+            failed=self.failed,
+            retried=self.retried,
+            seconds=round(time.monotonic() - t_sweep, 3),
+        )
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------ cell plumbing
@@ -339,6 +428,10 @@ class ParallelRunner:
             self.cache.put(key, payload)  # incremental: interrupts stay warm
             results[i] = RunResult(spec=spec, payload=payload, cached=False, key=key)
             self.executed += 1
+        self._tel_finish(
+            i, key, payload, cached=False, failed=failed,
+            records=spec.params.get("n"),
+        )
         if self.journal is not None:
             self.journal.record(key, "failed" if failed else "done")
 
@@ -375,6 +468,10 @@ class ParallelRunner:
             backoff=delay,
         )
         self._count("retry.attempt")
+        self._tel(
+            "cell_retry", key=key, attempt=attempt + 1,
+            error=type(exc).__name__,
+        )
         if delay > 0:
             time.sleep(delay)
 
@@ -393,7 +490,8 @@ class ParallelRunner:
         while True:
             try:
                 payload = _execute(
-                    spec.task, spec.params, self.fault_plan, key, attempt, False
+                    spec.task, spec.params, self.fault_plan, key, attempt,
+                    False, self._telemetry_path,
                 )
                 _validate_payload(payload, spec.task)
                 return payload, False
@@ -437,6 +535,11 @@ class ParallelRunner:
 
         def submit(idx: int) -> None:
             st = state[idx]
+            if idx not in self._cell_started:
+                self._cell_started[idx] = time.monotonic()
+            self._tel(
+                "cell_start", key=keys[idx], index=idx, attempt=st["attempt"]
+            )
             f = pool.submit(
                 _execute,
                 specs[idx].task,
@@ -445,6 +548,7 @@ class ParallelRunner:
                 keys[idx],
                 st["attempt"],
                 True,
+                self._telemetry_path,
             )
             inflight[f] = (idx, st["attempt"])
             deadlines[f] = (
@@ -483,6 +587,7 @@ class ParallelRunner:
             rebuilds_left -= 1
             self._event("runner.pool_rebuilt", reason=reason)
             self._count("pool_rebuilds")
+            self._tel("pool_rebuilt", reason=reason)
 
         try:
             for idx in order:

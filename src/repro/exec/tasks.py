@@ -33,6 +33,7 @@ import numpy as np
 from .. import workloads
 from ..analysis import bounds
 from ..obs import Observation, Tracer
+from ..obs.telemetry import ProgressSink, active_telemetry
 from .fingerprint import SCHEMA_SALT
 
 __all__ = ["task", "get_task", "task_names", "run_task"]
@@ -78,9 +79,18 @@ def run_task(name: str, params: dict) -> dict:
     The payload round-trips through JSON before returning so cached and
     freshly executed payloads are the *same* Python shape (plain lists /
     ints / floats — no numpy scalars, no tuples).
+
+    When an ambient telemetry channel is active (``repro sweep --live``
+    / ``--telemetry``), a :class:`~repro.obs.telemetry.ProgressSink` is
+    attached as the tracer's *sink*: it observes the same event stream
+    and streams throttled phase progress, while the payload keeps being
+    built from the tracer's in-memory events — so payload bytes are
+    bit-identical with telemetry on or off.
     """
     fn = get_task(name)
-    obs = Observation(tracer=Tracer(clock=_zero_clock))
+    channel = active_telemetry()
+    sink = ProgressSink(channel) if channel is not None else None
+    obs = Observation(tracer=Tracer(sink=sink, clock=_zero_clock))
     result = fn(dict(params), obs)
     obs.close()
     payload = {

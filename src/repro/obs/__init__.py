@@ -35,14 +35,45 @@ On top of the substrate sit three analysis engines (PR 4):
   two run reports / bench sidecars / summaries with relative thresholds,
   the CI regression gate (``repro diff``).
 
+And the *live* leg (PR 6) — observability while and across runs:
+
+* :mod:`~repro.obs.telemetry` — the ``repro.progress/1`` streaming
+  progress channel (``repro sweep --live`` / ``repro top``), a
+  line-buffered JSONL heartbeat the runner and worker phase spans append
+  to mid-sweep, with payloads provably bit-identical telemetry on or off;
+* :func:`export_chrome_trace` (:mod:`~repro.obs.export`) — convert any
+  saved JSONL/gz trace to Chrome trace-event / Perfetto JSON
+  (``repro export-trace``), so runs open in ui.perfetto.dev;
+* :class:`BenchLedger` (:mod:`~repro.obs.ledger`) — the append-only,
+  host-keyed ``repro.bench_series/1`` perf-trajectory ledger behind
+  ``repro bench record`` / ``repro bench compare``.
+
 See ``docs/observability.md`` for the event schema and metric names.
 """
 
 from .audit import AUDIT_SCHEMA, AuditCheck, AuditReport, TheoryAuditor, record_cell_audit
 from .diff import DIFF_SCHEMA, DiffEntry, DiffResult, diff_runs, flatten, load_doc
+from .export import EXPORT_SCHEMA, export_chrome_trace, write_chrome_trace
+from .ledger import (
+    SERIES_SCHEMA,
+    BenchLedger,
+    compare_entries,
+    make_entry,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import PROFILE_SCHEMA, profile_trace, render_profile
 from .report import RunReport, render_report, summarize_trace
+from .telemetry import (
+    PROGRESS_SCHEMA,
+    LiveProgressView,
+    ProgressSink,
+    TelemetryWriter,
+    activate_telemetry,
+    active_telemetry,
+    aggregate_progress,
+    read_telemetry,
+    render_progress_line,
+)
 from .tracer import (
     NULL_TRACER,
     JsonlSink,
@@ -82,4 +113,20 @@ __all__ = [
     "flatten",
     "load_doc",
     "DIFF_SCHEMA",
+    "PROGRESS_SCHEMA",
+    "TelemetryWriter",
+    "activate_telemetry",
+    "active_telemetry",
+    "ProgressSink",
+    "read_telemetry",
+    "aggregate_progress",
+    "render_progress_line",
+    "LiveProgressView",
+    "EXPORT_SCHEMA",
+    "export_chrome_trace",
+    "write_chrome_trace",
+    "SERIES_SCHEMA",
+    "BenchLedger",
+    "make_entry",
+    "compare_entries",
 ]

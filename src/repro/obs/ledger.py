@@ -1,0 +1,206 @@
+"""The perf-trajectory ledger: an append-only series of bench points.
+
+``BENCH_*.json`` and the ``benchmarks/results/*.json`` sidecars each hold
+a *single* measurement — useful as a baseline, blind to direction.  The
+ROADMAP asks for the trajectory: a records/sec series over commits so a
+regression is visible as a bend in a curve, the way Rahn–Sanders–Singler
+report sustained sorting throughput over machine scale.  This module is
+that series (schema ``repro.bench_series/1``):
+
+* :class:`BenchLedger` — one JSONL file, append-only, fsynced per line,
+  torn-tail forgiving (the same durability contract as the resilience
+  journal).  Committed to the repo as ``BENCH_ledger.jsonl``, appended by
+  nightly CI and uploaded as an artifact.
+* :func:`make_entry` — one ledger point: series name, commit, normalized
+  host metadata (:func:`~repro.util.capture_host`), grid fingerprint,
+  wall seconds, records/sec, cache counters.
+* :func:`compare_entries` — the regression gate: the latest point vs its
+  baseline (the previous point of the same ``series`` on the same
+  ``host_key``) through :func:`~repro.obs.diff.diff_runs` relative
+  thresholds.  Wall-clock comparisons only make sense within a host
+  class, so entries are **host-keyed** and cross-grid comparisons are
+  refused rather than silently wrong.
+
+Only *increases* regress (``diff_runs`` semantics): a faster run never
+fails the gate.  The default window mirrors the repo's CI wall-clock
+convention — ``threshold=2.0`` ≡ "measured ≤ 3 × baseline".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..util import capture_host
+from .diff import DiffResult, diff_runs
+
+__all__ = ["SERIES_SCHEMA", "BenchLedger", "make_entry", "compare_entries"]
+
+SERIES_SCHEMA = "repro.bench_series/1"
+
+#: Default relative-delta window: seconds may grow ≤ 3× before gating.
+DEFAULT_THRESHOLD = 2.0
+
+
+def make_entry(
+    series: str,
+    seconds: float,
+    records: int,
+    grid: str = "",
+    cells: int = 0,
+    cache: dict | None = None,
+    commit: str = "",
+    host: dict | None = None,
+    notes: str = "",
+    when: float | None = None,
+) -> dict:
+    """Build one ``repro.bench_series/1`` ledger point.
+
+    ``host`` defaults to :func:`~repro.util.capture_host`; ``when`` to
+    the current UNIX time (pass explicitly for reproducible tests).
+    Derived rates (``records_per_sec``, ``us_per_record``) are stored so
+    the gate and any plotting consumer read them without recomputing.
+    """
+    if host is None:
+        host = capture_host()
+    seconds = float(seconds)
+    records = int(records)
+    entry = {
+        "schema": SERIES_SCHEMA,
+        "series": series,
+        "ts": round(time.time() if when is None else when, 3),
+        "commit": commit,
+        "host_key": host.get("key", ""),
+        "host": host,
+        "grid": grid,
+        "cells": int(cells),
+        "records": records,
+        "seconds": round(seconds, 4),
+        "records_per_sec": (
+            round(records / seconds, 1) if seconds > 0 else None
+        ),
+        "us_per_record": (
+            round(seconds * 1e6 / records, 3) if records > 0 else None
+        ),
+    }
+    if cache is not None:
+        entry["cache"] = {
+            k: cache[k] for k in ("hits", "misses", "stores", "corrupt")
+            if k in cache
+        }
+    if notes:
+        entry["notes"] = notes
+    return entry
+
+
+class BenchLedger:
+    """Append-only JSONL series of bench points, host-keyed per series."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # ------------------------------------------------------------- writing
+
+    def append(self, entry: dict) -> dict:
+        """Durably append one point (flushed + fsynced, like the journal)."""
+        if entry.get("schema") != SERIES_SCHEMA:
+            raise ValueError(
+                f"not a {SERIES_SCHEMA} entry: schema="
+                f"{entry.get('schema')!r} (use make_entry)"
+            )
+        if not entry.get("series"):
+            raise ValueError("ledger entries need a non-empty 'series'")
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, separators=(",", ":")))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return entry
+
+    # ------------------------------------------------------------- reading
+
+    def read(self) -> list[dict]:
+        """All points in append order; a torn final line is forgiven."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        entries = []
+        for i, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines):
+                    break  # torn tail of an interrupted append
+                raise ValueError(
+                    f"bad ledger line {i} in {self.path}"
+                ) from None
+        return entries
+
+    def entries(self, series: str | None = None,
+                host_key: str | None = None) -> list[dict]:
+        """Points filtered by series and/or host class, append order kept."""
+        out = self.read()
+        if series is not None:
+            out = [e for e in out if e.get("series") == series]
+        if host_key is not None:
+            out = [e for e in out if e.get("host_key") == host_key]
+        return out
+
+    def latest(self, series: str, host_key: str | None = None) -> dict | None:
+        """The newest point of a series (optionally within one host class)."""
+        matching = self.entries(series, host_key)
+        return matching[-1] if matching else None
+
+    def baseline(self, series: str, host_key: str) -> dict | None:
+        """The point the newest one gates against: its predecessor."""
+        matching = self.entries(series, host_key)
+        return matching[-2] if len(matching) >= 2 else None
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Point count and per-series tallies (for stderr summaries)."""
+        entries = self.read()
+        series: dict[str, int] = {}
+        for e in entries:
+            name = e.get("series", "?")
+            series[name] = series.get(name, 0) + 1
+        return {"path": self.path, "points": len(entries), "series": series}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BenchLedger({self.path!r})"
+
+
+#: The numeric surface the gate compares (increases regress).
+_GATED_KEYS = ("seconds", "us_per_record")
+
+
+def compare_entries(
+    baseline: dict,
+    candidate: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    rules: list[tuple[str, float]] | None = None,
+) -> DiffResult:
+    """Gate ``candidate`` against ``baseline`` via relative thresholds.
+
+    Only the perf surface (``seconds``, ``us_per_record``) is compared —
+    commit hashes, timestamps, and cache counters legitimately move.
+    Refuses to compare across series, host classes, or grids: such a
+    diff is not a regression signal, it is a configuration change.
+    """
+    for field in ("series", "host_key", "grid"):
+        a, b = baseline.get(field), candidate.get(field)
+        if a != b:
+            raise ValueError(
+                f"cannot gate across {field}: baseline {a!r} vs "
+                f"candidate {b!r}"
+            )
+    doc_a = {k: baseline.get(k) for k in _GATED_KEYS}
+    doc_b = {k: candidate.get(k) for k in _GATED_KEYS}
+    return diff_runs(doc_a, doc_b, threshold=threshold, rules=rules)

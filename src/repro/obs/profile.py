@@ -283,7 +283,8 @@ def render_profile(profile: dict):
     hotspots = profile.get("hotspots", [])
     if hotspots:
         t = Table(
-            ["span", "count", "wall s", "self s", "self %", "rounds", "µs/round"],
+            ["span", "count", "wall s", "self s", "self %", "I/O rounds",
+             "self µs/round"],
             title="hotspots (by self time)",
         )
         for h in hotspots:
@@ -296,7 +297,7 @@ def render_profile(profile: dict):
 
     critical = profile.get("critical_path", [])
     if critical:
-        t = Table(["depth", "span", "wall s", "self s", "rounds"],
+        t = Table(["depth", "span", "wall s", "self s", "I/O rounds"],
                   title="critical path (longest chain)")
         for row in critical:
             t.add(row["depth"], row["name"], row["wall_s"], row["self_s"],
@@ -305,7 +306,7 @@ def render_profile(profile: dict):
 
     levels = profile.get("levels", [])
     if levels:
-        t = Table(["level", "spans", "wall s", "self s", "rounds"],
+        t = Table(["level", "spans", "wall s", "self s", "I/O rounds"],
                   title="recursion levels")
         for row in levels:
             t.add(row["level"], row["spans"], row["wall_s"], row["self_s"],
@@ -314,7 +315,7 @@ def render_profile(profile: dict):
 
     timeline = io.get("timeline", [])
     if timeline:
-        t = Table(["t0 s", "rounds", "mean width"],
+        t = Table(["t0 s", "I/O rounds", "mean width (blocks)"],
                   title=f"I/O utilization timeline ({len(timeline)} bins)")
         for slot in timeline:
             t.add(slot["t0"], slot["rounds"], slot["mean_width"])

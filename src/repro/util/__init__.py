@@ -1,5 +1,6 @@
-"""Shared utilities: order statistics, pairwise-independent hashing, validation."""
+"""Shared utilities: order statistics, pairwise hashing, validation, host capture."""
 
+from .host import capture_host, host_key, usable_cores
 from .order_stats import paper_median, select_kth, median_of_medians
 from .pairwise import PairwiseSpace, next_prime
 from .validation import (
@@ -10,6 +11,9 @@ from .validation import (
 )
 
 __all__ = [
+    "capture_host",
+    "host_key",
+    "usable_cores",
     "paper_median",
     "select_kth",
     "median_of_medians",

@@ -1,0 +1,84 @@
+"""Normalized host-metadata capture for benchmark points and the ledger.
+
+Every artifact that records a performance number — ``BENCH_*.json``
+points, the ``benchmarks/results/*.json`` sidecars, and the
+``repro.bench_series/1`` perf ledger — needs to say *where* it was
+measured, because wall-clock numbers are only comparable on the same
+host.  Before this helper each writer captured its own ad-hoc dict, and
+the full ``platform.platform()`` string drifted between files whenever
+the kernel was patched (e.g. ``...-v19`` vs ``...-v20``) even though the
+hardware was identical.
+
+:func:`capture_host` is the one shared capture: the full platform string
+is kept as *information*, while :func:`host_key` digests only the fields
+that define comparability — OS family, architecture, Python
+``major.minor``, and the usable core count — so two measurements on the
+same box with different kernel patch levels share a key, and diff gates
+can match baselines by ``host_key`` instead of fragile string equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+
+__all__ = ["capture_host", "host_key", "usable_cores"]
+
+
+def usable_cores() -> int:
+    """Cores the scheduler will actually grant this process.
+
+    ``sched_getaffinity`` (Linux) respects cgroup/taskset restriction;
+    elsewhere fall back to the raw CPU count.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def capture_host() -> dict:
+    """The normalized host-metadata dict every perf artifact embeds.
+
+    Keys (additive evolution only)::
+
+        {"key": <host_key digest>,        # comparability identity
+         "system": "Linux", "machine": "x86_64",
+         "python": "3.12.1", "usable_cores": 8,
+         "platform": "<full platform.platform() string — informational>"}
+    """
+    info = {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "usable_cores": usable_cores(),
+        "platform": platform.platform(),
+    }
+    info["key"] = host_key(info)
+    # Stable key order with the identity first (nicer JSON diffs).
+    return {"key": info["key"], **{k: info[k] for k in (
+        "system", "machine", "python", "usable_cores", "platform")}}
+
+
+def host_key(info: dict | None = None) -> str:
+    """A short digest identifying the host *class* a measurement ran on.
+
+    Deliberately excludes the full platform string (kernel patch levels
+    drift) and the Python patch version; includes what actually moves
+    perf numbers: OS family, architecture, interpreter ``major.minor``,
+    and the usable core count.
+    """
+    if info is None:
+        info = {
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "usable_cores": usable_cores(),
+        }
+    python_mm = ".".join(str(info["python"]).split(".")[:2])
+    basis = "|".join([
+        str(info["system"]), str(info["machine"]),
+        python_mm, str(info["usable_cores"]),
+    ])
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]

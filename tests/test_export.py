@@ -1,0 +1,308 @@
+"""Tests for the Chrome trace-event / Perfetto export bridge.
+
+The acceptance bar from the issue: a telemetry-enabled run's trace must
+export to a Perfetto-loadable JSON, validated here against the
+trace-event format's documented shape — the object form with a
+``traceEvents`` list whose entries carry ``ph``/``ts``/``pid``/``tid``,
+duration events as ``ph: "X"`` with ``dur``, instants as ``ph: "i"``,
+counters as ``ph: "C"``, and track-naming metadata as ``ph: "M"``.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.obs import EXPORT_SCHEMA, export_chrome_trace, write_chrome_trace
+
+
+def _begin(span, parent, name, ts, **attrs):
+    return {"ev": "begin", "span": span, "parent": parent, "name": name,
+            "ts": ts, "attrs": attrs}
+
+
+def _end(span, parent, name, ts, wall, **attrs):
+    return {"ev": "end", "span": span, "parent": parent, "name": name,
+            "ts": ts, "wall_s": wall, "attrs": attrs}
+
+
+def _event(span, name, ts, **attrs):
+    return {"ev": "event", "span": span, "name": name, "ts": ts,
+            "attrs": attrs}
+
+
+def _wall_trace():
+    """root(2s) -> sort(1s) with I/O rounds, a fault instant, a balance
+    sample — recorded under a real clock (positive timestamps)."""
+    return [
+        _begin(1, None, "root", 10.0),
+        _begin(2, 1, "sort", 10.5, level=0),
+        _event(2, "io.read", 10.6, width=4),
+        _event(2, "io.write", 10.7, width=4),
+        _event(2, "fault.injected", 10.8, site="store.read"),
+        _event(2, "balance.round", 10.9, max_balance_factor=1.25),
+        _end(2, 1, "sort", 11.5, 1.0, reads=1, writes=1),
+        _end(1, None, "root", 12.0, 2.0),
+    ]
+
+
+def _by_ph(doc):
+    out = {}
+    for ev in doc["traceEvents"]:
+        out.setdefault(ev["ph"], []).append(ev)
+    return out
+
+
+class TestTraceEventShape:
+    """The trace-event JSON shape every exported doc must satisfy."""
+
+    def test_object_form_and_other_data(self):
+        doc = export_chrome_trace(_wall_trace(), source="unit")
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        other = doc["otherData"]
+        assert other["schema"] == EXPORT_SCHEMA
+        assert other["clock"] == "wall"
+        assert other["events"] == len(_wall_trace())
+        assert other["source"] == "unit"
+
+    def test_every_event_carries_required_keys(self):
+        doc = export_chrome_trace(_wall_trace())
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            assert ev["ph"] in {"X", "i", "C", "M"}
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], (int, float))
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+            if ev["ph"] == "i":
+                assert ev["s"] in {"t", "p", "g"}
+        # The whole doc must be plain-JSON serializable.
+        json.dumps(doc)
+
+    def test_spans_become_complete_events_at_begin_ts(self):
+        doc = export_chrome_trace(_wall_trace())
+        spans = {ev["name"]: ev for ev in _by_ph(doc)["X"]}
+        assert spans["root"]["ts"] == pytest.approx(10.0 * 1e6)
+        assert spans["root"]["dur"] == pytest.approx(2.0 * 1e6)
+        assert spans["sort"]["ts"] == pytest.approx(10.5 * 1e6)
+        assert spans["sort"]["dur"] == pytest.approx(1.0 * 1e6)
+        # End-side attrs ride along as args.
+        assert spans["sort"]["args"] == {"reads": 1, "writes": 1}
+
+    def test_point_events_become_thread_instants(self):
+        doc = export_chrome_trace(_wall_trace())
+        instants = {ev["name"]: ev for ev in _by_ph(doc)["i"]}
+        assert set(instants) == {"fault.injected"}
+        fault = instants["fault.injected"]
+        assert fault["args"] == {"site": "store.read"}
+        assert fault["s"] == "t"
+
+    def test_rounds_and_balance_become_counters(self):
+        doc = export_chrome_trace(_wall_trace(), counter_every=1)
+        counters = _by_ph(doc)["C"]
+        names = {ev["name"] for ev in counters}
+        assert {"I/O rounds", "balance factor"} <= names
+        io_samples = [ev for ev in counters if ev["name"] == "I/O rounds"]
+        # counter_every=1 → a sample per round event, plus the final one.
+        assert [s["args"] for s in io_samples][:2] == [
+            {"io.read": 1, "io.write": 0, "mem.step": 0},
+            {"io.read": 1, "io.write": 1, "mem.step": 0},
+        ]
+        assert io_samples[-1]["args"]["io.read"] == 1
+        balance = [ev for ev in counters if ev["name"] == "balance factor"]
+        assert balance[0]["args"] == {"max_balance_factor": 1.25}
+
+    def test_counter_sampling_stride(self):
+        events = [_begin(1, None, "root", 0.0)]
+        events += [_event(1, "io.read", 0.0) for _ in range(10)]
+        events.append(_end(1, None, "root", 0.0, 0.0))
+        doc = export_chrome_trace(events, counter_every=4)
+        io_samples = [ev for ev in _by_ph(doc)["C"]
+                      if ev["name"] == "I/O rounds"]
+        # Samples at rounds 4 and 8, plus the final total.
+        assert [s["args"]["io.read"] for s in io_samples] == [4, 8, 10]
+
+    def test_metadata_names_process_and_threads(self):
+        doc = export_chrome_trace(_wall_trace())
+        meta = _by_ph(doc)["M"]
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"] == {"name": "repro"}
+        threads = {ev["tid"]: ev["args"]["name"] for ev in meta
+                   if ev["name"] == "thread_name"}
+        assert threads[1] == "main"
+
+    def test_error_end_rides_in_args(self):
+        events = [
+            _begin(1, None, "root", 1.0),
+            {"ev": "end", "span": 1, "parent": None, "name": "root",
+             "ts": 2.0, "wall_s": 1.0, "attrs": {}, "error": "KeyError: 'x'"},
+        ]
+        doc = export_chrome_trace(events)
+        span = _by_ph(doc)["X"][0]
+        assert span["args"]["error"] == "KeyError: 'x'"
+
+
+class TestClockModes:
+    def test_zero_clock_trace_gets_virtual_time(self):
+        events = [
+            _begin(1, None, "root", 0.0),
+            _begin(2, 1, "child", 0.0),
+            _end(2, 1, "child", 0.0, 0.0),
+            _end(1, None, "root", 0.0, 0.0),
+        ]
+        doc = export_chrome_trace(events)
+        assert doc["otherData"]["clock"] == "virtual"
+        spans = {ev["name"]: ev for ev in _by_ph(doc)["X"]}
+        # 1 record = 1 µs: nesting and ordering survive the pinned clock.
+        assert spans["root"]["ts"] == 0.0 and spans["root"]["dur"] == 3.0
+        assert spans["child"]["ts"] == 1.0 and spans["child"]["dur"] == 1.0
+        assert spans["child"]["ts"] > spans["root"]["ts"]
+
+    def test_wall_trace_keeps_wall_time(self):
+        doc = export_chrome_trace(_wall_trace())
+        assert doc["otherData"]["clock"] == "wall"
+
+
+class TestMergedTraces:
+    def _merged(self):
+        """Two merged runs under synthetic ``run:*`` roots (exec.merge)."""
+        return [
+            _begin(1, None, "run:sort_pdm[0]", 0.0),
+            _begin(2, 1, "sort", 0.0),
+            _end(2, 1, "sort", 0.0, 0.0),
+            _end(1, None, "run:sort_pdm[0]", 0.0, 0.0),
+            _begin(3, None, "run:sort_pdm[1]", 0.0),
+            _begin(4, 3, "sort", 0.0),
+            _end(4, 3, "sort", 0.0, 0.0),
+            _end(3, None, "run:sort_pdm[1]", 0.0, 0.0),
+        ]
+
+    def test_each_run_root_gets_its_own_named_track(self):
+        doc = export_chrome_trace(self._merged())
+        spans = _by_ph(doc)["X"]
+        tid_of = {}
+        for ev in spans:
+            tid_of.setdefault(ev["name"], set()).add(ev["tid"])
+        (tid0,) = tid_of["run:sort_pdm[0]"]
+        (tid1,) = tid_of["run:sort_pdm[1]"]
+        assert tid0 != tid1
+        # Children inherit the run root's track.
+        assert tid_of["sort"] == {tid0, tid1}
+        threads = {ev["tid"]: ev["args"]["name"]
+                   for ev in _by_ph(doc)["M"] if ev["name"] == "thread_name"}
+        assert threads[tid0] == "run:sort_pdm[0]"
+        assert threads[tid1] == "run:sort_pdm[1]"
+
+
+class TestTruncatedTraces:
+    def test_unclosed_spans_closed_and_tagged(self):
+        events = [
+            _begin(1, None, "root", 1.0),
+            _begin(2, 1, "work", 2.0),
+            _event(2, "io.read", 3.0),
+            # killed: no end records
+        ]
+        doc = export_chrome_trace(events)
+        spans = {ev["name"]: ev for ev in _by_ph(doc)["X"]}
+        assert spans["root"]["args"] == {"truncated": True}
+        assert spans["work"]["args"] == {"truncated": True}
+        max_ts = 3.0 * 1e6
+        assert spans["root"]["ts"] + spans["root"]["dur"] == pytest.approx(
+            max_ts)
+        assert spans["work"]["ts"] + spans["work"]["dur"] == pytest.approx(
+            max_ts)
+
+    def test_empty_trace_exports_metadata_only(self):
+        doc = export_chrome_trace([])
+        assert all(ev["ph"] == "M" for ev in doc["traceEvents"])
+        assert doc["otherData"]["events"] == 0
+
+
+class TestMetricsCounters:
+    def test_numeric_leaves_become_one_counter_per_scope(self):
+        metrics = {
+            "pdm": {"read_ios": 10, "write_ios": 7, "label": "not-numeric"},
+            "sort": {"levels": {"count": 2}},
+            "scalar": 3,  # not a dict scope: skipped
+        }
+        doc = export_chrome_trace(_wall_trace(), metrics=metrics)
+        counters = {ev["name"]: ev for ev in _by_ph(doc)["C"]}
+        assert counters["metrics:pdm"]["args"] == {
+            "read_ios": 10, "write_ios": 7}
+        assert counters["metrics:sort"]["args"] == {"levels.count": 2}
+        assert "metrics:scalar" not in counters
+
+
+class TestWriteChromeTrace:
+    def _write_gz_trace(self, path, events, torn=False):
+        with gzip.open(path, "wt") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev) + "\n")
+            if torn:
+                fh.write('{"ev": "end", "span": 1')
+
+    def test_round_trip_from_gz_file(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl.gz")
+        out = str(tmp_path / "t.perfetto.json")
+        self._write_gz_trace(trace, _wall_trace())
+        doc = write_chrome_trace(trace, out)
+        assert doc["otherData"]["source"] == trace
+        on_disk = json.loads(open(out).read())
+        assert on_disk == doc
+
+    def test_torn_tail_forgiven(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl.gz")
+        out = str(tmp_path / "t.json")
+        self._write_gz_trace(trace, _wall_trace()[:3], torn=True)
+        doc = write_chrome_trace(trace, out)
+        spans = {ev["name"]: ev for ev in _by_ph(doc)["X"]}
+        assert spans["root"]["args"] == {"truncated": True}
+
+
+class TestCliExportTrace:
+    """The acceptance criterion, end to end: a run's trace exports to a
+    Perfetto-loadable trace-event JSON."""
+
+    def _validate_trace_event_doc(self, doc):
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        phs = set()
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            phs.add(ev["ph"])
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0 and "ts" in ev
+        assert {"X", "M", "C"} <= phs
+
+    def test_export_real_run_trace(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace = str(tmp_path / "t.jsonl.gz")
+        rc = main(["sort", "--n", "1000", "--disks", "4",
+                   "--trace-out", trace])
+        capsys.readouterr()
+        assert rc == 0
+        out = str(tmp_path / "t.perfetto.json")
+        rc = main(["export-trace", trace, "-o", out])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "perfetto" in captured.out
+        doc = json.loads(open(out).read())
+        self._validate_trace_event_doc(doc)
+        assert doc["otherData"]["clock"] == "wall"
+
+    def test_default_output_name_strips_suffixes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace = str(tmp_path / "t.jsonl.gz")
+        rc = main(["sort", "--n", "1000", "--disks", "4",
+                   "--trace-out", trace])
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(["export-trace", trace])
+        capsys.readouterr()
+        assert rc == 0
+        expected = str(tmp_path / "t.perfetto.json")
+        doc = json.loads(open(expected).read())
+        self._validate_trace_event_doc(doc)

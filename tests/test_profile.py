@@ -214,6 +214,50 @@ class TestProfileRealRun:
         assert "I/O round trips" in text
 
 
+class TestRenderedHeaderUnits:
+    """Golden-output regression: rendered headers carry explicit units.
+
+    The profile docs always said µs/round means *self* µs per I/O round
+    trip and the timeline's mean width is in blocks, but the rendered
+    headers didn't — a reader of just the terminal output had to guess.
+    These are exact golden column lists: a header change must be a
+    deliberate edit here, not an accident.
+    """
+
+    def _tables(self):
+        prof = profile_trace(_synthetic_trace(), bins=2)
+        return {t.to_dict()["title"]: t.to_dict() for t in render_profile(prof)}
+
+    def test_hotspot_headers_golden(self):
+        tables = self._tables()
+        assert tables["hotspots (by self time)"]["columns"] == [
+            "span", "count", "wall s", "self s", "self %", "I/O rounds",
+            "self µs/round",
+        ]
+
+    def test_critical_path_and_level_headers_golden(self):
+        tables = self._tables()
+        assert tables["critical path (longest chain)"]["columns"] == [
+            "depth", "span", "wall s", "self s", "I/O rounds",
+        ]
+        assert tables["recursion levels"]["columns"] == [
+            "level", "spans", "wall s", "self s", "I/O rounds",
+        ]
+
+    def test_timeline_headers_golden(self):
+        tables = self._tables()
+        assert tables["I/O utilization timeline (2 bins)"]["columns"] == [
+            "t0 s", "I/O rounds", "mean width (blocks)",
+        ]
+
+    def test_summary_units_in_rendered_text(self):
+        prof = profile_trace(_synthetic_trace())
+        text = "\n".join(t.render() for t in render_profile(prof))
+        assert "µs per round trip" in text
+        assert "self µs/round" in text
+        assert "mean width (blocks)" in text
+
+
 class TestProfileCli:
     def test_profile_command(self, capsys, tmp_path):
         from repro.cli import main
