@@ -181,19 +181,24 @@ def measure(repeats: int = 2) -> dict:
             "Baselines: 'recorded' is PR-2's BENCH_exec_runner.json E1 serial "
             "number (different-day host conditions); 'same_host' is PR-2's "
             "code re-timed on this host when the arena landed — the honest "
-            "comparison. The arena + batched-I/O work landed ~2x end-to-end "
-            "on the E1 grid (target was 3x; profiling shows the remaining "
-            "time spread across ~77k parallel I/O round trips of numpy/"
-            "Python dispatch with no single dominant hotspot, and the "
-            "payload-bit-identity contract rules out changing what those "
-            "I/Os observe). The microbench compares against the dict store "
-            "*as it stands after this PR* — it too gained batched entry "
-            "points, so the ~1.6x substrate gap understates the distance "
-            "from the original per-block dict-of-dicts path; the end-to-end "
+            "comparison. This point was re-recorded after the fused-"
+            "distribute work (whole-round gather/scatter I/O plans, the "
+            "H'=2 closed-form rebalance, and scalar-mirror matrix upkeep); "
+            "the per-PR trajectory — including the same-host pre-PR re-"
+            "timing each fused point is gated against — lives in "
+            "BENCH_ledger.jsonl (series e1-grid / e1-grid-unfused) and "
+            "docs/performance.md. The microbench compares against the dict "
+            "store *as it stands today* — it too has batched entry points, "
+            "so the substrate gap understates the distance from the "
+            "original per-block dict-of-dicts path; the end-to-end "
             "arena-vs-dict column (same code, store swapped) isolates the "
-            "substrate's share of the grid win. Gains are Amdahl-limited by "
-            "partitioning, matching, and internal sorts. Cell results are "
-            "asserted bit-identical between backends in every timed run."
+            "substrate's share of the grid win. Remaining time is per-"
+            "logical-round Python dispatch (obs events, matrix upkeep, "
+            "queue/write bookkeeping) that the payload-bit-identity "
+            "contract requires to fire once per round; see "
+            "docs/performance.md for the gap to the 5x roadmap goal and "
+            "the compiled-inner-loop next step. Cell results are asserted "
+            "bit-identical between backends in every timed run."
         ),
     }
 

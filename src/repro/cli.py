@@ -408,6 +408,19 @@ def cmd_sort(args) -> int:
     out = peek_run(res.storage, res.output)
     assert_sorted(out)
     assert_is_permutation(out, data)
+    plan = machine.plan_stats.snapshot()
+    if plan["write_flushes"] or plan["read_gathers"]:
+        # Out-of-band on purpose: payloads and stdout are a pure function
+        # of (task, params); physical fusion shape is telemetry only.
+        print(
+            f"[io-plan] {plan['deferred_write_rounds']} write rounds fused "
+            f"into {plan['write_flushes']} flushes "
+            f"(max {plan['max_write_flush_blocks']} blocks); "
+            f"{plan['prefetched_read_rounds']} read rounds gathered "
+            f"in {plan['read_gathers']} batches "
+            f"(max {plan['max_read_gather_blocks']} blocks)",
+            file=sys.stderr,
+        )
     audit = auditor.finish_pdm(machine, res).to_dict() if auditor else None
     bound = bounds.sort_io_bound(args.n, args.memory, args.block, args.disks)
     result = {

@@ -53,7 +53,7 @@ from .matrices import BalanceMatrices
 __all__ = ["BalanceEngine", "BlockRef", "BucketRun", "EngineStats", "read_bucket_run"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockRef:
     """A stored virtual block plus how many true records it holds.
 
@@ -169,11 +169,22 @@ class BalanceEngine:
         # time, so `kernels.use_backend(...)` contexts apply here too).
         self.kernel_backend = backend
         self.stats = EngineStats()
-        self._partials: list[list[np.ndarray]] = [[] for _ in range(self.n_buckets)]
-        self._partial_sizes = np.zeros(self.n_buckets, dtype=np.int64)
+        # Per-bucket accumulation buffers with monotone write/emit
+        # pointers: chunks are slice-copied in, full virtual blocks are
+        # emitted as zero-copy views.  Emitted regions are never
+        # rewritten (a fresh buffer takes over when the current one
+        # fills), so a view stays valid for as long as anyone — the
+        # round queue, a deferred I/O plan — holds it.
+        self._bufs: list[np.ndarray | None] = [None] * self.n_buckets
+        self._fills = [0] * self.n_buckets  # write pointer (plain ints:
+        self._emits = [0] * self.n_buckets  # numpy scalars cost more here)
         self._queue: deque = deque()  # (bucket, block) awaiting placement
-        self._bucket_records = np.zeros(self.n_buckets, dtype=np.int64)
+        self._bucket_records = [0] * self.n_buckets
         self._finished = False
+        # Round-structured write fast path (list-native, one slot per
+        # round) where the backend offers it; hierarchy backends fall
+        # back to the (k, VB) matrix API.
+        self._write_round = getattr(storage, "write_round", None)
         # Round observers: callbacks fired after every completed placement
         # round (the first-class replacement for BalanceTracer's old
         # `_round` monkey-patch).  Empty list = zero per-round overhead
@@ -256,11 +267,27 @@ class BalanceEngine:
 
     # ---------------------------------------------------------------- feed
 
-    def feed(self, records: np.ndarray) -> None:
+    def bucket_ids(self, records: np.ndarray) -> np.ndarray:
+        """Bucket index per record (pure: no engine state touched).
+
+        Exactly the partition rule :meth:`feed` applies — exposed so
+        streaming loops can hoist it to gather-window granularity and
+        pass the result back via ``feed(..., buckets=...)``.
+        """
+        return np.searchsorted(self.pivots, composite_keys(records), side="right")
+
+    def feed(self, records: np.ndarray, buckets: np.ndarray | None = None) -> None:
         """Partition records into buckets and enqueue full virtual blocks.
 
         (Algorithm 3, steps 1–2: partition the track's records and collect
         them into virtual blocks, all elements of a block from one bucket.)
+
+        ``buckets`` optionally supplies the records' precomputed bucket
+        ids (``searchsorted(pivots, composite_keys(records), "right")``,
+        hoisted to gather-window granularity by the streaming loops —
+        see :func:`repro.core.streams.read_run_batches`'s ``record_map``).
+        Values must equal what this method would compute; the engine's
+        behaviour is bit-identical with or without them.
         """
         if self._finished:
             raise ParameterError("engine already finished")
@@ -268,7 +295,8 @@ class BalanceEngine:
             return
         kernels = get_backend(self.kernel_backend)
         self.stats.records_fed += int(records.size)
-        buckets = np.searchsorted(self.pivots, composite_keys(records), side="right")
+        if buckets is None:
+            buckets = self.bucket_ids(records)
         vb = self.block_size
         if records.size <= 64:
             # Small tracks (the streaming common case: one chunk per
@@ -284,24 +312,39 @@ class BalanceEngine:
                     groups[b] = [i]
                 else:
                     g.append(i)
-            pairs = ((b, records[groups[b]]) for b in sorted(groups))
+            if len(groups) == 1:
+                # One bucket: the chunk IS the track, in arrival order.
+                pairs = [(next(iter(groups)), records)]
+            else:
+                pairs = [(b, records[groups[b]]) for b in sorted(groups)]
         else:
             order = np.argsort(buckets, kind="stable")
             pairs = kernels.bucket_chunks(
                 records[order], buckets[order], self.n_buckets
             )
+        bufs, fills, emits = self._bufs, self._fills, self._emits
+        queue_append = self._queue.append
         for b, chunk in pairs:
-            self._bucket_records[b] += int(chunk.size)
-            self._partials[b].append(chunk)
-            self._partial_sizes[b] += chunk.size
-            if self._partial_sizes[b] >= vb:
-                blocks, rem_parts, rem_size = kernels.carve_full_blocks(
-                    self._partials[b], int(self._partial_sizes[b]), vb
-                )
-                self._partials[b] = rem_parts
-                self._partial_sizes[b] = rem_size
-                for block in blocks:
-                    self._queue.append((b, block, vb))
+            n = chunk.shape[0]
+            self._bucket_records[b] += n
+            buf = bufs[b]
+            fill = fills[b]
+            if buf is None or fill + n > buf.shape[0]:
+                rem = fill - emits[b]
+                new = np.empty(max(4 * vb, rem + n + vb), dtype=RECORD_DTYPE)
+                if rem:
+                    new[:rem] = buf[emits[b] : fill]
+                bufs[b] = buf = new
+                fill = rem
+                emits[b] = 0
+            buf[fill : fill + n] = chunk
+            fill += n
+            fills[b] = fill
+            emit = emits[b]
+            while emit + vb <= fill:
+                queue_append((b, buf[emit : emit + vb], vb))
+                emit += vb
+            emits[b] = emit
 
     @property
     def queued_blocks(self) -> int:
@@ -347,35 +390,37 @@ class BalanceEngine:
         if self.check_invariants:
             self.matrices.check_invariant_1()
 
-        # A channel can legally end up holding two of this round's blocks
-        # (its own tentative block plus a swapped-in block of another
-        # bucket; they are written in separate parallel steps), so index
-        # placements by (channel, bucket).
-        by_slot = {(p["channel"], p["bucket"]): p for p in placements}
         swap_batches: list[list] = []
-
         # Rebalance (Algorithm 5): resolve 2s while at least ⌊H'/2⌋ remain
-        # (every 2 when draining).
+        # (every 2 when draining).  The (channel, bucket) placement index
+        # is only built when a 2 exists at all — a channel can legally
+        # end up holding two of this round's blocks (its own tentative
+        # block plus a swapped-in block of another bucket; they are
+        # written in separate parallel steps), hence the compound key.
         threshold = 1 if drain else max(1, self.n_channels // 2)
         twos = self.matrices.channels_with_two()
-        while len(twos) >= threshold:
-            take = max(1, self.n_channels // 2)
-            batch = self._rearrange(twos[:take], by_slot)
-            swap_batches.append(batch)
-            twos = self.matrices.channels_with_two()
+        by_slot = None
+        if twos:
+            by_slot = {(p["channel"], p["bucket"]): p for p in placements}
+            while len(twos) >= threshold:
+                take = max(1, self.n_channels // 2)
+                batch = self._rearrange(twos[:take], by_slot)
+                swap_batches.append(batch)
+                twos = self.matrices.channels_with_two()
 
-        # Remaining 2s: unprocessed — conceptually written back to the input.
-        for h in twos:
-            b = self.matrices.bucket_with_two(h)
-            p = by_slot.pop((h, b), None)
-            if p is None:
-                raise InvariantViolation(
-                    f"2 at channel {h} (bucket {b}) not caused by this round's block"
-                )
-            self.matrices.remove_block(b, h)
-            p["dropped"] = True
-            self._queue.appendleft((b, p["block"], p["fill"]))
-            self.stats.blocks_unprocessed += 1
+            # Remaining 2s: unprocessed — conceptually written back to
+            # the input.
+            for h in twos:
+                b = self.matrices.bucket_with_two(h)
+                p = by_slot.pop((h, b), None)
+                if p is None:
+                    raise InvariantViolation(
+                        f"2 at channel {h} (bucket {b}) not caused by this round's block"
+                    )
+                self.matrices.remove_block(b, h)
+                p["dropped"] = True
+                self._queue.appendleft((b, p["block"], p["fill"]))
+                self.stats.blocks_unprocessed += 1
         self.matrices.refresh_aux()
         if self.check_invariants:
             self.matrices.check_invariant_2()
@@ -383,15 +428,44 @@ class BalanceEngine:
         # Write: untouched blocks in one parallel step, then each Rearrange
         # batch in its own parallel step (separate memory references, as in
         # the paper's Algorithm 6 line 5).
-        live = [p for p in placements if not p["dropped"]]
-        self._write_batch([p for p in live if not p["swapped"]])
-        for batch in swap_batches:
-            self._write_batch([p for p in batch if not p["dropped"]])
+        if by_slot is None:
+            # No 2s this round: nothing was swapped or dropped.
+            self._write_batch(placements)
+        else:
+            live = [p for p in placements if not p["dropped"]]
+            self._write_batch([p for p in live if not p["swapped"]])
+            for batch in swap_batches:
+                self._write_batch([p for p in batch if not p["dropped"]])
         if self._round_observers:
             self._notify_round()
 
     def _rearrange(self, u_set: Sequence[int], by_slot: dict) -> list:
         """Algorithm 6: match overloaded channels to zero channels and swap."""
+        if len(u_set) == 1 and self.n_channels == 2 and self.matcher == "derandomized":
+            # H' = 2 closed form: |U| = 1 and the only legal target is the
+            # other channel (the 2 sits on u, so a_b,u ≠ 0).  The pairwise-
+            # space search is forced to this pair — first sample point,
+            # retry ≤ 1 — so the outcome (pairs, stats, matrix updates) is
+            # bit-identical to the general machinery.  Guarded on a_b,v == 0
+            # (Invariant 1): a violated instance falls through and fails
+            # with the general path's diagnostics.
+            u = u_set[0]
+            v = 1 - u
+            b = self.matrices.bucket_with_two(u)
+            if int(self.matrices.A[b, v]) == 0:
+                self.stats.match_calls += 1
+                p = by_slot.pop((u, b), None)
+                if p is None:
+                    raise InvariantViolation(
+                        f"swap source (channel {u}, bucket {b}) has no block this round"
+                    )
+                self.matrices.remove_block(b, u)
+                self.matrices.add_block(b, v)
+                p["channel"] = v
+                p["swapped"] = True
+                self.stats.blocks_swapped += 1
+                self.matrices.refresh_aux()
+                return [p]
         instance = MatchingInstance.from_matrices(self.matrices, list(u_set))
         if self.check_invariants:
             instance.check_degree_invariant()
@@ -439,20 +513,31 @@ class BalanceEngine:
         if not batch:
             return
         k = len(batch)
-        channels = np.fromiter((p["channel"] for p in batch), np.int64, k)
-        matrix = np.empty((k, self.block_size), dtype=RECORD_DTYPE)
-        for i, p in enumerate(batch):
-            matrix[i] = p["block"]
         # Distribution output parks out of the compaction zone on hierarchy
         # backends (a no-op on disks): buckets are repositioned to the front
         # before their recursion (see streams.reposition_run).
-        addresses = self.storage.parallel_write_arr(channels, matrix, park=True)
+        if self._write_round is not None:
+            # List-native round write: the backend takes the blocks as-is
+            # (they are handed over — every queued block is a fresh carve
+            # or an immutable view of a gather window, never mutated).
+            addresses = self._write_round(
+                [p["channel"] for p in batch],
+                [p["block"] for p in batch],
+                park=True,
+            )
+        else:
+            channels = np.fromiter((p["channel"] for p in batch), np.int64, k)
+            matrix = np.empty((k, self.block_size), dtype=RECORD_DTYPE)
+            for i, p in enumerate(batch):
+                matrix[i] = p["block"]
+            addresses = self.storage.parallel_write_arr(channels, matrix, park=True)
+        record_location = self.matrices.record_location
         for p, addr in zip(batch, addresses):
-            self.matrices.record_location(
+            record_location(
                 p["bucket"], p["channel"], BlockRef(address=addr, fill=p["fill"])
             )
         self.stats.write_steps += 1
-        self.stats.blocks_placed += len(batch)
+        self.stats.blocks_placed += k
 
     # --------------------------------------------------------------- flush
 
@@ -463,15 +548,15 @@ class BalanceEngine:
         kernels = get_backend(self.kernel_backend)
         vb = self.block_size
         for b in range(self.n_buckets):
-            if self._partial_sizes[b] > 0:
-                tail = concat_records(self._partials[b])
+            if self._fills[b] > self._emits[b]:
+                tail = self._bufs[b][self._emits[b] : self._fills[b]]
                 true_n = tail.shape[0]
                 padded = pad_records(tail, vb)
                 n_pad = padded.shape[0] - true_n
                 self.storage.acquire_memory(n_pad)
                 self.stats.pad_records += n_pad
-                self._partials[b] = []
-                self._partial_sizes[b] = 0
+                self._bufs[b] = None
+                self._fills[b] = self._emits[b] = 0
                 for block, fill in kernels.tail_blocks(padded, true_n, vb):
                     self._queue.append((b, block, fill))
         self.run_rounds(drain_below=0, drain=True)
@@ -487,32 +572,20 @@ class BalanceEngine:
 
     @property
     def bucket_record_counts(self) -> np.ndarray:
-        return self._bucket_records.copy()
+        return np.array(self._bucket_records, dtype=np.int64)
 
 
 def read_bucket_run(storage, run: BucketRun, free: bool = True):
     """Stream a bucket back: ≤1 block per channel per parallel read.
 
-    Yields record arrays (padding stripped, ledger adjusted); the number of
-    parallel reads is ``run.max_blocks_on_channel`` — the quantity Theorem 4
-    bounds at ~2× optimal.  When ``free`` is set the blocks are recycled
-    after reading.
+    Yields record arrays (padding stripped, ledger adjusted); the number
+    of *charged* parallel reads is ``run.max_blocks_on_channel`` — the
+    quantity Theorem 4 bounds at ~2× optimal.  When ``free`` is set the
+    blocks are recycled after reading.  Thin wrapper over the unified
+    plan/execute reader in :mod:`repro.core.streams` (one round per
+    chain depth; physical gathers may be fused under an active I/O
+    plan, with identical charges and yields).
     """
-    from ..records import strip_pad_records
+    from .streams import read_run_batches  # local import: streams imports us
 
-    chains = [list(c) for c in run.chains]
-    while any(chains):
-        refs = [chain.pop(0) for chain in chains if chain]
-        batch = [r.address for r in refs]
-        merged = storage.parallel_read_arr(batch, free=free).reshape(-1)
-        promised = sum(r.fill for r in refs)
-        if promised == merged.shape[0]:
-            # All blocks full — nothing to strip (fills are authoritative;
-            # padding only ever sits at the tail of partially filled blocks).
-            yield merged
-            continue
-        trimmed = strip_pad_records(merged)
-        n_pad = merged.shape[0] - trimmed.shape[0]
-        if n_pad:
-            storage.release_memory(n_pad)
-        yield trimmed
+    yield from read_run_batches(storage, run, free=free)

@@ -38,6 +38,12 @@ Kernel surface
 ``resolve_conflicts``
     Algorithm 7 step 2 — smallest-numbered ``u`` wins each contested
     ``v`` (previously the pick loop in ``matching._resolve_conflicts``).
+``stream_batches``
+    The round planner: split an ordered run's per-block channel sequence
+    into maximal contention-free parallel-read rounds (greedy
+    until-a-channel-repeats batching, previously an inline loop in
+    ``streams.read_run_batches``).  Planned rounds are what the fused
+    gather/scatter executor (``ParallelDiskMachine.io_plan``) prefetches.
 """
 
 from __future__ import annotations
@@ -107,6 +113,20 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    # -- round planning --------------------------------------------------
+
+    @staticmethod
+    def stream_batches(channels, n_virtual):
+        """Greedy contention-free round boundaries over a channel sequence.
+
+        ``channels`` is each block's channel in logical order; a round
+        extends while its channels stay distinct and closes at the first
+        repeat.  Returns the boundary list ``[0, b1, ..., len(channels)]``
+        (round ``i`` spans ``[bounds[i], bounds[i+1])``); ``[0]`` for an
+        empty sequence.
+        """
+        raise NotImplementedError
+
 
 class ScalarBackend(KernelBackend):
     """The original pure-Python loops (reference semantics)."""
@@ -166,6 +186,22 @@ class ScalarBackend(KernelBackend):
                 pairs.append((u_channels[i], v))
         return pairs
 
+    @staticmethod
+    def stream_batches(channels, n_virtual):
+        """The original greedy loop: extend until a channel repeats."""
+        if not channels:
+            return [0]
+        bounds = [0]
+        seen: set[int] = set()
+        for i, c in enumerate(channels):
+            if c in seen:
+                bounds.append(i)
+                seen = {c}
+            else:
+                seen.add(c)
+        bounds.append(len(channels))
+        return bounds
+
 
 class VectorizedBackend(KernelBackend):
     """NumPy formulations of the same kernels (bit-identical outputs)."""
@@ -223,6 +259,39 @@ class VectorizedBackend(KernelBackend):
             (u_channels[int(valid[i])], int(vs[i]))
             for i in keep.tolist()
         ]
+
+    @staticmethod
+    def stream_batches(channels, n_virtual):
+        """Round-robin fast path; falls back to the greedy loop otherwise.
+
+        The dominant layout (round-robin runs from ``write_ordered_run``
+        / ``load_ordered_run``) makes every aligned ``H'``-wide window a
+        permutation of all ``H'`` channels — then each greedy round is
+        exactly that window (a full palette forces the next channel to
+        repeat), so the boundaries are just the aligned strides.  The
+        permutation test is two vectorized comparisons; any other layout
+        (e.g. concatenated sub-runs with phase breaks) takes the scalar
+        reference loop.  Bit-identical by construction.
+        """
+        n = len(channels)
+        if n == 0:
+            return [0]
+        h = int(n_virtual)
+        if h > 1 and n >= h:
+            arr = np.asarray(channels, dtype=np.int64)
+            full = (n // h) * h
+            windows = arr[:full].reshape(-1, h)
+            ok = bool(
+                (np.sort(windows, axis=1) == np.arange(h, dtype=np.int64)).all()
+            )
+            if ok and full < n:
+                tail = arr[full:]
+                ok = np.unique(tail).size == tail.size
+            if ok:
+                bounds = list(range(0, n, h))
+                bounds.append(n)
+                return bounds
+        return ScalarBackend.stream_batches(channels, n_virtual)
 
 
 BACKENDS: dict[str, KernelBackend] = {

@@ -101,6 +101,7 @@ class BalanceMatrices:
         """(Re)derive all incremental state from ``X`` (batch formulation)."""
         self.A = compute_aux(self.X)
         self._xrows = [row.tolist() for row in self.X]
+        self._alist = [row.tolist() for row in self.A]
         self._twos_cells = {
             (int(b), int(h)) for b, h in zip(*np.nonzero(self.A == 2))
         }
@@ -109,21 +110,52 @@ class BalanceMatrices:
         }
         totals = self.X.sum(axis=1)
         maxima = self.X.max(axis=1)
-        self._factors = np.ones(self.n_buckets, dtype=np.float64)
+        factors = np.ones(self.n_buckets, dtype=np.float64)
         nz = totals > 0
-        self._factors[nz] = maxima[nz] / (-(-totals[nz] // self.n_channels))
+        factors[nz] = maxima[nz] / (-(-totals[nz] // self.n_channels))
+        # Kept as a plain list: read once per round (`max`), updated one
+        # scalar at a time — numpy element access would dominate.
+        self._factors = factors.tolist()
 
     def _update_row(self, bucket: int) -> None:
         """Recompute row ``bucket``'s aux/factor after a ±1 entry change."""
         row = self._xrows[bucket]
+        alist = self._alist[bucket]  # plain-list mirror: numpy scalar
+        arow = self.A[bucket]        # reads dominate these loops otherwise
+        if len(row) == 2:
+            # H' = 2 (rank 1): the median is the row min, so exactly the
+            # larger entry can carry a nonzero aux — unrolled.
+            x0, x1 = row
+            if x0 <= x1:
+                m, mx, total = x0, x1, x0 + x1
+            else:
+                m, mx, total = x1, x0, x0 + x1
+            for h in (0, 1):
+                x = row[h]
+                a = x - m if x > m else 0
+                old = alist[h]
+                if old != a:
+                    alist[h] = a
+                    arow[h] = a
+                    cell = (bucket, h)
+                    if old == 2:
+                        self._twos_cells.discard(cell)
+                    elif old > 2:
+                        self._over_two.discard(cell)
+                    if a == 2:
+                        self._twos_cells.add(cell)
+                    elif a > 2:
+                        self._over_two.add(cell)
+            self._factors[bucket] = mx / -(-total // 2) if total else 1.0
+            return
         m = sorted(row)[self._rank - 1]
-        arow = self.A[bucket]
         total = 0
         mx = 0
         for h, x in enumerate(row):
             a = x - m if x > m else 0
-            old = int(arow[h])
+            old = alist[h]
             if old != a:
+                alist[h] = a
                 arow[h] = a
                 cell = (bucket, h)
                 if old == 2:
@@ -237,6 +269,38 @@ class BalanceMatrices:
 
     # ---------------------------------------------------------- invariants
 
+    def invariant_1_ok(self) -> bool:
+        """Quick boolean form of Invariant 1 (≥ ⌈H'/2⌉ zeros per A row).
+
+        Under :meth:`enable_incremental` this walks the maintained rows
+        in plain Python (the matrices are S × H' with both factors small
+        — scalar loops beat numpy reductions by an order of magnitude on
+        the per-round audit path); otherwise it defers to the vectorized
+        check.  Callers wanting the offending rows use
+        :meth:`check_invariant_1`.
+        """
+        need = (self.n_channels + 1) // 2
+        if self._incremental:
+            for alist in self._alist:
+                zeros = 0
+                for a in alist:
+                    if a == 0:
+                        zeros += 1
+                if zeros < need:
+                    return False
+            return True
+        return bool(((self.A == 0).sum(axis=1) >= need).all())
+
+    def invariant_2_ok(self) -> bool:
+        """Quick boolean form of Invariant 2 (A is binary).
+
+        O(1) under :meth:`enable_incremental` — the 2-cell index is
+        maintained per update, so binariness is just its emptiness.
+        """
+        if self._incremental:
+            return not self._twos_cells and not self._over_two
+        return int(self.A.max(initial=0)) <= 1
+
     def check_invariant_1(self) -> None:
         """≥ ⌈H'/2⌉ zeros in every row of A."""
         need = (self.n_channels + 1) // 2
@@ -280,7 +344,7 @@ class BalanceMatrices:
         every non-empty factor is ≥ 1 because ``max(row) ≥ ⌈total/H'⌉``).
         """
         if self._incremental:
-            return float(self._factors.max())
+            return max(self._factors)
         totals = self.X.sum(axis=1)
         nonempty = totals > 0
         if not nonempty.any():

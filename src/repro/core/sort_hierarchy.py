@@ -144,8 +144,14 @@ def balance_sort_hierarchy(
         machine.attach_obs(obs)
         tracer = obs.tracer
 
-    output = _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, 0,
-                   obs=obs, tracer=tracer)
+    # Uniform plan scope with the PDM sort: a no-op here (hierarchy cost
+    # is address-dependent per parallel step, so VirtualHierarchies pins
+    # io_plan_window = 0 and every round executes one at a time), but the
+    # engine/streams plumbing runs through the same plan-aware code path
+    # on both backends.
+    with storage.io_plan():
+        output = _sort(machine, storage, run, n, matcher, rng, check_invariants,
+                       agg, 0, obs=obs, tracer=tracer)
     return HierarchySortResult(
         output=output,
         n_records=n,
@@ -218,8 +224,10 @@ def _sort(machine, storage, run, n, matcher, rng, check_invariants, agg, depth,
     hp = storage.n_virtual
     with _phase(tracer, machine, "distribute", n=n, level=depth) as dspan:
         for group in sorted_groups:
-            for chunk in read_run_batches(storage, group, free=True):
-                engine.feed(chunk)
+            for chunk, buckets in read_run_batches(
+                storage, group, free=True, record_map=engine.bucket_ids
+            ):
+                engine.feed(chunk, buckets=buckets)
                 # Partitioning a track among the S−1 sorted partition elements.
                 machine.charge_interconnect(
                     chunk.shape[0] / h * math.log2(max(2, s)) + math.log2(max(2, s))

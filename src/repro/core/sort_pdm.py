@@ -159,10 +159,17 @@ def balance_sort_pdm(
         machine.attach_obs(obs)
         tracer = obs.tracer
 
-    output = _sort(
-        machine, storage, run, n, s, matcher, internal_sort, rng,
-        check_invariants, agg, depth=0, obs=obs, tracer=tracer,
-    )
+    # The whole sort runs under one fused I/O plan: every logical round
+    # still charges IOStats / ledger / obs at its usual point (the cost
+    # model and trace are bit-identical with plans off), but physical
+    # store traffic is batched — reads gathered a window of rounds at a
+    # time, writes scattered once per window (see machine.io_plan).  The
+    # scope is a no-op under fault injection / checksums or REPRO_IO_PLAN=0.
+    with machine.io_plan():
+        output = _sort(
+            machine, storage, run, n, s, matcher, internal_sort, rng,
+            check_invariants, agg, depth=0, obs=obs, tracer=tracer,
+        )
     return PDMSortResult(
         output=output,
         n_records=n,
@@ -253,12 +260,17 @@ def _sort(machine, storage, run, n, s, matcher, internal_sort, rng,
             engine.add_round_observer(callback)
     agg.passes += 1
     hp = storage.n_virtual
+    lg_s = log2_ceil(s)
     with _phase(tracer, machine, "distribute", n=n, level=depth) as dspan:
-        for chunk in read_run_batches(storage, run, free=True):
-            engine.feed(chunk)
+        # Bucket ids ride the read stream (hoisted to gather-window
+        # granularity — bit-identical to per-chunk computation).
+        for chunk, buckets in read_run_batches(
+            storage, run, free=True, record_map=engine.bucket_ids
+        ):
+            engine.feed(chunk, buckets=buckets)
             # CPU: partition the chunk among S sorted pivots (binary search).
             machine.cpu.charge(
-                work=chunk.shape[0] * log2_ceil(s), depth=log2_ceil(s), label="partition"
+                work=chunk.shape[0] * lg_s, depth=lg_s, label="partition"
             )
             engine.run_rounds(drain_below=2 * hp)
         bucket_runs = engine.flush()

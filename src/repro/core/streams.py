@@ -15,8 +15,21 @@ count, so padded tails never need reading to be accounted):
   ``max_blocks_on_channel`` parallel reads, the quantity Theorem 4 bounds.
 
 Both go through ``read_run_batches``: a generator of record chunks, each
-produced by one parallel read, padding stripped and the memory ledger
+charged as one parallel read, padding stripped and the memory ledger
 adjusted.
+
+Plan/execute split
+------------------
+Streaming is structured as **plan then execute**: the pure round planner
+(:func:`plan_read_rounds`, built on the ``stream_batches`` kernel) turns a
+run into its exact sequence of parallel-read rounds without touching
+storage, and the executor either performs them round-at-a-time (the
+classic path — hierarchy backends, fault/checksum runs) or, when the
+backend has an active I/O plan (``storage.io_plan_window > 1``), gathers
+whole windows of future rounds in one physical store pass and charges
+each logical round at its yield point.  Counters, trace events, ledger
+trajectory, and yielded records are bit-identical either way — only the
+number of physical store calls changes.
 """
 
 from __future__ import annotations
@@ -27,13 +40,15 @@ import numpy as np
 
 from ..exceptions import ParameterError
 from ..records import RECORD_DTYPE, concat_records, pad_records, strip_pad_records
-from .balance import BlockRef, BucketRun, read_bucket_run
+from .balance import BlockRef, BucketRun
+from .kernels import get_backend
 
 __all__ = [
     "OrderedRun",
     "as_ordered_run",
     "load_ordered_run",
     "write_ordered_run",
+    "plan_read_rounds",
     "read_run_batches",
     "read_run_all",
     "reposition_run",
@@ -124,26 +139,102 @@ def write_ordered_run(
     return OrderedRun(blocks=blocks, n_records=int(records.shape[0]))
 
 
-def read_run_batches(storage, run, free: bool = False):
-    """Stream any run back as record chunks, one parallel read per chunk."""
+def plan_read_rounds(storage, run) -> list[list[BlockRef]]:
+    """The round planner: a run's exact parallel-read schedule, no I/O.
+
+    Pure bookkeeping over the run's structure — each returned entry is
+    one contention-free parallel read round (``≤ 1`` block per channel),
+    exactly the rounds the classic streaming loops performed:
+
+    * :class:`OrderedRun` — greedy batching of consecutive blocks until
+      a channel repeats (the ``stream_batches`` kernel);
+    * :class:`~repro.core.balance.BucketRun` — one round per chain
+      depth, the head of every non-exhausted chain (Theorem 4's
+      ``max_blocks_on_channel`` rounds).
+    """
     if isinstance(run, BucketRun):
-        yield from read_bucket_run(storage, run, free=free)
-        return
+        depth = run.max_blocks_on_channel
+        return [
+            [chain[i] for chain in run.chains if len(chain) > i]
+            for i in range(depth)
+        ]
     if not isinstance(run, OrderedRun):
         raise ParameterError(f"unknown run type {type(run).__name__}")
-    i = 0
-    n = len(run.blocks)
+    blocks = run.blocks
+    if not blocks:
+        return []
+    channels = [r.address.vdisk for r in blocks]
+    bounds = get_backend().stream_batches(channels, storage.n_virtual)
+    return [blocks[bounds[i]: bounds[i + 1]] for i in range(len(bounds) - 1)]
+
+
+def _execute_rounds(storage, rounds, free, record_map=None):
+    """Yield ``(refs, merged_records, mapped)`` per planned round.
+
+    With an active I/O plan on the backend (``storage.io_plan_window >
+    1``) whole windows of future rounds are gathered in one physical
+    store pass and each round is charged (fault hook, ledger, stats, obs
+    event — :meth:`~repro.pdm.striping.VirtualDisks.charge_read_round`)
+    at its yield point, preserving the logical schedule bit-for-bit.
+    Otherwise every round is one classic ``parallel_read_arr`` call.
+
+    ``record_map`` (a pure per-record function over a record array) is
+    hoisted to window granularity when the window carries no padding:
+    ``mapped`` is then the window result sliced to the round.  Rounds
+    without a hoisted result yield ``mapped = None`` and the caller
+    applies ``record_map`` itself — by purity the values are identical.
+    """
+    window = getattr(storage, "io_plan_window", 0)
+    if window > 1 and len(rounds) > 1:
+        for lo in range(0, len(rounds), window):
+            chunk = rounds[lo: lo + window]
+            matrix = storage.gather_rounds_arr(
+                [[r.address for r in refs] for refs in chunk], free=free
+            )
+            mapped_full = None
+            if record_map is not None and matrix.size:
+                fills = sum(r.fill for refs in chunk for r in refs)
+                if fills == matrix.size:  # pad-free window
+                    mapped_full = record_map(matrix.reshape(-1))
+            offset = 0
+            vb = matrix.shape[1] if matrix.ndim == 2 else 1
+            for refs in chunk:
+                k = len(refs)
+                storage.charge_read_round(k)
+                mapped = (
+                    mapped_full[offset * vb: (offset + k) * vb]
+                    if mapped_full is not None else None
+                )
+                yield refs, matrix[offset: offset + k].reshape(-1), mapped
+                offset += k
+    else:
+        for refs in rounds:
+            merged = storage.parallel_read_arr(
+                [r.address for r in refs], free=free
+            )
+            yield refs, merged.reshape(-1), None
+
+
+def read_run_batches(storage, run, free: bool = False, record_map=None):
+    """Stream any run back as record chunks, one parallel read per chunk.
+
+    Each yielded chunk corresponds to exactly one charged parallel read
+    (physical gathers may be fused across rounds — see
+    :func:`plan_read_rounds` / :func:`_execute_rounds`).  Chunks may be
+    views of a shared gather buffer: hold them as long as needed, but do
+    not mutate them in place.
+
+    ``record_map`` — optionally, a **pure per-record** function mapping a
+    record array to an aligned result array (e.g. bucket ids).  When
+    given, the generator yields ``(chunk, record_map(chunk))`` pairs,
+    computing the map once per fused gather window where possible; the
+    values are bit-identical to calling ``record_map(chunk)`` per chunk
+    (purity is the caller's contract).
+    """
+    strict = not isinstance(run, BucketRun)
+    rounds = plan_read_rounds(storage, run)
     remaining = run.n_records
-    while i < n:
-        # Greedy batch: consecutive blocks until a channel repeats.
-        refs = []
-        seen = set()
-        while i < n and run.blocks[i].address.vdisk not in seen:
-            seen.add(run.blocks[i].address.vdisk)
-            refs.append(run.blocks[i])
-            i += 1
-        addresses = [r.address for r in refs]
-        merged = storage.parallel_read_arr(addresses, free=free).reshape(-1)
+    for refs, merged, mapped in _execute_rounds(storage, rounds, free, record_map):
         promised = sum(r.fill for r in refs)
         if promised == merged.shape[0]:
             # Every block in the batch is full (``fill == VB``), so there is
@@ -154,16 +245,20 @@ def read_run_batches(storage, run, free: bool = False):
         else:
             trimmed = strip_pad_records(merged)
             n_pad = merged.shape[0] - trimmed.shape[0]
-            if trimmed.shape[0] != promised:
+            if strict and trimmed.shape[0] != promised:
                 raise ParameterError(
                     f"block fill bookkeeping error: read {trimmed.shape[0]} records, "
                     f"refs promised {promised}"
                 )
             if n_pad:
                 storage.release_memory(n_pad)
+            mapped = None  # padded round: remap on the stripped records
         remaining -= trimmed.shape[0]
-        yield trimmed
-    if remaining != 0:
+        if record_map is None:
+            yield trimmed
+        else:
+            yield trimmed, record_map(trimmed) if mapped is None else mapped
+    if strict and remaining != 0:
         raise ParameterError(
             f"run bookkeeping error: {remaining} records unaccounted for"
         )

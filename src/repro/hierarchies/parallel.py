@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -59,7 +60,7 @@ def default_virtual_hierarchy_count(h: int) -> int:
     return 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VirtualBlockAddress:
     """Address of one virtual block: virtual hierarchy and local address."""
 
@@ -281,6 +282,25 @@ class VirtualHierarchies:
     def virtual_block_size(self) -> int:
         """Records per virtual block: one per member hierarchy = H/H'."""
         return self.group
+
+    # ------------------------------------------------------------ I/O plans
+
+    #: Fused I/O plans (``ParallelDiskMachine.io_plan``) never apply to
+    #: hierarchy backends: the cost model charges every parallel step
+    #: with *address-dependent* costs (``cost_fn(slots + 1)``), so rounds
+    #: must execute one at a time.  Planned readers consult this and take
+    #: the classic round-at-a-time path.
+    io_plan_window = 0
+
+    @contextmanager
+    def io_plan(self, window: int | None = None):
+        """Interface parity with :class:`~repro.pdm.striping.VirtualDisks`.
+
+        A no-op scope: hierarchy execution is always round-at-a-time
+        (see ``io_plan_window``), but sorts can open the scope uniformly
+        on either backend.
+        """
+        yield None
 
     def _alloc(self, v: int, park: bool = False) -> int:
         """Take a free slot: lowest free (default) or highest free / frontier.

@@ -236,17 +236,18 @@ class TheoryAuditor:
         """
         self.rounds_checked += 1
         mat = engine.matrices
-        # Invariant 1: >= ceil(H'/2) zeros in every row of A.
-        need = (mat.n_channels + 1) // 2
-        zeros = (mat.A == 0).sum(axis=1)
-        bad = np.nonzero(zeros < need)[0]
-        if bad.size:
+        # Invariants via the matrices' cheap boolean queries (O(S·H')
+        # scalar / O(1) under incremental maintenance — this runs after
+        # every round); the vectorized detail scan only runs on failure.
+        if not mat.invariant_1_ok():
+            need = (mat.n_channels + 1) // 2
+            zeros = (mat.A == 0).sum(axis=1)
+            bad = np.nonzero(zeros < need)[0]
             self._violation(
                 "invariant1", info,
                 detail=f"rows {bad.tolist()} have < {need} zeros in A",
             )
-        # Invariant 2: A is binary once the track is processed.
-        if int(mat.A.max(initial=0)) > 1:
+        if not mat.invariant_2_ok():
             rows, cols = np.nonzero(mat.A > 1)
             self._violation(
                 "invariant2", info,

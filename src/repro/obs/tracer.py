@@ -189,11 +189,14 @@ class Tracer:
         :meth:`_emit_event` → :meth:`_emit`, minus two call frames.
         """
         stack = self._stack
+        t = self._clock() - self._epoch
         record = {
             "ev": "event",
             "span": stack[-1].span_id if stack else None,
             "name": name,
-            "ts": round(self._clock() - self._epoch, 6),
+            # round(0.0, 6) == 0.0: skip the call under pinned clocks
+            # (the exec layer's deterministic-payload mode).
+            "ts": round(t, 6) if t else 0.0,
             "attrs": attrs,
         }
         if self._events is not None:

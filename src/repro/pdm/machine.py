@@ -31,6 +31,7 @@ classic :class:`BlockAddress`-list API is a thin shim over them.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -43,14 +44,39 @@ from ..exceptions import (
     ParameterError,
 )
 from ..pram.machine import PRAM, Variant
-from ..records import RECORD_DTYPE
+from ..records import RECORD_DTYPE, concat_records
 from ..resilience.injector import active_fault_injector
 from .store import make_store
 
-__all__ = ["BlockAddress", "IOStats", "ParallelDiskMachine"]
+__all__ = ["BlockAddress", "IOPlanStats", "IOStats", "ParallelDiskMachine"]
+
+#: Default rounds per fused flush/gather when an I/O plan is active.
+_PLAN_WINDOW_DEFAULT = 64
 
 
-@dataclass(frozen=True)
+def _env_io_plan_window() -> int:
+    """Plan window from ``$REPRO_IO_PLAN``: rounds per fused flush.
+
+    Unset / ``auto`` / ``on`` select the default window; ``0`` / ``off`` /
+    ``no`` / ``false`` disable plans entirely (exact round-at-a-time
+    execution); any other integer is used literally (``1`` keeps the plan
+    machinery active but flushes after every round — a debugging mode).
+    """
+    raw = os.environ.get("REPRO_IO_PLAN", "").strip().lower()
+    if raw in ("", "auto", "on"):
+        return _PLAN_WINDOW_DEFAULT
+    if raw in ("off", "no", "false"):
+        return 0
+    try:
+        window = int(raw)
+    except ValueError:
+        raise ParameterError(
+            f"REPRO_IO_PLAN must be an integer or off/auto, got {raw!r}"
+        ) from None
+    return max(0, window)
+
+
+@dataclass(frozen=True, slots=True)
 class BlockAddress:
     """Physical address of one block: which disk, which slot on it."""
 
@@ -105,6 +131,64 @@ class IOStats:
             "full_width_writes": self.full_width_writes,
             "write_width_fraction": self.write_width_fraction,
         }
+
+
+@dataclass
+class IOPlanStats:
+    """Physical plan-execution counters (wall-clock telemetry only).
+
+    Deliberately **not** part of any payload, span, metric, or trace
+    event: exec payloads must stay a pure function of ``(task, params)``
+    regardless of how rounds are physically fused (``REPRO_IO_PLAN``,
+    fault injectors and checksums all change the fusion), so plan shape
+    is reported out of band — ``machine.plan_stats`` and the
+    ``repro sort`` CLI summary line.
+    """
+
+    deferred_write_rounds: int = 0
+    write_flushes: int = 0
+    max_write_flush_blocks: int = 0
+    prefetched_read_rounds: int = 0
+    read_gathers: int = 0
+    max_read_gather_blocks: int = 0
+
+    def snapshot(self) -> dict:
+        """Current counters as a plain dict (CLI/telemetry reporting)."""
+        return {
+            "deferred_write_rounds": self.deferred_write_rounds,
+            "write_flushes": self.write_flushes,
+            "max_write_flush_blocks": self.max_write_flush_blocks,
+            "prefetched_read_rounds": self.prefetched_read_rounds,
+            "read_gathers": self.read_gathers,
+            "max_read_gather_blocks": self.max_read_gather_blocks,
+        }
+
+
+class _IOPlan:
+    """Pending physically-deferred write rounds (logically already done).
+
+    Each deferred round is one logical parallel write whose
+    stats/ledger/obs effects have already landed; only the
+    ``store.write_batch`` scatter is outstanding.  Addresses accumulate
+    as flat Python int lists (building per-round numpy arrays just to
+    concatenate them at flush costs more than the store scatter itself
+    for tiny stripe widths); ``data`` keeps the callers' record buffers
+    as handed over, flattened into one ``(k, B)`` matrix only at flush.
+    ``min_slot`` is the smallest pending slot — the overlap watermark
+    that forces a flush before any read/free/peek that could touch a
+    pending block (slots are bump-allocated monotonically, so ``slot <
+    min_slot`` proves a block cannot be pending).
+    """
+
+    __slots__ = ("window", "disks", "slots", "data", "rounds", "min_slot")
+
+    def __init__(self, window: int) -> None:
+        self.window = int(window)
+        self.disks: list[int] = []
+        self.slots: list[int] = []
+        self.data: list[np.ndarray] = []
+        self.rounds = 0
+        self.min_slot = -1
 
 
 class ParallelDiskMachine:
@@ -175,6 +259,9 @@ class ParallelDiskMachine:
         self.store = make_store(store, self.D, self.B, checksums=bool(checksums))
         self._mem_used = 0
         self._alloc_ptr = 0
+        # Fused I/O plans (optional; None keeps the hot path untouched).
+        self._plan: _IOPlan | None = None
+        self.plan_stats = IOPlanStats()
         # Observability (optional; None keeps the hot path untouched).
         self._obs = None
         self._obs_scope = None
@@ -194,6 +281,11 @@ class ParallelDiskMachine:
         self._fault = (
             injector if injector is not None and injector.watches_store else None
         )
+        if self._fault is not None and self._plan is not None:
+            # Store-watching injectors require round-at-a-time execution
+            # (see io_plans_supported); retire any in-flight plan now.
+            self.flush_io_plan()
+            self._plan = None
 
     def detach_faults(self) -> None:
         """Remove the attached fault injector (I/O hooks become no-ops)."""
@@ -250,6 +342,153 @@ class ParallelDiskMachine:
         hist.observe(width)
         self._trace_event("io.write", width=width, full_stripe=width == self.D)
 
+    # ------------------------------------------------------------- I/O plans
+
+    @property
+    def io_plan_window(self) -> int:
+        """Rounds the active I/O plan may fuse (0 = no plan active)."""
+        return self._plan.window if self._plan is not None else 0
+
+    def io_plans_supported(self) -> bool:
+        """May physical execution be fused across logical rounds here?
+
+        Fault injectors need their store hooks to interleave with store
+        effects exactly as the logical schedule does, and checksummed
+        stores verify blocks on physical gather — both therefore force
+        round-at-a-time execution (the plan machinery stays off and the
+        classic per-round path runs unchanged, so chaos schedules and
+        corruption detection are bit-identical to pre-plan behaviour).
+        """
+        return self._fault is None and not self.store.checksums
+
+    @contextmanager
+    def io_plan(self, window: int | None = None):
+        """Scope in which physical I/O may be fused across logical rounds.
+
+        Inside the scope every parallel write charges its **logical**
+        costs (``IOStats``, memory ledger, obs counters/events) at the
+        usual point — the paper's cost model is untouched — but the
+        physical scatter is queued and executed as one fused
+        ``store.write_batch`` per up-to-``window`` rounds.  Reads that
+        could touch a pending slot flush the queue first, so store
+        contents observable through *any* entry point never differ from
+        round-at-a-time execution.  Planned readers additionally use
+        :meth:`gather_blocks_arr` + :meth:`charge_read_io` to prefetch
+        whole windows of read rounds in one store pass.
+
+        ``window`` defaults to ``$REPRO_IO_PLAN`` (64); the scope is a
+        no-op when plans are unsupported (:meth:`io_plans_supported`) or
+        the window is 0.  Re-entrant: nested scopes join the outer plan.
+        Yields the machine's :class:`IOPlanStats`.
+        """
+        if self._plan is not None:
+            yield self.plan_stats
+            return
+        window = _env_io_plan_window() if window is None else int(window)
+        if window < 1 or not self.io_plans_supported():
+            yield self.plan_stats
+            return
+        self._plan = _IOPlan(window)
+        try:
+            yield self.plan_stats
+        finally:
+            try:
+                self.flush_io_plan()
+            finally:
+                self._plan = None
+
+    def flush_io_plan(self) -> None:
+        """Execute all pending deferred writes as one fused store scatter."""
+        plan = self._plan
+        if plan is None or not plan.rounds:
+            return
+        disks = np.array(plan.disks, dtype=np.int64)
+        slots = np.array(plan.slots, dtype=np.int64)
+        pieces = plan.data
+        if len(pieces) == 1:
+            data = pieces[0].reshape(-1, self.B)
+        else:
+            # Each piece's flat record order already matches its span of
+            # the disk/slot lists, so one bulk concatenate rebuilds the
+            # full (k, B) scatter matrix.
+            data = concat_records(
+                [p.reshape(-1) for p in pieces]
+            ).reshape(-1, self.B)
+        plan.disks.clear()
+        plan.slots.clear()
+        plan.data.clear()
+        plan.rounds = 0
+        plan.min_slot = -1
+        self.store.write_batch(disks, slots, data)
+        stats = self.plan_stats
+        stats.write_flushes += 1
+        if disks.size > stats.max_write_flush_blocks:
+            stats.max_write_flush_blocks = int(disks.size)
+
+    def _flush_if_overlap(self, slots: np.ndarray) -> None:
+        """Flush pending writes iff ``slots`` could address a pending block.
+
+        Slots are bump-allocated monotonically, so any slot below the
+        plan's ``min_slot`` watermark provably predates every pending
+        write — the streaming common case (reads consume the *input* run
+        while writes land on freshly allocated slots) never flushes.
+        """
+        plan = self._plan
+        if plan is None or not plan.rounds:
+            return
+        sl_max = max(slots.tolist()) if slots.size <= 64 else int(slots.max())
+        if sl_max >= plan.min_slot:
+            self.flush_io_plan()
+
+    def gather_blocks_arr(
+        self, disks: np.ndarray, slots: np.ndarray, free: bool = False
+    ) -> np.ndarray:
+        """Physically gather blocks for an I/O plan — **no logical charges**.
+
+        The plan executor's read half: fetches (and with ``free=True``
+        recycles) many future rounds' blocks in one store pass, returning
+        the fused ``(k, B)`` record matrix.  The caller must charge each
+        logical round via :meth:`charge_read_io` exactly where the
+        unfused schedule would have performed it.  The one-block-per-disk
+        contention rule is a *per-logical-round* rule — the planner
+        enforces it per round, never across the fused gather — so only
+        negative slots are guarded here.
+        """
+        disks = np.asarray(disks, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
+        if disks.size == 0:
+            return np.empty((0, self.B), dtype=RECORD_DTYPE)
+        self._flush_if_overlap(slots)
+        if int(slots.min()) < 0:
+            i = int(np.argmax(slots < 0))
+            raise AddressError(
+                f"negative slot in BlockAddress(disk={int(disks[i])}, slot={int(slots[i])})"
+            )
+        matrix = self.store.read_batch(disks, slots, free=free)
+        stats = self.plan_stats
+        stats.read_gathers += 1
+        if disks.size > stats.max_read_gather_blocks:
+            stats.max_read_gather_blocks = int(disks.size)
+        return matrix
+
+    def charge_read_io(self, width: int) -> None:
+        """Charge one logical parallel read of ``width`` blocks (plan executor).
+
+        The logical half of a planned read: the fault hook, memory
+        ledger, ``IOStats`` counters and obs event fire here — at the
+        point the unfused schedule would have issued the I/O — so every
+        counter, trace event, and failure (``CapacityError`` included)
+        surfaces exactly as in round-at-a-time execution.
+        """
+        if self._fault is not None:
+            self._fault.on_read()
+        self.mem_acquire(width * self.B)
+        self.stats.read_ios += 1
+        self.stats.blocks_read += width
+        self.plan_stats.prefetched_read_rounds += 1
+        if self._obs is not None:
+            self._observe_read(width)
+
     # ------------------------------------------------- batched I/O (fast path)
 
     def read_blocks_arr(
@@ -294,6 +533,8 @@ class ParallelDiskMachine:
                 raise AddressError(
                     f"negative slot in BlockAddress(disk={int(disks[i])}, slot={sl[i]})"
                 )
+        if self._plan is not None:
+            self._flush_if_overlap(slots)
         if self._fault is not None:
             # One opportunity per parallel I/O; fires *before* the store is
             # touched, so a failed read has no partial effects (nothing
@@ -343,10 +584,82 @@ class ParallelDiskMachine:
             # effects); corrupt rules return the (row, bit_seed) to damage
             # after the scatter lands.
             corrupt = self._fault.on_write(k)
-        self.store.write_batch(disks, slots, data)
-        if corrupt is not None:
-            row, bit_seed = corrupt
-            self.store.corrupt_block(int(disks[row]), int(slots[row]), bit_seed)
+        plan = self._plan
+        if plan is not None and corrupt is None:
+            # Fused execution: the logical effects below land now, in
+            # program order; only the physical scatter is deferred.  The
+            # caller must not mutate `data` rows after this call — every
+            # in-tree writer hands over a freshly assembled buffer.
+            # (`corrupt` can only be non-None with an attached injector,
+            # which disables plans — the branch guard is defensive.)
+            slot_list = slots.tolist()
+            plan.disks.extend(disks.tolist())
+            plan.slots.extend(slot_list)
+            plan.data.append(data)
+            plan.rounds += 1
+            smin = min(slot_list)
+            if plan.min_slot < 0 or smin < plan.min_slot:
+                plan.min_slot = smin
+            self.plan_stats.deferred_write_rounds += 1
+            if plan.rounds >= plan.window:
+                self.flush_io_plan()
+        else:
+            self.store.write_batch(disks, slots, data)
+            if corrupt is not None:
+                row, bit_seed = corrupt
+                self.store.corrupt_block(int(disks[row]), int(slots[row]), bit_seed)
+        self.mem_release(k * self.B)
+        self.stats.write_ios += 1
+        self.stats.blocks_written += k
+        if k == self.D:
+            self.stats.full_width_writes += 1
+        if self._obs is not None:
+            self._observe_write(k)
+
+    def write_round_blocks(
+        self, disks: list, slot: int, blocks: list
+    ) -> None:
+        """One parallel write of whole blocks sharing a single slot.
+
+        The list-native fast path for round-structured writers
+        (:meth:`repro.pdm.striping.VirtualDisks.write_round`): ``disks``
+        is a plain int list (distinctness/range already enforced by the
+        caller, exactly like ``checked=False``), every block lands at
+        ``slot``, and ``blocks`` are record arrays whose concatenation in
+        list order is the scatter payload (each a multiple of ``B``
+        records, flat order matching ``disks``).  Logical effects —
+        fault hook, ledger, :class:`IOStats`, obs — are identical to the
+        equivalent :meth:`write_blocks_arr` call; only the per-call array
+        construction is gone.  Blocks are handed over: the caller must
+        not mutate them afterwards (deferred scatter under a plan).
+        """
+        k = len(disks)
+        if k == 0:
+            return
+        corrupt = None
+        if self._fault is not None:
+            corrupt = self._fault.on_write(k)
+        plan = self._plan
+        if plan is not None and corrupt is None:
+            plan.disks.extend(disks)
+            plan.slots.extend([slot] * k)
+            plan.data.extend(blocks)
+            plan.rounds += 1
+            if plan.min_slot < 0 or slot < plan.min_slot:
+                plan.min_slot = slot
+            self.plan_stats.deferred_write_rounds += 1
+            if plan.rounds >= plan.window:
+                self.flush_io_plan()
+        else:
+            disk_arr = np.array(disks, dtype=np.int64)
+            slot_arr = np.full(k, slot, dtype=np.int64)
+            data = (
+                blocks[0] if len(blocks) == 1 else concat_records(blocks)
+            ).reshape(-1, self.B)
+            self.store.write_batch(disk_arr, slot_arr, data)
+            if corrupt is not None:
+                row, bit_seed = corrupt
+                self.store.corrupt_block(int(disk_arr[row]), slot, bit_seed)
         self.mem_release(k * self.B)
         self.stats.write_ios += 1
         self.stats.blocks_written += k
@@ -362,6 +675,8 @@ class ParallelDiskMachine:
         if disks.size == 0:
             return
         self._validate_addr_arr(disks, slots)
+        if self._plan is not None:
+            self._flush_if_overlap(slots)
         if self._fault is not None:
             self._fault.on_free()
         self.store.free_batch(disks, slots)
@@ -388,6 +703,8 @@ class ParallelDiskMachine:
                 f"load batch must be shaped (k={k}, B={self.B}), got {data.shape}"
             )
         self._validate_addr_arr(disks, slots)
+        if self._plan is not None:
+            self._flush_if_overlap(slots)
         self.store.write_batch(disks, slots, data)
 
     # ------------------------------------------------------------------ I/O
@@ -540,11 +857,15 @@ class ParallelDiskMachine:
         defensive copy (the dict backend always copies).
         """
         self._validate_addr(addr.disk, addr.slot)
+        if self._plan is not None:
+            self.flush_io_plan()
         return self.store.peek(addr.disk, addr.slot)
 
     def free_block(self, addr: BlockAddress) -> None:
         """Drop a block from a disk (reclaims simulator memory, no I/O cost)."""
         self._validate_addr(addr.disk, addr.slot)
+        if self._plan is not None:
+            self.flush_io_plan()
         self.store.free(addr.disk, addr.slot)
 
     # ------------------------------------------------------- memory ledger
@@ -582,6 +903,8 @@ class ParallelDiskMachine:
 
     def next_free_slot(self, disk: int) -> int:
         """Smallest unused slot index on ``disk`` (simple allocator)."""
+        if self._plan is not None:
+            self.flush_io_plan()
         return self.store.max_slot(disk) + 1
 
     def allocate_slots(self, n_slots: int) -> int:

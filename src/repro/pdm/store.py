@@ -217,13 +217,32 @@ class ArenaBlockStore:
         return out
 
     def write_batch(self, disks: np.ndarray, slots: np.ndarray, data: np.ndarray) -> None:
-        """Scatter a ``(k, B)`` matrix into the arena (one fancy index)."""
+        """Scatter a ``(k, B)`` matrix into the arena (one fancy index).
+
+        Fused I/O-plan flushes arrive here with whole windows of rounds in
+        one batch; when no freed rows are waiting to be recycled the
+        allocation is a contiguous run, and the scatter collapses to a
+        straight slice copy.
+        """
         self._ensure_slots(max(slots.tolist()))
         rows = self._rows[disks, slots]
         if rows.max() < 0:
             # Dominant pattern: slots are bump-allocated per write, so whole
             # batches of fresh addresses arrive together — skip the mask.
-            rows = self._alloc_rows(rows.size)
+            k = rows.size
+            if not self._free_rows:
+                self._ensure_rows(k)
+                start = self._next_row
+                self._next_row = start + k
+                self._rows[disks, slots] = np.arange(
+                    start, start + k, dtype=np.int64
+                )
+                self._arena[start : start + k] = data
+                if self._sums is not None:
+                    for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
+                        self._sums[(d, s)] = _block_sum(data[i])
+                return
+            rows = self._alloc_rows(k)
             self._rows[disks, slots] = rows
         else:
             missing = rows < 0

@@ -56,7 +56,7 @@ def default_virtual_disk_count(d: int) -> int:
     return 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VirtualBlockAddress:
     """Address of one virtual block: virtual disk and physical slot."""
 
@@ -83,6 +83,12 @@ class VirtualDisks:
         # two array constructions from every I/O.  Consumers only *read*
         # the cached arrays (fancy-index sources), never mutate them.
         self._pdisk_cache: dict[tuple, np.ndarray] = {}
+        # Plain-list twin for the round-structured write path: physical
+        # disks owned by each virtual disk, ready to splice per round.
+        self._pdisk_rows = [
+            list(range(c * self.group, (c + 1) * self.group))
+            for c in range(self.n_virtual)
+        ]
 
     @property
     def virtual_block_size(self) -> int:
@@ -171,6 +177,53 @@ class VirtualDisks:
         )
         return [VirtualBlockAddress(vdisk=int(v), slot=slot) for v in vdisks.tolist()]
 
+    def write_round(
+        self, channels: Sequence[int], blocks: Sequence[np.ndarray],
+        park: bool = False,
+    ) -> list[VirtualBlockAddress]:
+        """Write one block per listed virtual disk — one parallel I/O.
+
+        The list-native twin of :meth:`parallel_write_arr` for
+        round-structured writers (the Balance engine's per-round
+        batches): ``channels`` is a plain int list, ``blocks[i]`` the
+        full virtual block bound for ``channels[i]``.  Charges, ledger
+        and obs effects are identical; the per-call numpy address
+        assembly is replaced by Python smalls (stripe widths are ≤ H').
+        Blocks are handed over — the caller must not mutate them after
+        this call.  ``park`` is accepted for interface parity and
+        ignored (disk cost is address-independent).
+        """
+        k = len(channels)
+        if k == 0:
+            return []
+        if k > 1 and len(set(channels)) != k:
+            raise DiskContentionError(
+                "two virtual blocks addressed to one virtual disk"
+            )
+        n_virtual = self.n_virtual
+        if min(channels) < 0 or max(channels) >= n_virtual:
+            bad = next(v for v in channels if not 0 <= v < n_virtual)
+            raise ParameterError(
+                f"virtual disk {bad} out of range [0, {n_virtual})"
+            )
+        vb = self.virtual_block_size
+        for block in blocks:
+            if block.shape[0] != vb:
+                raise ParameterError(
+                    f"virtual block must hold {vb} records, got {block.shape[0]}"
+                )
+        slot = self.machine.allocate_slots(1)
+        g = self.group
+        if g == 1:
+            pdisks = list(channels)
+        else:
+            rows = self._pdisk_rows
+            pdisks = []
+            for c in channels:
+                pdisks += rows[c]
+        self.machine.write_round_blocks(pdisks, slot, list(blocks))
+        return [VirtualBlockAddress(vdisk=c, slot=slot) for c in channels]
+
     def parallel_read_arr(
         self, addresses: Sequence[VirtualBlockAddress], free: bool = False
     ) -> np.ndarray:
@@ -199,6 +252,83 @@ class VirtualDisks:
             return
         pdisks, pslots = self._expand(*self._addr_arrays(addresses))
         self.machine.free_blocks_arr(pdisks, pslots)
+
+    # ------------------------------------------------------------ I/O plans
+
+    @property
+    def io_plan_window(self) -> int:
+        """Rounds the machine's active I/O plan may fuse (0 = none).
+
+        Planned readers (:func:`repro.core.streams.read_run_batches`)
+        consult this to decide between windowed gather execution and the
+        classic round-at-a-time path.
+        """
+        return self.machine.io_plan_window
+
+    def io_plan(self, window: int | None = None):
+        """Open a fused-execution scope on the underlying machine.
+
+        See :meth:`repro.pdm.machine.ParallelDiskMachine.io_plan` — all
+        logical charges stay per round; only physical store traffic is
+        batched.
+        """
+        return self.machine.io_plan(window)
+
+    def gather_rounds_arr(
+        self, round_addresses: Sequence[Sequence[VirtualBlockAddress]],
+        free: bool = False,
+    ) -> np.ndarray:
+        """Physically gather several future read rounds in one store pass.
+
+        ``round_addresses`` lists each planned round's virtual-block
+        addresses; every round is validated against the one-block-per-
+        virtual-disk rule *individually* (contention is a per-logical-
+        round rule).  Returns the fused ``(total_blocks,
+        virtual_block_size)`` record matrix, rounds concatenated in plan
+        order.  **No logical charges happen here** — the caller charges
+        each round via :meth:`charge_read_round` at the point the
+        unfused schedule would have issued it.
+        """
+        # Addresses accumulate as flat Python lists (per-round numpy
+        # construction costs more than the fused store pass for the tiny
+        # ≤ H' stripe widths); the per-round contention check stays —
+        # it is a per-logical-round rule.
+        n_virtual = self.n_virtual
+        all_vdisks: list[int] = []
+        all_slots: list[int] = []
+        for addresses in round_addresses:
+            vdisks = [a.vdisk for a in addresses]
+            k = len(vdisks)
+            if k > 1 and len(set(vdisks)) != k:
+                raise DiskContentionError(
+                    "two virtual blocks read from one virtual disk"
+                )
+            if k and (min(vdisks) < 0 or max(vdisks) >= n_virtual):
+                bad = next(v for v in vdisks if not 0 <= v < n_virtual)
+                raise ParameterError(
+                    f"virtual disk {bad} out of range [0, {n_virtual})"
+                )
+            all_vdisks.extend(vdisks)
+            all_slots.extend(a.slot for a in addresses)
+        total = len(all_vdisks)
+        if total == 0:
+            return np.empty((0, self.virtual_block_size), dtype=RECORD_DTYPE)
+        vdisks = np.array(all_vdisks, dtype=np.int64)
+        slots = np.array(all_slots, dtype=np.int64)
+        g = self.group
+        if g == 1:
+            pdisks, pslots = vdisks, slots
+        else:
+            # Direct expansion (the per-round memo cache is keyed by tiny
+            # per-I/O tuples; fused multi-round keys would only bloat it).
+            pdisks = (vdisks[:, None] * g + self._offsets).ravel()
+            pslots = np.repeat(slots, g)
+        matrix = self.machine.gather_blocks_arr(pdisks, pslots, free=free)
+        return matrix.reshape(total, self.virtual_block_size)
+
+    def charge_read_round(self, n_blocks: int) -> None:
+        """Charge one logical parallel read of ``n_blocks`` virtual blocks."""
+        self.machine.charge_read_io(n_blocks * self.group)
 
     # --------------------------------------------------------- classic API
 

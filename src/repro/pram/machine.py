@@ -82,6 +82,8 @@ class PRAM:
         # Observability (optional; None keeps `charge` untouched).
         self._obs_scope = None
         self._obs_labels = None
+        self._m_charge = None
+        self._label_counters: dict = {}
 
     def attach_obs(self, obs, scope: str = "pram") -> None:
         """Attach an :class:`~repro.obs.Observation`: per-charge metrics.
@@ -94,10 +96,14 @@ class PRAM:
         """
         self._obs_scope = obs.scope(scope)
         self._obs_labels = self._obs_scope.scope("labels")
+        self._m_charge = None
+        self._label_counters = {}
 
     def detach_obs(self) -> None:
         """Remove the attached observation (``charge`` is unmetered again)."""
         self._obs_scope = self._obs_labels = None
+        self._m_charge = None
+        self._label_counters = {}
 
     def charge(self, work: int, depth: int, label: str = "") -> int:
         """Charge one primitive: ``time += ceil(work/P) + depth``.
@@ -106,16 +112,35 @@ class PRAM:
         """
         if work < 0 or depth < 0:
             raise ParameterError("work and depth must be non-negative")
-        step_time = math.ceil(work / self.processors) + depth
+        # P == 1: ceil(work/1) == work exactly (and dodges the float hop).
+        if self.processors == 1:
+            step_time = work + depth
+        else:
+            step_time = math.ceil(work / self.processors) + depth
         self.work += work
         self.time += step_time
         if self.trace:
             self.steps.append(StepRecord(label, work, depth, step_time))
         if self._obs_scope is not None:
-            self._obs_scope.counter("work").inc(work)
-            self._obs_scope.counter("time").inc(step_time)
-            self._obs_scope.counter("charges").inc()
-            self._obs_labels.counter(label or "unlabeled").inc(work)
+            m = self._m_charge
+            if m is None:
+                # Lazily cached on first charge so a machine that never
+                # charges exports exactly the instruments it always did.
+                scope = self._obs_scope
+                m = self._m_charge = (
+                    scope.counter("work"),
+                    scope.counter("time"),
+                    scope.counter("charges"),
+                )
+            m[0].inc(work)
+            m[1].inc(step_time)
+            m[2].inc()
+            lc = self._label_counters.get(label)
+            if lc is None:
+                lc = self._label_counters[label] = self._obs_labels.counter(
+                    label or "unlabeled"
+                )
+            lc.inc(work)
         return step_time
 
     def require_concurrent_read(self, context: str = "") -> None:

@@ -87,6 +87,64 @@ class TestSerialChaosGate:
         assert a == b and ra == rb  # same plan → same schedule, bit for bit
 
 
+# ------------------------------------------------------- fused-plan gate
+
+
+class TestFusedChaosParity:
+    """Fault plans and fused I/O plans compose deterministically.
+
+    Store-watching injectors must see every logical round as its own
+    store access, so the machine refuses to fuse while one is attached
+    (``io_plans_supported``) — the fault schedule's (site, cell, attempt,
+    index) decisions are then *identical* no matter what the ambient
+    ``REPRO_IO_PLAN`` asks for.  Exec-layer plans don't watch the store,
+    so fusion stays on — and the payloads must still be bit-identical.
+    The retry counts double as a decision-schedule fingerprint: the same
+    plan firing at the same decisions retries the same number of times.
+    """
+
+    def _run(self, plan_name, io_plan):
+        saved = os.environ.get("REPRO_IO_PLAN")
+        os.environ["REPRO_IO_PLAN"] = io_plan
+        try:
+            runner = ParallelRunner(jobs=0, retries=3, backoff=0.0,
+                                    fault_plan=PLANS[plan_name])
+            out = payloads_json(runner.map(SPECS))
+            return out, runner.stats["retried"]
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_IO_PLAN", None)
+            else:
+                os.environ["REPRO_IO_PLAN"] = saved
+
+    @pytest.mark.parametrize("name", sorted(PLANS))
+    def test_fault_decisions_identical_under_fused_plans(self, name,
+                                                         clean_payloads):
+        fused, fused_retries = self._run(name, "64")
+        unfused, unfused_retries = self._run(name, "0")
+        assert fused_retries == unfused_retries > 0  # same schedule fired
+        assert fused == unfused == clean_payloads    # same bytes out
+
+    def test_store_watching_injector_disables_fusion(self):
+        from repro.pdm import ParallelDiskMachine
+        from repro.resilience.injector import FaultInjector, activate
+
+        saved = os.environ.get("REPRO_IO_PLAN")
+        os.environ["REPRO_IO_PLAN"] = "64"
+        try:
+            injector = FaultInjector(PLANS["store-read"], cell="probe", attempt=0)
+            with activate(injector):
+                machine = ParallelDiskMachine(memory=512, block=4, disks=8)
+                assert not machine.io_plans_supported()
+            clean = ParallelDiskMachine(memory=512, block=4, disks=8)
+            assert clean.io_plans_supported()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_IO_PLAN", None)
+            else:
+                os.environ["REPRO_IO_PLAN"] = saved
+
+
 # -------------------------------------------------------------- pool gate
 
 

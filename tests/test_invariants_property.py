@@ -136,6 +136,78 @@ def test_partition_correct_under_random_streams(shape):
     assert seen == data.shape[0]
 
 
+# ----------------------------------------------- fused round planner tier
+
+# Strategy: the fused-execution space — random I/O-plan windows over full
+# recursive sorts.  The properties must hold after every round at every
+# recursion level no matter how rounds are physically batched.
+planner_shapes = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**31 - 1),
+        "n": st.integers(600, 2500),
+        "window": st.sampled_from([0, 1, 2, 3, 7, 64, 256]),
+        "workload": st.sampled_from(WORKLOADS),
+        "backend": st.sampled_from(["scalar", "vectorized"]),
+    }
+)
+
+
+@given(planner_shapes)
+@settings(max_examples=25, deadline=None)
+def test_invariants_hold_under_fused_plans_at_every_level(shape):
+    """Invariants 1 & 2 + Theorem 4 after every fused round, every level.
+
+    Runs the whole recursive PDM sort (not a single engine) under a
+    randomly drawn ``REPRO_IO_PLAN`` window, hooking every recursion
+    level's engine through ``obs.engine_observers`` — the same seam the
+    TheoryAuditor uses — and asserting the paper's safety properties at
+    each round boundary.  Window 0 is the unfused reference execution,
+    so the strategy itself pins fused == unfused on the property level.
+    """
+    from repro.core.sort_pdm import balance_sort_pdm
+    from repro.obs import Observation
+    from repro.records import sort_records
+
+    import os
+
+    saved = os.environ.get("REPRO_IO_PLAN")
+    os.environ["REPRO_IO_PLAN"] = str(shape["window"])
+    seen = {"rounds": 0}
+
+    def check(engine, info):
+        seen["rounds"] += 1
+        m = engine.matrices
+        m.check_invariant_1()
+        m.check_invariant_2()
+        slack = 2.0 / max(1, int(m.X.max(initial=0)))
+        assert info["max_balance_factor"] <= 2.0 + slack, (
+            f"round {info['round']}: balance factor "
+            f"{info['max_balance_factor']:.3f} breaks Theorem 4 "
+            f"(window={shape['window']})"
+        )
+
+    try:
+        obs = Observation()
+        obs.engine_observers.append(check)
+        machine = ParallelDiskMachine(memory=512, block=4, disks=8)
+        data = workloads.by_name(shape["workload"], shape["n"], seed=shape["seed"])
+        with use_backend(shape["backend"]):
+            res = balance_sort_pdm(machine, data, obs=obs)
+        obs.close()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_IO_PLAN", None)
+        else:
+            os.environ["REPRO_IO_PLAN"] = saved
+    assert seen["rounds"] == res.engine_rounds > 0
+    assert res.max_balance_factor <= 2.0 + 2.0 / max(1, data.shape[0] // 100)
+    # The sorted output is exactly the input, reordered.
+    from repro.core.streams import peek_run
+
+    out = peek_run(res.storage, res.output)
+    assert np.array_equal(out, sort_records(data))
+
+
 @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
 def test_theorem4_worst_case_workloads(backend):
     """Deterministic spot-check: the adversarial workloads stay ≤ ~2."""

@@ -214,6 +214,68 @@ class TestProfileRealRun:
         assert "I/O round trips" in text
 
 
+class TestFusedRoundAccounting:
+    """The profiler reports **logical** parallel-I/O rounds under fusion.
+
+    Physically, an I/O plan collapses a window of write rounds into one
+    store scatter — but the cost model (and therefore IOStats, the trace
+    events, and every profile column derived from them) counts logical
+    rounds.  A fused run's profile must be indistinguishable from the
+    unfused reference: same round counts, same stripe-width histograms,
+    same per-span attribution.
+    """
+
+    def _profile(self, io_plan):
+        import os
+
+        saved = os.environ.get("REPRO_IO_PLAN")
+        os.environ["REPRO_IO_PLAN"] = io_plan
+        try:
+            obs = Observation()
+            machine = ParallelDiskMachine(memory=512, block=4, disks=8)
+            data = workloads.by_name("uniform", 2000, seed=0)
+            res = balance_sort_pdm(machine, data, obs=obs)
+            obs.close()
+            return profile_trace(list(obs.tracer.events)), res, machine
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_IO_PLAN", None)
+            else:
+                os.environ["REPRO_IO_PLAN"] = saved
+
+    def test_logical_round_columns_identical_fused_vs_unfused(self):
+        fused, fres, fmachine = self._profile("64")
+        unfused, ures, _ = self._profile("0")
+        # The plan actually fired in the fused run...
+        assert fmachine.plan_stats.write_flushes > 0
+        assert (fmachine.plan_stats.deferred_write_rounds
+                > fmachine.plan_stats.write_flushes)
+        # ...yet every logical-round column is the unfused reference's.
+        assert fused["io"]["rounds"] == unfused["io"]["rounds"]
+        assert fused["io"]["stripe_width"] == unfused["io"]["stripe_width"]
+        assert fused["io"]["rounds"]["io.read"] == fres.io_stats["read_ios"]
+        assert fused["io"]["rounds"]["io.write"] == fres.io_stats["write_ios"]
+        assert fres.io_stats == ures.io_stats
+
+    def test_per_span_round_attribution_identical(self):
+        fused, _, _ = self._profile("64")
+        unfused, _, _ = self._profile("0")
+        by_name = lambda prof: {
+            h["name"]: (h["count"], h["rounds"]) for h in prof["hotspots"]
+        }
+        assert by_name(fused) == by_name(unfused)
+        levels = lambda prof: {
+            row["level"]: row["rounds"] for row in prof["levels"]
+        }
+        assert levels(fused) == levels(unfused)
+
+    def test_timeline_round_totals_identical(self):
+        fused, _, _ = self._profile("64")
+        unfused, _, _ = self._profile("0")
+        total = lambda prof: sum(b["rounds"] for b in prof["io"]["timeline"])
+        assert total(fused) == total(unfused) == fused["io"]["rounds"]["total"]
+
+
 class TestRenderedHeaderUnits:
     """Golden-output regression: rendered headers carry explicit units.
 
