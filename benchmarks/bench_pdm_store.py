@@ -192,13 +192,17 @@ def measure(repeats: int = 2) -> dict:
             "so the substrate gap understates the distance from the "
             "original per-block dict-of-dicts path; the end-to-end "
             "arena-vs-dict column (same code, store swapped) isolates the "
-            "substrate's share of the grid win. Remaining time is per-"
-            "logical-round Python dispatch (obs events, matrix upkeep, "
-            "queue/write bookkeeping) that the payload-bit-identity "
-            "contract requires to fire once per round; see "
-            "docs/performance.md for the gap to the 5x roadmap goal and "
-            "the compiled-inner-loop next step. Cell results are asserted "
-            "bit-identical between backends in every timed run."
+            "substrate's share of the grid win. This point was last "
+            "re-recorded after PR-8 (columnar event journal + the "
+            "optional compiled round inner loop); it times the default "
+            "python backend — the compiled backend's grid trajectory "
+            "lives in BENCH_ledger.jsonl (series e1-grid, min-of-3 "
+            "methodology) and docs/performance.md. Remaining time is "
+            "per-logical-round Python dispatch (feed/round bookkeeping, "
+            "columnar appends, charge paths) that the payload-bit-"
+            "identity contract requires to fire once per round. Cell "
+            "results are asserted bit-identical between backends in "
+            "every timed run."
         ),
     }
 

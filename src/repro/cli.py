@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["derandomized", "randomized", "greedy", "mincost"],
     )
     p_sort.add_argument("--processors", type=int, default=1, help="P: CPUs")
+    p_sort.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress informational stderr chatter (the [io-plan] "
+             "summary line); chatter is also withheld when stderr is "
+             "not a terminal",
+    )
     p_sort.add_argument("--buckets", type=int, default=None, help="override S")
     p_sort.add_argument("--virtual-disks", type=int, default=None, help="override D'")
 
@@ -334,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_grid_args(p_br)
     p_br.add_argument("--series", required=True,
                       help="series name the point belongs to (e.g. e1-smoke)")
+    p_br.add_argument(
+        "--min-of", type=int, default=1, metavar="N",
+        help="run the whole grid N times and record the minimum wall "
+             "clock (noise floor); the methodology is stamped on the "
+             "point and compare refuses to gate across methodologies",
+    )
     p_br.add_argument("--ledger", default="BENCH_ledger.jsonl", metavar="PATH",
                       help="ledger file to append to (default BENCH_ledger.jsonl)")
     p_br.add_argument("--commit", default=None,
@@ -409,9 +421,15 @@ def cmd_sort(args) -> int:
     assert_sorted(out)
     assert_is_permutation(out, data)
     plan = machine.plan_stats.snapshot()
-    if plan["write_flushes"] or plan["read_gathers"]:
+    if (
+        (plan["write_flushes"] or plan["read_gathers"])
+        and not args.quiet
+        and sys.stderr.isatty()
+    ):
         # Out-of-band on purpose: payloads and stdout are a pure function
         # of (task, params); physical fusion shape is telemetry only.
+        # Interactive chatter only: --quiet and redirected stderr both
+        # silence it (scripts get the counters via sweep --stats-json).
         print(
             f"[io-plan] {plan['deferred_write_rounds']} write rounds fused "
             f"into {plan['write_flushes']} flushes "
@@ -891,6 +909,14 @@ def _sweep_stats_table(stats: dict, journal_stats: dict | None = None) -> Table:
     t.add("cache misses", cache["misses"])
     t.add("cache stores", cache["stores"])
     t.add("cache corrupt", cache["corrupt"])
+    io_plan = stats.get("io_plan")
+    if io_plan and any(io_plan.values()):
+        t.add("plan write rounds fused", io_plan["deferred_write_rounds"])
+        t.add("plan write flushes", io_plan["write_flushes"])
+        t.add("plan max flush blocks", io_plan["max_write_flush_blocks"])
+        t.add("plan read rounds gathered", io_plan["prefetched_read_rounds"])
+        t.add("plan read gathers", io_plan["read_gathers"])
+        t.add("plan max gather blocks", io_plan["max_read_gather_blocks"])
     if journal_stats is not None:
         t.add("journal resumed", journal_stats["resumed"])
         t.add("journal recorded done", journal_stats["recorded_done"])
@@ -1139,20 +1165,26 @@ def cmd_bench(args) -> int:
 
         task, specs = _sweep_specs(args)
         keys = [spec.fingerprint() for spec in specs]
-        # No cache on purpose: a trajectory point is an honest, fresh
-        # wall-clock measurement of every cell.
-        runner = ParallelRunner(jobs=args.jobs)
-        t0 = _time.perf_counter()
-        results = runner.map(specs)
-        seconds = _time.perf_counter() - t0
-        failed = [r for r in results if r.failed]
-        if failed:
-            print(
-                f"[bench] {len(failed)} cell(s) failed; not recording a "
-                f"ledger point",
-                file=sys.stderr,
-            )
-            return 3
+        reps = max(1, int(args.min_of))
+        seconds = None
+        runner = None
+        for rep in range(reps):
+            # No cache on purpose: a trajectory point is an honest, fresh
+            # wall-clock measurement of every cell, every repetition.
+            runner = ParallelRunner(jobs=args.jobs)
+            t0 = _time.perf_counter()
+            results = runner.map(specs)
+            elapsed = _time.perf_counter() - t0
+            failed = [r for r in results if r.failed]
+            if failed:
+                print(
+                    f"[bench] {len(failed)} cell(s) failed"
+                    + (f" (rep {rep + 1}/{reps})" if reps > 1 else "")
+                    + "; not recording a ledger point",
+                    file=sys.stderr,
+                )
+                return 3
+            seconds = elapsed if seconds is None else min(seconds, elapsed)
         records = sum(int(spec.params.get("n", 0)) for spec in specs)
         entry = make_entry(
             args.series,
@@ -1163,6 +1195,7 @@ def cmd_bench(args) -> int:
             cache=runner.stats["cache"],
             commit=_current_commit(args.commit),
             notes=args.notes,
+            min_of=reps,
         )
         BenchLedger(args.ledger).append(entry)
         t = Table(["field", "value"], title=f"bench point · {args.series}")
@@ -1171,6 +1204,7 @@ def cmd_bench(args) -> int:
         t.add("grid", entry["grid"])
         t.add("records", entry["records"])
         t.add("seconds", entry["seconds"])
+        t.add("min of", entry["min_of"])
         t.add("records/sec", entry["records_per_sec"])
         t.add("commit", entry["commit"])
         t.add("host key", entry["host_key"])
@@ -1189,15 +1223,24 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 0
-    baseline = ledger.baseline(args.series, key)
+    baseline = ledger.baseline(
+        args.series, key, min_of=latest.get("min_of", 1)
+    )
     if baseline is None:
         print(
             f"[bench] series {args.series!r} on host {key} has a single "
-            f"point (commit {latest.get('commit')}); no baseline yet",
+            f"point of its methodology (commit {latest.get('commit')}, "
+            f"min_of {latest.get('min_of', 1)}); no baseline yet",
             file=sys.stderr,
         )
         return 0
-    result = compare_entries(baseline, latest, threshold=args.threshold)
+    try:
+        result = compare_entries(baseline, latest, threshold=args.threshold)
+    except ValueError as exc:
+        # The methodology-aware baseline above should make this
+        # unreachable for min_of; grid/series drift still lands here.
+        print(f"[bench] refusing to gate: {exc}", file=sys.stderr)
+        return 2
     for t in result.tables():
         t.print()
         print()

@@ -33,13 +33,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
 from ..exceptions import InvariantViolation, ParameterError
 from ..records import RECORD_DTYPE, composite_keys, concat_records, pad_records
 from .kernels import get_backend
+
+# Fixed layout of one in-flight placement inside a round (a plain list —
+# one is built per queued block per round, so dict keys would be the
+# single largest allocation left in the round loop).
+_P_BUCKET, _P_BLOCK, _P_FILL, _P_CHANNEL, _P_SWAPPED, _P_DROPPED = range(6)
 from .matching import (
     MatchingInstance,
     MatchResult,
@@ -53,13 +58,14 @@ from .matrices import BalanceMatrices
 __all__ = ["BalanceEngine", "BlockRef", "BucketRun", "EngineStats", "read_bucket_run"]
 
 
-@dataclass(frozen=True, slots=True)
-class BlockRef:
+class BlockRef(NamedTuple):
     """A stored virtual block plus how many true records it holds.
 
     ``fill < block size`` only for a pass's final (padded) blocks; carrying
     the fill lets runs be sliced into groups (Algorithm 2) without reading
-    anything back.
+    anything back.  A ``NamedTuple`` (not a frozen dataclass): one is
+    built per placed block, and tuple construction skips the frozen
+    per-field ``object.__setattr__`` cost on the round write path.
     """
 
     address: object
@@ -235,21 +241,71 @@ class BalanceEngine:
         match_calls = reg.counter("match_calls")
         swap_hist = reg.histogram("swaps.per_round")
         bf = reg.gauge("max_balance_factor")
-        prev = {"swapped": 0, "unprocessed": 0, "match_calls": 0}
-        trace_event = obs.tracer.event  # bound: one event per round
 
-        def _observe(engine, info):
-            rounds.inc()
-            swaps.inc(info["swapped"] - prev["swapped"])
-            unprocessed.inc(info["unprocessed"] - prev["unprocessed"])
-            match_calls.inc(info["match_calls"] - prev["match_calls"])
-            swap_hist.observe(info["swapped"] - prev["swapped"])
-            bf.set(info["max_balance_factor"])
-            trace_event("balance.round", **info)
-            prev.update(
-                swapped=info["swapped"], unprocessed=info["unprocessed"],
-                match_calls=info["match_calls"],
-            )
+        channel = obs.tracer.scalar_channel(
+            "balance.round",
+            ("round", "placed", "swapped", "unprocessed", "match_calls",
+             "max_balance_factor"),
+        )
+        if channel is not None:
+            # Columnar fast path: one scalar append per round; counters,
+            # the swap histogram, and the gauge are replayed in bulk from
+            # the columns when the scope is next read (see
+            # MetricsRegistry.add_pending_flush).  This engine's private
+            # channel keeps the replay cursor independent of any other
+            # engine sharing the scope, and registration order keeps the
+            # shared instruments' update order chronological.
+            append = channel.append
+
+            def _observe(engine, info):
+                append(info["round"], info["placed"], info["swapped"],
+                       info["unprocessed"], info["match_calls"],
+                       info["max_balance_factor"])
+
+            cols = channel.cols
+            swapped_col, unproc_col = cols[2], cols[3]
+            match_col, factor_col = cols[4], cols[5]
+            state = [0, 0, 0, 0]  # cursor, prev swapped/unprocessed/match
+
+            def _flush():
+                n = len(swapped_col)
+                i = state[0]
+                if i >= n:
+                    return
+                state[0] = n
+                rounds.inc(n - i)
+                prev_swapped = state[1]
+                diffs = []
+                add_diff = diffs.append
+                for s in swapped_col[i:n]:
+                    add_diff(s - prev_swapped)
+                    prev_swapped = s
+                swaps.inc(prev_swapped - state[1])
+                state[1] = prev_swapped
+                swap_hist.observe_bulk(diffs)
+                unprocessed.inc(unproc_col[n - 1] - state[2])
+                state[2] = unproc_col[n - 1]
+                match_calls.inc(match_col[n - 1] - state[3])
+                state[3] = match_col[n - 1]
+                bf.set_bulk(factor_col[i:n])
+
+            reg.add_pending_flush(_flush)
+        else:
+            prev = {"swapped": 0, "unprocessed": 0, "match_calls": 0}
+            trace_event = obs.tracer.event  # bound: one event per round
+
+            def _observe(engine, info):
+                rounds.inc()
+                swaps.inc(info["swapped"] - prev["swapped"])
+                unprocessed.inc(info["unprocessed"] - prev["unprocessed"])
+                match_calls.inc(info["match_calls"] - prev["match_calls"])
+                swap_hist.observe(info["swapped"] - prev["swapped"])
+                bf.set(info["max_balance_factor"])
+                trace_event("balance.round", **info)
+                prev.update(
+                    swapped=info["swapped"], unprocessed=info["unprocessed"],
+                    match_calls=info["match_calls"],
+                )
 
         self.add_round_observer(_observe)
 
@@ -305,18 +361,32 @@ class BalanceEngine:
             # to the kernel path — a stable sort by bucket groups equal
             # buckets in arrival order, which is exactly what the
             # insertion-ordered index lists reproduce.
-            groups: dict[int, list[int]] = {}
-            for i, b in enumerate(buckets.tolist()):
-                g = groups.get(b)
-                if g is None:
-                    groups[b] = [i]
+            group_small = getattr(kernels, "group_small", None)
+            if group_small is not None:
+                # Compiled backend: same grouping in C.  An int result is
+                # the single-bucket case (the chunk IS the track);
+                # otherwise one stable gather then zero-copy span views —
+                # identical chunks to the pure path's per-bucket indexing.
+                grouped = group_small(buckets)
+                if type(grouped) is int:
+                    pairs = [(grouped, records)]
                 else:
-                    g.append(i)
-            if len(groups) == 1:
-                # One bucket: the chunk IS the track, in arrival order.
-                pairs = [(next(iter(groups)), records)]
+                    order, spans = grouped
+                    gathered = records[order]
+                    pairs = [(b, gathered[s:e]) for b, s, e in spans]
             else:
-                pairs = [(b, records[groups[b]]) for b in sorted(groups)]
+                groups: dict[int, list[int]] = {}
+                for i, b in enumerate(buckets.tolist()):
+                    g = groups.get(b)
+                    if g is None:
+                        groups[b] = [i]
+                    else:
+                        g.append(i)
+                if len(groups) == 1:
+                    # One bucket: the chunk IS the track, in arrival order.
+                    pairs = [(next(iter(groups)), records)]
+                else:
+                    pairs = [(b, records[groups[b]]) for b in sorted(groups)]
         else:
             order = np.argsort(buckets, kind="stable")
             pairs = kernels.bucket_chunks(
@@ -364,6 +434,24 @@ class BalanceEngine:
         drain mode automatically (a handful of tail blocks can otherwise
         bounce as "unprocessed" forever when the queue is nearly empty).
         """
+        if not self._queue:
+            return
+        # Compiled round bookkeeping follows the backend resolved *now*
+        # (so `use_backend("compiled")` contexts and REPRO_KERNEL_BACKEND
+        # both apply): attach the C ops when the backend offers them,
+        # detach when it stopped doing so since the last call.  Either
+        # way the matrices keep the identical containers — switching
+        # backends mid-run is seamless and bit-identical.
+        mat = self.matrices
+        ops_factory = getattr(
+            get_backend(self.kernel_backend), "round_ops", None
+        )
+        if ops_factory is not None:
+            enable = getattr(mat, "enable_compiled", None)
+            if enable is not None:
+                enable(ops_factory)
+        elif getattr(mat, "_cops", None) is not None:
+            mat.disable_compiled()
         while len(self._queue) > drain_below:
             before = (len(self._queue), self.stats.blocks_placed)
             self._round(drain=drain)
@@ -378,14 +466,15 @@ class BalanceEngine:
         self.stats.rounds += 1
         # Tentative placement: block j -> channel j (arrival order, at most
         # one new block per channel — the {0,1,2} aux-matrix property).
+        # Each placement is a fixed-layout list (see the _P_* indices):
+        # ~50k placements per cell make per-placement dicts measurable.
         placements = []
+        popleft = self._queue.popleft
+        add_block = self.matrices.add_block
         for channel in range(k):
-            bucket, block, fill = self._queue.popleft()
-            placements.append(
-                {"bucket": bucket, "block": block, "fill": fill,
-                 "channel": channel, "swapped": False, "dropped": False}
-            )
-            self.matrices.add_block(bucket, channel)
+            bucket, block, fill = popleft()
+            placements.append([bucket, block, fill, channel, False, False])
+            add_block(bucket, channel)
         self.matrices.refresh_aux()
         if self.check_invariants:
             self.matrices.check_invariant_1()
@@ -401,7 +490,7 @@ class BalanceEngine:
         twos = self.matrices.channels_with_two()
         by_slot = None
         if twos:
-            by_slot = {(p["channel"], p["bucket"]): p for p in placements}
+            by_slot = {(p[_P_CHANNEL], p[_P_BUCKET]): p for p in placements}
             while len(twos) >= threshold:
                 take = max(1, self.n_channels // 2)
                 batch = self._rearrange(twos[:take], by_slot)
@@ -418,8 +507,8 @@ class BalanceEngine:
                         f"2 at channel {h} (bucket {b}) not caused by this round's block"
                     )
                 self.matrices.remove_block(b, h)
-                p["dropped"] = True
-                self._queue.appendleft((b, p["block"], p["fill"]))
+                p[_P_DROPPED] = True
+                self._queue.appendleft((b, p[_P_BLOCK], p[_P_FILL]))
                 self.stats.blocks_unprocessed += 1
         self.matrices.refresh_aux()
         if self.check_invariants:
@@ -432,10 +521,10 @@ class BalanceEngine:
             # No 2s this round: nothing was swapped or dropped.
             self._write_batch(placements)
         else:
-            live = [p for p in placements if not p["dropped"]]
-            self._write_batch([p for p in live if not p["swapped"]])
+            live = [p for p in placements if not p[_P_DROPPED]]
+            self._write_batch([p for p in live if not p[_P_SWAPPED]])
             for batch in swap_batches:
-                self._write_batch([p for p in batch if not p["dropped"]])
+                self._write_batch([p for p in batch if not p[_P_DROPPED]])
         if self._round_observers:
             self._notify_round()
 
@@ -451,8 +540,16 @@ class BalanceEngine:
             # with the general path's diagnostics.
             u = u_set[0]
             v = 1 - u
-            b = self.matrices.bucket_with_two(u)
-            if int(self.matrices.A[b, v]) == 0:
+            mat = self.matrices
+            b = mat.bucket_with_two(u)
+            # Incremental matrices mirror A in plain lists — read the
+            # mirror instead of a numpy scalar (same value by invariant).
+            a_bv = (
+                mat._alist[b][v]
+                if getattr(mat, "_incremental", False)
+                else int(mat.A[b, v])
+            )
+            if a_bv == 0:
                 self.stats.match_calls += 1
                 p = by_slot.pop((u, b), None)
                 if p is None:
@@ -461,8 +558,8 @@ class BalanceEngine:
                     )
                 self.matrices.remove_block(b, u)
                 self.matrices.add_block(b, v)
-                p["channel"] = v
-                p["swapped"] = True
+                p[_P_CHANNEL] = v
+                p[_P_SWAPPED] = True
                 self.stats.blocks_swapped += 1
                 self.matrices.refresh_aux()
                 return [p]
@@ -484,8 +581,8 @@ class BalanceEngine:
                 )
             self.matrices.remove_block(b, u)
             self.matrices.add_block(b, v)
-            p["channel"] = v
-            p["swapped"] = True
+            p[_P_CHANNEL] = v
+            p[_P_SWAPPED] = True
             # Swapped blocks never re-enter by_slot: only tentative blocks
             # can carry a 2 (swaps remove 2s and never create them), so no
             # later lookup targets a swapped block.
@@ -520,21 +617,25 @@ class BalanceEngine:
             # List-native round write: the backend takes the blocks as-is
             # (they are handed over — every queued block is a fresh carve
             # or an immutable view of a gather window, never mutated).
+            # checked=False: each batch holds at most one full block per
+            # channel by construction (tentative placement assigns
+            # distinct channels; swap targets are distinct matched v's).
             addresses = self._write_round(
-                [p["channel"] for p in batch],
-                [p["block"] for p in batch],
+                [p[_P_CHANNEL] for p in batch],
+                [p[_P_BLOCK] for p in batch],
                 park=True,
+                checked=False,
             )
         else:
-            channels = np.fromiter((p["channel"] for p in batch), np.int64, k)
+            channels = np.fromiter((p[_P_CHANNEL] for p in batch), np.int64, k)
             matrix = np.empty((k, self.block_size), dtype=RECORD_DTYPE)
             for i, p in enumerate(batch):
-                matrix[i] = p["block"]
+                matrix[i] = p[_P_BLOCK]
             addresses = self.storage.parallel_write_arr(channels, matrix, park=True)
         record_location = self.matrices.record_location
         for p, addr in zip(batch, addresses):
             record_location(
-                p["bucket"], p["channel"], BlockRef(address=addr, fill=p["fill"])
+                p[_P_BUCKET], p[_P_CHANNEL], BlockRef(address=addr, fill=p[_P_FILL])
             )
         self.stats.write_steps += 1
         self.stats.blocks_placed += k

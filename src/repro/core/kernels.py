@@ -7,14 +7,21 @@ loops.  Those loops are exactly the "CPU work" the paper charges to its
 PRAM — simulating them record-by-record in Python is where the wall-clock
 of large grid sweeps goes.
 
-This module provides two interchangeable **kernel backends**:
+This module provides interchangeable **kernel backends**:
 
 * ``"scalar"`` — the original pure-Python loops, kept verbatim as the
   reference semantics;
-* ``"vectorized"`` — NumPy formulations of the same computations.
+* ``"vectorized"`` — NumPy formulations of the same computations;
+* ``"compiled"`` — the vectorized backend with its per-round inner
+  loops (round bookkeeping, bucket grouping) delegated to the optional
+  ``repro._speedups`` C extension.  Present in :data:`BACKENDS` only
+  when the extension is built (``python setup.py build_ext --inplace``)
+  — membership *is* the build probe; without it, selection falls back
+  to pure Python with identical results.
 
-Both backends are required (and tested, see
-``tests/test_kernels_differential.py``) to be **bit-identical**: same
+All backends are required (and tested, see
+``tests/test_kernels_differential.py`` and
+``tests/test_compiled_differential.py``) to be **bit-identical**: same
 queue entries in the same order, same records in every emitted block, and
 therefore the same I/O schedule, matrices, and ``IOStats`` on any seeded
 run.  The vectorized backend is the default; select globally with
@@ -298,6 +305,34 @@ BACKENDS: dict[str, KernelBackend] = {
     ScalarBackend.name: ScalarBackend(),
     VectorizedBackend.name: VectorizedBackend(),
 }
+
+try:  # the optional C extension (setup.py build_ext --inplace)
+    from .. import _speedups as _speedups_mod
+except ImportError:  # pure-Python install: "compiled" is simply absent
+    _speedups_mod = None
+
+if _speedups_mod is not None:
+
+    class CompiledBackend(VectorizedBackend):
+        """NumPy kernels plus the ``repro._speedups`` C hot paths.
+
+        Inherits every vectorized kernel and additionally exposes the
+        compiled hooks the Balance engine consults when this backend is
+        the resolved one: ``round_ops`` (the incremental matrices
+        bookkeeping, :class:`repro._speedups.RoundOps`) and
+        ``group_small`` (the small-track feed grouping).  Both are
+        bit-identical to the pure paths — same containers, same values,
+        same error behaviour — which `tests/test_compiled_differential.py`
+        gates on whole payloads.  Only registered when the extension
+        imported, so ``BACKENDS`` membership is the build-presence probe.
+        """
+
+        name = "compiled"
+        round_ops = staticmethod(_speedups_mod.RoundOps)
+        group_small = staticmethod(_speedups_mod.group_indices)
+
+    BACKENDS[CompiledBackend.name] = CompiledBackend()
+    __all__.append("CompiledBackend")
 
 _state = threading.local()
 

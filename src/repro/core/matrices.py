@@ -62,8 +62,37 @@ class BalanceMatrices:
             [[] for _ in range(self.n_channels)] for _ in range(self.n_buckets)
         ]
         self._incremental = False
+        self._cops = None
 
     # --------------------------------------------- incremental maintenance
+
+    def enable_compiled(self, factory) -> bool:
+        """Attach compiled (C) incremental bookkeeping, if applicable.
+
+        ``factory`` is a :class:`repro._speedups.RoundOps`-style
+        constructor.  The compiled object operates **in place** on this
+        instance's own ``X``/``A`` arrays, list mirrors, 2-cell index
+        sets and factor list, so every Python-side reader sees exactly
+        the state the pure path would maintain; only the per-update
+        arithmetic moves to C.  Requires :meth:`enable_incremental` (and
+        therefore the base class — subclasses with a different auxiliary
+        rule never pass that gate).  Idempotent; returns whether
+        compiled ops are active.  Any :meth:`_rebuild_incremental`
+        (resync after direct ``X`` tampering) detaches the compiled
+        object — the caller re-attaches at its next round boundary.
+        """
+        if not self._incremental:
+            return False
+        if self._cops is None:
+            self._cops = factory(
+                self.X, self.A, self._xrows, self._alist,
+                self._twos_cells, self._over_two, self._factors, self._rank,
+            )
+        return True
+
+    def disable_compiled(self) -> None:
+        """Detach compiled bookkeeping (updates fall back to pure Python)."""
+        self._cops = None
 
     def enable_incremental(self) -> None:
         """Switch to O(H') per-update maintenance of ``A`` (Section 5).
@@ -99,6 +128,9 @@ class BalanceMatrices:
 
     def _rebuild_incremental(self) -> None:
         """(Re)derive all incremental state from ``X`` (batch formulation)."""
+        # Fresh arrays/containers invalidate any compiled ops bound to the
+        # old ones; the engine re-attaches at its next round boundary.
+        self._cops = None
         self.A = compute_aux(self.X)
         self._xrows = [row.tolist() for row in self.X]
         self._alist = [row.tolist() for row in self.A]
@@ -175,6 +207,10 @@ class BalanceMatrices:
 
     def add_block(self, bucket: int, channel: int) -> None:
         """Count a (tentative) placement of one block of ``bucket`` on ``channel``."""
+        ops = self._cops
+        if ops is not None:
+            ops.add_block(bucket, channel)
+            return
         self.X[bucket, channel] += 1
         if self._incremental:
             self._xrows[bucket][channel] += 1
@@ -182,6 +218,13 @@ class BalanceMatrices:
 
     def remove_block(self, bucket: int, channel: int) -> None:
         """Withdraw a tentative placement (unprocessed block, or a swap source)."""
+        ops = self._cops
+        if ops is not None:
+            if not ops.remove_block(bucket, channel):
+                raise InvariantViolation(
+                    f"histogram underflow at bucket {bucket}, channel {channel}"
+                )
+            return
         if self.X[bucket, channel] <= 0:
             raise InvariantViolation(
                 f"histogram underflow at bucket {bucket}, channel {channel}"
@@ -202,11 +245,15 @@ class BalanceMatrices:
         only validates (the same check, maintained per update).
         """
         if self._incremental:
-            if self.X.tolist() != self._xrows:
+            ops = self._cops
+            if (not ops.synced()) if ops is not None else (
+                self.X.tolist() != self._xrows
+            ):
                 # X was mutated behind the incremental bookkeeping's back
                 # (tests/ablations tamper directly).  Resync from X so the
                 # outcome — including invariant detection below — is exactly
-                # the batch formulation's.
+                # the batch formulation's.  (ops.synced() is the same
+                # comparison without materializing X as a list.)
                 self._rebuild_incremental()
             if self._over_two:
                 raise InvariantViolation(
@@ -231,6 +278,14 @@ class BalanceMatrices:
         break the paper's uniqueness assumption (Algorithm 6's ``b[h]``).
         """
         if self._incremental:
+            ops = self._cops
+            if ops is not None:
+                cols = ops.channels_with_two()  # None signals a duplicate
+                if cols is None:
+                    raise InvariantViolation(
+                        "a channel holds 2s for two buckets at once"
+                    )
+                return cols
             cells = sorted(self._twos_cells)
             cols = [h for _, h in cells]
             if len(set(cols)) != len(cols):
@@ -303,6 +358,9 @@ class BalanceMatrices:
 
     def check_invariant_1(self) -> None:
         """≥ ⌈H'/2⌉ zeros in every row of A."""
+        if self._incremental and self.invariant_1_ok():
+            return  # same condition, O(S·H') plain-int loop; numpy only
+            # runs below to name the offending rows in the error.
         need = (self.n_channels + 1) // 2
         zeros = (self.A == 0).sum(axis=1)
         bad = np.nonzero(zeros < need)[0]
@@ -314,6 +372,8 @@ class BalanceMatrices:
 
     def check_invariant_2(self) -> None:
         """A is binary after the track is conceptually processed."""
+        if self._incremental and not self._twos_cells and not self._over_two:
+            return  # the maintained 2-cell index is empty iff A is binary
         if int(self.A.max(initial=0)) > 1:
             rows, cols = np.nonzero(self.A > 1)
             raise InvariantViolation(

@@ -54,6 +54,7 @@ from typing import Iterable
 
 from ..exceptions import InjectedWorkerCrash, PoisonedPayloadError, TaskTimeout
 from ..obs.telemetry import PROGRESS_SCHEMA, TelemetryWriter, activate_telemetry
+from ..pdm.machine import collect_plan_stats, merge_plan_snapshots
 from ..resilience import FaultInjector, activate, exec_decision, grid_fingerprint
 from .cache import ResultCache
 from .fingerprint import SCHEMA_SALT, fingerprint
@@ -149,23 +150,34 @@ def _execute(
     :func:`run_task` tees throttled phase progress into it.  Telemetry is
     an *observer* of the tracer stream, never an input — the payload is
     byte-identical with it on or off.
+
+    Physical I/O-plan counters of every machine the task builds are
+    collected ambiently and ride back under the reserved ``_plan_stats``
+    key; the runner pops that key before the payload is validated,
+    cached, or returned, so payload purity is untouched (cache bytes and
+    results never see it).
     """
-    if plan is None and telemetry is None:
-        return run_task(task, params)
     gate = None
-    with ExitStack() as stack:
-        if telemetry is not None:
-            writer = stack.enter_context(
-                TelemetryWriter(telemetry, source=f"cell:{cell[:16]}")
-            )
-            stack.enter_context(activate_telemetry(writer))
-        if plan is not None:
-            injector = FaultInjector(plan, cell=cell, attempt=attempt)
-            stack.enter_context(activate(injector))
-            gate = injector.exec_gate(in_worker=in_worker)
-        payload = run_task(task, params)
+    with collect_plan_stats() as plan_stats:
+        if plan is None and telemetry is None:
+            payload = run_task(task, params)
+        else:
+            with ExitStack() as stack:
+                if telemetry is not None:
+                    writer = stack.enter_context(
+                        TelemetryWriter(telemetry, source=f"cell:{cell[:16]}")
+                    )
+                    stack.enter_context(activate_telemetry(writer))
+                if plan is not None:
+                    injector = FaultInjector(plan, cell=cell, attempt=attempt)
+                    stack.enter_context(activate(injector))
+                    gate = injector.exec_gate(in_worker=in_worker)
+                payload = run_task(task, params)
     if gate == "poison":
         return {"schema": _POISON_SCHEMA, "task": task}
+    fused = merge_plan_snapshots(s.snapshot() for s in plan_stats)
+    if any(fused.values()):
+        payload["_plan_stats"] = fused
     return payload
 
 
@@ -293,6 +305,7 @@ class ParallelRunner:
         self._obs = obs
         self._scope = obs.scope("resilience") if obs is not None else None
         self._failed_payloads: dict[str, dict] = {}
+        self._plan_snaps: list[dict] = []
 
     # ------------------------------------------------------- obs plumbing
 
@@ -407,6 +420,18 @@ class ParallelRunner:
         )
         return results  # type: ignore[return-value]
 
+    def _absorb_plan(self, payload) -> None:
+        """Pop a cell's out-of-band ``_plan_stats`` sidecar, if present.
+
+        Must run before the payload is validated, cached, or exposed in
+        a result: plan shape is telemetry, and a cached serve must be
+        byte-identical to a fresh execution.
+        """
+        if isinstance(payload, dict):
+            side = payload.pop("_plan_stats", None)
+            if side:
+                self._plan_snaps.append(side)
+
     # ------------------------------------------------------ cell plumbing
 
     def _finish(self, i, spec, key, payload, failed, results) -> None:
@@ -493,6 +518,7 @@ class ParallelRunner:
                     spec.task, spec.params, self.fault_plan, key, attempt,
                     False, self._telemetry_path,
                 )
+                self._absorb_plan(payload)
                 _validate_payload(payload, spec.task)
                 return payload, False
             except Exception as exc:  # noqa: BLE001 - isolation is the point
@@ -570,6 +596,7 @@ class ParallelRunner:
             """Process one completed future; True unless the pool broke."""
             try:
                 payload = f.result()
+                self._absorb_plan(payload)
                 _validate_payload(payload, specs[idx].task)
             except BrokenProcessPool:
                 return False
@@ -684,6 +711,7 @@ class ParallelRunner:
                     continue
                 try:
                     payload = f.result()
+                    self._absorb_plan(payload)
                     _validate_payload(payload, specs[idx].task)
                 except BaseException:
                     continue
@@ -712,6 +740,9 @@ class ParallelRunner:
             "timeouts": self.timeouts,
             "pool_rebuilds": self.pool_rebuilds,
             "cache": self.cache.stats,
+            # Physical-fusion telemetry summed over the freshly executed
+            # cells (cache hits ran no simulation, so contribute nothing).
+            "io_plan": merge_plan_snapshots(self._plan_snaps),
         }
 
 

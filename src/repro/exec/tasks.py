@@ -93,14 +93,25 @@ def run_task(name: str, params: dict) -> dict:
     obs = Observation(tracer=Tracer(sink=sink, clock=_zero_clock))
     result = fn(dict(params), obs)
     obs.close()
+    trace, trace_safe = obs.tracer.payload_events()
     payload = {
         "schema": SCHEMA_SALT,
         "task": name,
         "params": dict(params),
         "result": result,
         "metrics": obs.registry.export(),
-        "trace": list(obs.tracer.events),
     }
+    if trace_safe:
+        # Columnar tracer: every trace value is a plain scalar (appender
+        # contract, literals checked), so json.loads(json.dumps(trace))
+        # would reproduce the exact same value tree — skip it and
+        # round-trip only the small head of the payload.  `trace` is
+        # assigned after the round-trip so the payload's key order (and
+        # therefore any insertion-ordered serialization) is unchanged.
+        payload = json.loads(json.dumps(payload, default=_jsonable))
+        payload["trace"] = list(trace)
+        return payload
+    payload["trace"] = list(trace)
     return json.loads(json.dumps(payload, default=_jsonable))
 
 

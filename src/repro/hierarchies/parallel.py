@@ -29,8 +29,7 @@ from __future__ import annotations
 import heapq
 import math
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -60,9 +59,12 @@ def default_virtual_hierarchy_count(h: int) -> int:
     return 1
 
 
-@dataclass(frozen=True, slots=True)
-class VirtualBlockAddress:
-    """Address of one virtual block: virtual hierarchy and local address."""
+class VirtualBlockAddress(NamedTuple):
+    """Address of one virtual block: virtual hierarchy and local address.
+
+    A ``NamedTuple`` for the same reason as the PDM twin: per-block
+    construction cost on the write path (see ``repro.pdm.striping``).
+    """
 
     vdisk: int  # named vdisk for interface-compatibility with VirtualDisks
     slot: int

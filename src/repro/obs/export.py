@@ -244,6 +244,16 @@ def write_chrome_trace(
         source=trace_path,
     )
     with open(out_path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, separators=(",", ":"))
+        try:  # C canonical encoder when built — byte-identical output
+            from .._speedups import dumps as _c_dumps
+        except ImportError:
+            _c_dumps = None
+        if _c_dumps is not None:
+            try:
+                fh.write(_c_dumps(doc, False))
+            except (TypeError, ValueError, RecursionError):
+                json.dump(doc, fh, separators=(",", ":"))
+        else:
+            json.dump(doc, fh, separators=(",", ":"))
         fh.write("\n")
     return doc

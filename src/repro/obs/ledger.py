@@ -54,6 +54,7 @@ def make_entry(
     host: dict | None = None,
     notes: str = "",
     when: float | None = None,
+    min_of: int = 1,
 ) -> dict:
     """Build one ``repro.bench_series/1`` ledger point.
 
@@ -61,6 +62,8 @@ def make_entry(
     the current UNIX time (pass explicitly for reproducible tests).
     Derived rates (``records_per_sec``, ``us_per_record``) are stored so
     the gate and any plotting consumer read them without recomputing.
+    ``min_of`` records the measurement methodology — ``seconds`` is the
+    minimum over that many full-grid repetitions (1 = a single pass).
     """
     if host is None:
         host = capture_host()
@@ -83,6 +86,7 @@ def make_entry(
         "us_per_record": (
             round(seconds * 1e6 / records, 3) if records > 0 else None
         ),
+        "min_of": max(1, int(min_of)),
     }
     if cache is not None:
         entry["cache"] = {
@@ -156,9 +160,19 @@ class BenchLedger:
         matching = self.entries(series, host_key)
         return matching[-1] if matching else None
 
-    def baseline(self, series: str, host_key: str) -> dict | None:
-        """The point the newest one gates against: its predecessor."""
+    def baseline(self, series: str, host_key: str,
+                 min_of: int | None = None) -> dict | None:
+        """The point the newest one gates against: its predecessor.
+
+        With ``min_of`` given, only points of that methodology count —
+        a series that switches from single-pass to min-of-3 starts a
+        fresh baseline rather than gating across methodologies (points
+        predating the field count as single-pass).
+        """
         matching = self.entries(series, host_key)
+        if min_of is not None:
+            matching = [e for e in matching
+                        if e.get("min_of", 1) == min_of]
         return matching[-2] if len(matching) >= 2 else None
 
     # --------------------------------------------------------------- stats
@@ -191,11 +205,15 @@ def compare_entries(
 
     Only the perf surface (``seconds``, ``us_per_record``) is compared —
     commit hashes, timestamps, and cache counters legitimately move.
-    Refuses to compare across series, host classes, or grids: such a
-    diff is not a regression signal, it is a configuration change.
+    Refuses to compare across series, host classes, grids, or
+    measurement methodologies (``min_of``; points predating the field
+    count as single-pass): such a diff is not a regression signal, it
+    is a configuration change.
     """
-    for field in ("series", "host_key", "grid"):
-        a, b = baseline.get(field), candidate.get(field)
+    for field, default in (
+        ("series", None), ("host_key", None), ("grid", None), ("min_of", 1),
+    ):
+        a, b = baseline.get(field, default), candidate.get(field, default)
         if a != b:
             raise ValueError(
                 f"cannot gate across {field}: baseline {a!r} vs "

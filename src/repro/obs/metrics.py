@@ -78,6 +78,29 @@ class Gauge:
                 self.max = value
         self.value = value
 
+    def set_bulk(self, values) -> None:
+        """Equivalent to calling :meth:`set` on each value in order.
+
+        Bulk form for deferred replay from columnar event buffers: the
+        resulting value/min/max (and ``_touched``) are bit-identical to
+        the sequential calls — ``value`` ends at the last element, the
+        watermarks widen by the slice's min/max.
+        """
+        if not values:
+            return
+        lo = float(min(values))
+        hi = float(max(values))
+        if not self._touched:
+            self.min = lo
+            self.max = hi
+            self._touched = True
+        else:
+            if lo < self.min:
+                self.min = lo
+            if hi > self.max:
+                self.max = hi
+        self.value = float(values[-1])
+
     def export(self) -> dict:
         """The last value plus its min/max watermarks."""
         return {"value": self.value, "min": self.min, "max": self.max}
@@ -134,6 +157,47 @@ class Histogram:
         else:
             self.counts[bisect.bisect_left(self.buckets, value)] += n
 
+    def observe_bulk(self, values) -> None:
+        """Equivalent to observing each **int** value in order (exact mode).
+
+        Bulk form for deferred replay from columnar event buffers —
+        restricted to exact (non-bucketed) histograms fed plain ints,
+        which is what the hot simulator paths record (stripe widths,
+        per-round swap counts).  Bit-identical to the loop: integer sums
+        below 2**53 accumulate exactly in a float either way, min/max are
+        order-free, and the per-value counts add up the same (the counts
+        dict gains new keys in first-seen order, exactly as the loop
+        would).
+        """
+        if not values:
+            return
+        if self.buckets is not None:
+            raise TypeError(
+                f"histogram {self.name!r}: observe_bulk requires exact "
+                f"(non-bucketed) mode"
+            )
+        n = len(values)
+        self.count += n
+        total = 0
+        for v in values:
+            total += v
+        self.sum += total
+        lo = min(values)
+        hi = max(values)
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+        counts = self.counts
+        if n > 8:
+            from collections import Counter
+
+            for key, c in Counter(values).items():
+                counts[key] = counts.get(key, 0) + c
+        else:
+            for key in values:
+                counts[key] = counts.get(key, 0) + 1
+
     def mean(self) -> float:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
@@ -183,11 +247,43 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._scopes: dict[str, MetricsRegistry] = {}
+        # Deferred metric sources (columnar fast path): callables that
+        # replay any not-yet-applied observations into this scope's
+        # instruments.  Flushed before anything reads the scope — the
+        # instrument accessors, export/walk/reset/merge — so deferral is
+        # unobservable outside the hot loop itself.
+        self._pending: list = []
+        self._flushing = False
+
+    # ----------------------------------------------------- deferred sources
+
+    def add_pending_flush(self, flush) -> None:
+        """Register ``flush()`` to run before this scope is read or reset.
+
+        The columnar observation path batches per-event instrument
+        updates: hot emitters append scalars to event columns only, and
+        ``flush`` replays the new rows into the instruments (keeping its
+        own cursor, so repeated flushes are idempotent).  Flushes run in
+        registration order, which is chronological for sequentially
+        attached emitters — exports are bit-identical to the eager path.
+        """
+        self._pending.append(flush)
+
+    def _flush_pending(self) -> None:
+        if not self._pending or self._flushing:
+            return
+        self._flushing = True
+        try:
+            for flush in self._pending:
+                flush()
+        finally:
+            self._flushing = False
 
     # --------------------------------------------------------- instruments
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name`` in this scope."""
+        self._flush_pending()
         inst = self._counters.get(name)
         if inst is None:
             self._check_free(name, self._counters)
@@ -196,6 +292,7 @@ class MetricsRegistry:
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name`` in this scope."""
+        self._flush_pending()
         inst = self._gauges.get(name)
         if inst is None:
             self._check_free(name, self._gauges)
@@ -204,6 +301,7 @@ class MetricsRegistry:
 
     def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
         """Get or create the histogram ``name`` (``buckets`` only on create)."""
+        self._flush_pending()
         inst = self._histograms.get(name)
         if inst is None:
             self._check_free(name, self._histograms)
@@ -235,6 +333,7 @@ class MetricsRegistry:
 
     def export(self) -> dict:
         """The subtree as a nested, JSON-ready dict (stable key order)."""
+        self._flush_pending()
         out: dict = {}
         if self._counters:
             out["counters"] = {
@@ -264,6 +363,7 @@ class MetricsRegistry:
         Scopes merge recursively; merging is associative, so worker order
         only affects gauge *values* (never counters or histograms).
         """
+        self._flush_pending()
         for key, val in exported.items():
             if key == "counters":
                 for name, v in val.items():
@@ -312,7 +412,13 @@ class MetricsRegistry:
                 inst.observe(int(value) if value.is_integer() else value, int(n))
 
     def reset(self) -> None:
-        """Zero every instrument in this scope and all child scopes."""
+        """Zero every instrument in this scope and all child scopes.
+
+        Deferred sources flush first (their cursors advance), so events
+        recorded before the reset are absorbed and zeroed with everything
+        else while later events still land — exactly the eager timeline.
+        """
+        self._flush_pending()
         for group in (self._counters, self._gauges, self._histograms):
             for inst in group.values():
                 inst.reset()
@@ -321,6 +427,7 @@ class MetricsRegistry:
 
     def walk(self) -> Iterable[tuple[str, object]]:
         """Yield ``(dotted_path, instrument)`` pairs over the whole subtree."""
+        self._flush_pending()
         for group in (self._counters, self._gauges, self._histograms):
             for name, inst in sorted(group.items()):
                 yield name, inst

@@ -29,10 +29,17 @@ from __future__ import annotations
 import gzip
 import io as _io
 import json
+import os
 import time
 from typing import Callable, Iterable, TextIO
 
+from .columnar import ColumnarJournal
 from .metrics import MetricsRegistry
+
+try:  # optional C canonical-JSON encoder — byte-identical fast path
+    from .._speedups import dumps as _c_dumps
+except ImportError:
+    _c_dumps = None
 
 __all__ = [
     "Span",
@@ -87,6 +94,13 @@ class JsonlSink:
 
     def emit(self, event: dict) -> None:
         """Write the event as one compact JSON line."""
+        if _c_dumps is not None:
+            try:
+                self._fh.write(_c_dumps(event, False))
+                self._fh.write("\n")
+                return
+            except (TypeError, ValueError, RecursionError):
+                pass  # numpy scalar or similar: stdlib path coerces it
         self._fh.write(json.dumps(event, separators=(",", ":"), default=_jsonable))
         self._fh.write("\n")
 
@@ -162,9 +176,17 @@ class Tracer:
         self._next_id = 1
         self.enabled = True
         self._events: list[dict] | None = [] if keep_events else None
+        # Columnar fast path (see obs/columnar.py): activated lazily by
+        # the first scalar_channel() request.  None = classic dict-per-
+        # event storage, kept as the bit-for-bit reference.
+        self._journal: ColumnarJournal | None = None
+        self._mat_cache: tuple[int, list] | None = None
 
     def _emit(self, record: dict) -> None:
-        if self._events is not None:
+        journal = self._journal
+        if journal is not None:
+            journal.literal(record)
+        elif self._events is not None:
             self._events.append(record)
         if self.sink is not None:
             self.sink.emit(record)
@@ -199,7 +221,10 @@ class Tracer:
             "ts": round(t, 6) if t else 0.0,
             "attrs": attrs,
         }
-        if self._events is not None:
+        journal = self._journal
+        if journal is not None:
+            journal.literal(record)
+        elif self._events is not None:
             self._events.append(record)
         if self.sink is not None:
             self.sink.emit(record)
@@ -243,12 +268,73 @@ class Tracer:
         if self.sink is not None:
             self.sink.close()
 
+    # ------------------------------------------------------- columnar path
+
+    def scalar_channel(self, name: str, keys: tuple):
+        """Open a columnar fast-path channel for one fixed event shape.
+
+        Returns an :class:`~repro.obs.columnar.EventChannel` whose
+        ``append(*values)`` records the event ``{"ev": "event", ...,
+        "name": name, "attrs": dict(zip(keys, values))}`` without
+        building the dict (materialized lazily, bit-identical, in global
+        order).  Values must be plain scalars — see the appender
+        contract in :mod:`repro.obs.columnar`.
+
+        Returns ``None`` when the tracer cannot take the columnar path:
+        a live sink needs every event as a dict at emit time, and
+        ``keep_events=False`` tracers have nothing to store at all —
+        callers must then fall back to the classic per-event API.
+        ``REPRO_OBS_COLUMNAR=0`` forces that fallback everywhere, keeping
+        the dict-per-event path selectable as the differential reference.
+        """
+        if self.sink is not None or self._events is None:
+            return None
+        if os.environ.get("REPRO_OBS_COLUMNAR", "1") in ("0", "off"):
+            return None
+        journal = self._journal
+        if journal is None:
+            journal = self._journal = ColumnarJournal()
+            # Adopt anything recorded before activation as literals so
+            # the global order is preserved.
+            for record in self._events:
+                journal.literal(record)
+            self._events = []
+        return journal.channel(self, name, keys)
+
+    def payload_events(self) -> tuple[list, bool]:
+        """``(events, roundtrip_safe)`` for payload building.
+
+        ``roundtrip_safe=True`` guarantees ``json.loads(json.dumps(events))``
+        is value-identical to ``events`` (plain scalar trees only), which
+        lets the exec layer skip the canonicalizing JSON round-trip for
+        the trace portion of a payload.  Only the columnar path can make
+        that promise cheaply: channel values are scalars by contract and
+        the few literal records are scanned incrementally.
+        """
+        journal = self._journal
+        if journal is None:
+            return self.events, False
+        return self.events, journal.literals_json_safe()
+
     # ---------------------------------------------------------- inspection
 
     @property
     def events(self) -> list[dict]:
-        """The in-memory event list (empty when ``keep_events=False``)."""
-        return self._events if self._events is not None else []
+        """The in-memory event list (empty when ``keep_events=False``).
+
+        Under the columnar fast path this materializes (and caches) the
+        dicts; the result is a snapshot — recording more events after
+        reading it returns a fresh, longer list on the next access.
+        """
+        journal = self._journal
+        if journal is None:
+            return self._events if self._events is not None else []
+        cache = self._mat_cache
+        if cache is not None and cache[0] == journal.n:
+            return cache[1]
+        events = journal.materialize()
+        self._mat_cache = (journal.n, events)
+        return events
 
 
 class _NullSpan:
@@ -284,6 +370,14 @@ class NullTracer:
 
     def event(self, name: str, **attrs) -> None:
         """Discard the event."""
+
+    def scalar_channel(self, name: str, keys: tuple):
+        """No columnar path on a null tracer (callers fall back)."""
+        return None
+
+    def payload_events(self) -> tuple[list, bool]:
+        """No events, nothing to round-trip."""
+        return [], False
 
     def close(self) -> None:
         """Nothing to flush."""

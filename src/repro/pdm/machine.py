@@ -164,6 +164,54 @@ class IOPlanStats:
         }
 
 
+#: Plan counters that add across machines/cells vs. high-water marks.
+_PLAN_SUM_KEYS = (
+    "deferred_write_rounds", "write_flushes",
+    "prefetched_read_rounds", "read_gathers",
+)
+_PLAN_MAX_KEYS = ("max_write_flush_blocks", "max_read_gather_blocks")
+
+
+def merge_plan_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold :meth:`IOPlanStats.snapshot` dicts: counters add, maxima max.
+
+    Used to aggregate physical-fusion telemetry across the machines of
+    one grid cell and across the cells of a sweep — still strictly out
+    of band (the result feeds stderr summaries and ``--stats-json``,
+    never a payload).
+    """
+    out = {k: 0 for k in _PLAN_SUM_KEYS + _PLAN_MAX_KEYS}
+    for snap in snapshots:
+        for k in _PLAN_SUM_KEYS:
+            out[k] += int(snap.get(k, 0))
+        for k in _PLAN_MAX_KEYS:
+            out[k] = max(out[k], int(snap.get(k, 0)))
+    return out
+
+
+#: Ambient (per-process) collector: when active, every machine created
+#: registers its ``plan_stats`` here so callers outside the task boundary
+#: can aggregate physical-fusion telemetry without touching payloads.
+_PLAN_COLLECTOR: list | None = None
+
+
+@contextmanager
+def collect_plan_stats():
+    """Collect the ``IOPlanStats`` of every machine built in this context.
+
+    Yields the live list; snapshot after the block (e.g. through
+    :func:`merge_plan_snapshots`).  Nestable — an inner collector
+    shadows the outer one, mirroring how each sweep cell owns exactly
+    the machines its task constructs.
+    """
+    global _PLAN_COLLECTOR
+    prev, _PLAN_COLLECTOR = _PLAN_COLLECTOR, []
+    try:
+        yield _PLAN_COLLECTOR
+    finally:
+        _PLAN_COLLECTOR = prev
+
+
 class _IOPlan:
     """Pending physically-deferred write rounds (logically already done).
 
@@ -262,10 +310,13 @@ class ParallelDiskMachine:
         # Fused I/O plans (optional; None keeps the hot path untouched).
         self._plan: _IOPlan | None = None
         self.plan_stats = IOPlanStats()
+        if _PLAN_COLLECTOR is not None:
+            _PLAN_COLLECTOR.append(self.plan_stats)
         # Observability (optional; None keeps the hot path untouched).
         self._obs = None
         self._obs_scope = None
         self._m_read = self._m_write = None
+        self._ev_read = self._ev_write = None
         self._trace_event = None
 
     # ------------------------------------------------------- fault injection
@@ -305,28 +356,78 @@ class ParallelDiskMachine:
         """
         self._obs = obs
         self._trace_event = obs.tracer.event  # bound: one event per I/O
-        self._obs_scope = obs.scope(scope)
+        self._obs_scope = reg = obs.scope(scope)
         self._m_read = (
-            self._obs_scope.counter("read_ios"),
-            self._obs_scope.counter("blocks_read"),
-            self._obs_scope.histogram("io.read.width"),
+            reg.counter("read_ios"),
+            reg.counter("blocks_read"),
+            reg.histogram("io.read.width"),
         )
         self._m_write = (
-            self._obs_scope.counter("write_ios"),
-            self._obs_scope.counter("blocks_written"),
-            self._obs_scope.counter("full_width_writes"),
-            self._obs_scope.histogram("io.write.width"),
+            reg.counter("write_ios"),
+            reg.counter("blocks_written"),
+            reg.counter("full_width_writes"),
+            reg.histogram("io.write.width"),
         )
+        # Columnar fast path: one scalar append per I/O instead of three
+        # instrument updates plus an event dict.  Metrics are replayed in
+        # bulk from the width columns when the scope is next read (see
+        # MetricsRegistry.add_pending_flush) — exports, traces, and the
+        # payload stay bit-identical to the eager path.
+        read_ch = obs.tracer.scalar_channel("io.read", ("width",))
+        if read_ch is not None:
+            write_ch = obs.tracer.scalar_channel(
+                "io.write", ("width", "full_stripe")
+            )
+            self._ev_read = read_ch.append
+            self._ev_write = write_ch.append
+            ios_r, blocks_r, hist_r = self._m_read
+            ios_w, blocks_w, full_w, hist_w = self._m_write
+            read_widths = read_ch.cols[0]
+            write_widths = write_ch.cols[0]
+            full_flags = write_ch.cols[1]
+            read_cursor = [0]
+            write_cursor = [0]
+
+            def _flush_reads():
+                n = len(read_widths)
+                i = read_cursor[0]
+                if i >= n:
+                    return
+                read_cursor[0] = n
+                widths = read_widths[i:n]
+                ios_r.inc(n - i)
+                blocks_r.inc(sum(widths))
+                hist_r.observe_bulk(widths)
+
+            def _flush_writes():
+                n = len(write_widths)
+                i = write_cursor[0]
+                if i >= n:
+                    return
+                write_cursor[0] = n
+                widths = write_widths[i:n]
+                ios_w.inc(n - i)
+                blocks_w.inc(sum(widths))
+                full_w.inc(sum(full_flags[i:n]))
+                hist_w.observe_bulk(widths)
+
+            reg.add_pending_flush(_flush_reads)
+            reg.add_pending_flush(_flush_writes)
         self.cpu.attach_obs(obs, scope=f"{scope}.cpu")
 
     def detach_obs(self) -> None:
         """Remove the attached observation (hooks become no-ops again)."""
         self._obs = self._obs_scope = None
         self._m_read = self._m_write = None
+        self._ev_read = self._ev_write = None
         self._trace_event = None
         self.cpu.detach_obs()
 
     def _observe_read(self, width: int) -> None:
+        ev = self._ev_read
+        if ev is not None:
+            ev(width)
+            return
         ios, blocks, hist = self._m_read
         ios.inc()
         blocks.inc(width)
@@ -334,6 +435,10 @@ class ParallelDiskMachine:
         self._trace_event("io.read", width=width)
 
     def _observe_write(self, width: int) -> None:
+        ev = self._ev_write
+        if ev is not None:
+            ev(width, width == self.D)
+            return
         ios, blocks, full, hist = self._m_write
         ios.inc()
         blocks.inc(width)

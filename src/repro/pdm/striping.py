@@ -28,8 +28,7 @@ one ``(k, virtual_block_size)`` record matrix per parallel I/O (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -56,9 +55,14 @@ def default_virtual_disk_count(d: int) -> int:
     return 1
 
 
-@dataclass(frozen=True, slots=True)
-class VirtualBlockAddress:
-    """Address of one virtual block: virtual disk and physical slot."""
+class VirtualBlockAddress(NamedTuple):
+    """Address of one virtual block: virtual disk and physical slot.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    written virtual block (tens of thousands per grid cell), and tuple
+    construction skips the frozen ``object.__setattr__`` per field while
+    keeping immutability, equality, and hashing.
+    """
 
     vdisk: int
     slot: int
@@ -179,7 +183,7 @@ class VirtualDisks:
 
     def write_round(
         self, channels: Sequence[int], blocks: Sequence[np.ndarray],
-        park: bool = False,
+        park: bool = False, checked: bool = True,
     ) -> list[VirtualBlockAddress]:
         """Write one block per listed virtual disk — one parallel I/O.
 
@@ -191,27 +195,32 @@ class VirtualDisks:
         assembly is replaced by Python smalls (stripe widths are ≤ H').
         Blocks are handed over — the caller must not mutate them after
         this call.  ``park`` is accepted for interface parity and
-        ignored (disk cost is address-independent).
+        ignored (disk cost is address-independent).  ``checked=False``
+        skips the contention/range/shape validation for callers that
+        enforce all three structurally (the Balance engine assigns at
+        most one full block per channel per batch) — same convention as
+        :meth:`parallel_write_arr`.
         """
         k = len(channels)
         if k == 0:
             return []
-        if k > 1 and len(set(channels)) != k:
-            raise DiskContentionError(
-                "two virtual blocks addressed to one virtual disk"
-            )
-        n_virtual = self.n_virtual
-        if min(channels) < 0 or max(channels) >= n_virtual:
-            bad = next(v for v in channels if not 0 <= v < n_virtual)
-            raise ParameterError(
-                f"virtual disk {bad} out of range [0, {n_virtual})"
-            )
-        vb = self.virtual_block_size
-        for block in blocks:
-            if block.shape[0] != vb:
-                raise ParameterError(
-                    f"virtual block must hold {vb} records, got {block.shape[0]}"
+        if checked:
+            if k > 1 and len(set(channels)) != k:
+                raise DiskContentionError(
+                    "two virtual blocks addressed to one virtual disk"
                 )
+            n_virtual = self.n_virtual
+            if min(channels) < 0 or max(channels) >= n_virtual:
+                bad = next(v for v in channels if not 0 <= v < n_virtual)
+                raise ParameterError(
+                    f"virtual disk {bad} out of range [0, {n_virtual})"
+                )
+            vb = self.virtual_block_size
+            for block in blocks:
+                if block.shape[0] != vb:
+                    raise ParameterError(
+                        f"virtual block must hold {vb} records, got {block.shape[0]}"
+                    )
         slot = self.machine.allocate_slots(1)
         g = self.group
         if g == 1:

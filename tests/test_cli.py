@@ -33,6 +33,27 @@ class TestCommands:
         assert "parallel I/Os" in out
         assert "output verified" in out and "yes" in out
 
+    def test_io_plan_line_is_interactive_chatter_only(self, capsys, monkeypatch):
+        """``[io-plan]`` respects --quiet and non-TTY stderr.
+
+        Under capsys stderr is not a terminal, so the default run must
+        stay silent; forcing ``isatty`` shows the line; --quiet silences
+        it again even on a terminal.
+        """
+        import sys as _sys
+
+        args = ["sort", "--n", "2000", "--memory", "512", "--disks", "8"]
+        assert main(args) == 0
+        assert "[io-plan]" not in capsys.readouterr().err
+        monkeypatch.setattr(_sys.stderr, "isatty", lambda: True,
+                            raising=False)
+        assert main(args) == 0
+        assert "[io-plan]" in capsys.readouterr().err
+        monkeypatch.setattr(_sys.stderr, "isatty", lambda: True,
+                            raising=False)
+        assert main([*args, "--quiet"]) == 0
+        assert "[io-plan]" not in capsys.readouterr().err
+
     def test_sort_with_overrides(self, capsys):
         rc = main(["sort", "--n", "1500", "--memory", "512", "--matcher", "greedy",
                    "--buckets", "4", "--virtual-disks", "4", "--workload", "zipf"])

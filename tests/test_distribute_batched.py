@@ -224,3 +224,46 @@ class TestPlanStatsOutOfBand:
         snap = machine.plan_stats.snapshot()
         assert snap["deferred_write_rounds"] == 0
         assert snap["write_flushes"] == 0
+
+    def test_ambient_collector_and_merge(self):
+        """collect_plan_stats gathers every machine; merge sums/maxes."""
+        from repro.pdm.machine import collect_plan_stats, merge_plan_snapshots
+
+        with env(REPRO_IO_PLAN=None), collect_plan_stats() as collected:
+            for n in (1000, 2000):
+                machine = ParallelDiskMachine(memory=512, block=4, disks=8)
+                balance_sort_pdm(machine, workloads.uniform(n, seed=0))
+        assert len(collected) == 2
+        snaps = [s.snapshot() for s in collected]
+        merged = merge_plan_snapshots(snaps)
+        assert merged["write_flushes"] == sum(
+            s["write_flushes"] for s in snaps)
+        assert merged["deferred_write_rounds"] == sum(
+            s["deferred_write_rounds"] for s in snaps)
+        assert merged["max_write_flush_blocks"] == max(
+            s["max_write_flush_blocks"] for s in snaps)
+        # Outside the context, machines no longer register.
+        before = len(collected)
+        ParallelDiskMachine(memory=512, block=4, disks=8)
+        assert len(collected) == before
+
+    def test_runner_folds_plan_stats_out_of_band(self, tmp_path):
+        """The sweep runner aggregates per-cell plan telemetry without
+        ever letting the sidecar key reach a payload or the cache."""
+        from repro.exec.runner import ParallelRunner, RunSpec
+
+        runner = ParallelRunner(cache_dir=str(tmp_path / "cache"))
+        specs = [RunSpec("sort_pdm", {"n": 1000, "disks": 4})]
+        with env(REPRO_IO_PLAN=None):
+            results = runner.map(specs)
+        assert not results[0].failed
+        assert "_plan_stats" not in results[0].payload
+        totals = runner.stats["io_plan"]
+        assert totals["write_flushes"] > 0
+        # A cache-served rerun contributes nothing new (no simulation).
+        rerun = ParallelRunner(cache_dir=str(tmp_path / "cache"))
+        with env(REPRO_IO_PLAN=None):
+            again = rerun.map(specs)
+        assert again[0].cached
+        assert "_plan_stats" not in again[0].payload
+        assert not any(rerun.stats["io_plan"].values())

@@ -78,6 +78,11 @@ class TestMakeEntry:
         entry = make_entry("s", 1.0, 100, when=0.0)
         assert entry["host_key"] == capture_host()["key"]
 
+    def test_methodology_stamp(self):
+        assert _entry()["min_of"] == 1
+        assert _entry(min_of=3)["min_of"] == 3
+        assert _entry(min_of=0)["min_of"] == 1  # clamped to a real pass
+
 
 class TestBenchLedger:
     def test_append_read_round_trip(self, tmp_path):
@@ -125,6 +130,18 @@ class TestBenchLedger:
         assert ledger.baseline("e3", "a" * 12) is None
         assert ledger.latest("nope") is None
 
+    def test_baseline_is_methodology_aware(self, tmp_path):
+        """min_of filtering: a min-of-3 point gates against the previous
+        min-of-3 point, skipping interleaved single-pass points."""
+        ledger = BenchLedger(str(tmp_path / "ledger.jsonl"))
+        key = "a" * 12
+        ledger.append(_entry(host_key_=key, seconds=5.0, min_of=3))
+        ledger.append(_entry(host_key_=key, seconds=1.0))
+        ledger.append(_entry(host_key_=key, seconds=4.0, min_of=3))
+        assert ledger.baseline("e1", key)["seconds"] == 1.0
+        assert ledger.baseline("e1", key, min_of=3)["seconds"] == 5.0
+        assert ledger.baseline("e1", key, min_of=1) is None
+
 
 class TestCompareEntries:
     def test_within_window_is_ok(self):
@@ -156,6 +173,17 @@ class TestCompareEntries:
             with pytest.raises(ValueError, match="cannot gate across"):
                 compare_entries(base, other)
 
+    def test_refuses_cross_methodology(self):
+        """A min-of-3 point never gates against a single-pass baseline."""
+        with pytest.raises(ValueError, match="cannot gate across min_of"):
+            compare_entries(_entry(), _entry(min_of=3))
+        # Points written before the field existed count as single-pass.
+        legacy = _entry()
+        del legacy["min_of"]
+        assert compare_entries(legacy, _entry(seconds=2.1)).ok
+        with pytest.raises(ValueError, match="cannot gate across min_of"):
+            compare_entries(legacy, _entry(min_of=2))
+
 
 class TestCliBench:
     GRID = ["--n", "1000,2000", "--disks", "4"]
@@ -182,6 +210,18 @@ class TestCliBench:
         captured = capsys.readouterr()
         assert rc == 0
         assert "bench compare: OK" in captured.out
+
+    def test_record_min_of_stamps_methodology(self, capsys, tmp_path):
+        from repro.cli import main
+
+        ledger_path = str(tmp_path / "ledger.jsonl")
+        rc = main(["bench", "record", "--series", "smoke", "--min-of", "2",
+                   "--ledger", ledger_path, "--commit", "abc123",
+                   *self.GRID])
+        capsys.readouterr()
+        assert rc == 0
+        (point,) = BenchLedger(ledger_path).read()
+        assert point["min_of"] == 2
 
     def test_compare_flags_regression(self, capsys, tmp_path):
         from repro.cli import main

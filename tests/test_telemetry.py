@@ -396,6 +396,12 @@ class TestCliTelemetry:
         assert doc["schema"] == "repro.sweep_stats/1"
         assert doc["runner"]["executed"] == 1
         assert doc["journal"] is None
+        # Physical-fusion counters fold into the stats doc out of band
+        # (they are telemetry: never part of any payload).
+        io_plan = doc["runner"]["io_plan"]
+        assert io_plan["write_flushes"] >= 1
+        assert io_plan["deferred_write_rounds"] >= io_plan["write_flushes"]
+        assert "plan write flushes" in captured.err
 
     def test_reports_bit_identical_via_diff_strict(self, capsys, tmp_path):
         """The acceptance gate: telemetry-on vs telemetry-off run reports
