@@ -29,6 +29,7 @@ def report(name: str, table: Table, notes: str = "") -> str:
     (:func:`repro.util.capture_host`), so downstream tooling never has to
     parse the text table and diff gates can ignore ``host.*`` wholesale.
     """
+    from repro import __version__
     from repro.util import capture_host
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -40,6 +41,7 @@ def report(name: str, table: Table, notes: str = "") -> str:
         fh.write(text + "\n")
     sidecar = {
         "schema": "repro.bench_result/1",
+        "repro_version": __version__,
         "name": name,
         "host": capture_host(),
         **table.to_dict(),

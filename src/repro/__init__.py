@@ -33,13 +33,15 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.workloads` — seeded input generators.
 """
 
+# Defined before the subpackage imports: obs.history / obs.dashboard stamp
+# artifacts with the package version at import time.
+__version__ = "1.0.0"
+
 from . import analysis, baselines, core, hierarchies, hypercube, obs, pdm, pram, records, util, workloads
 from .core import balance_sort_hierarchy, balance_sort_pdm
 from .hierarchies import ParallelHierarchies
 from .pdm import ParallelDiskMachine
 from .records import make_records
-
-__version__ = "1.0.0"
 
 __all__ = [
     "analysis",

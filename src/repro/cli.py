@@ -46,10 +46,13 @@ from .core.streams import peek_run
 from .hierarchies import LogCost, ParallelHierarchies, PowerCost, UMHCost
 from .obs import (
     NULL_TRACER,
+    MemoryTelemetry,
     Observation,
     RunReport,
     TheoryAuditor,
     diff_runs,
+    memory_telemetry_enabled,
+    peak_rss_kb,
     profile_trace,
     render_profile,
     render_report,
@@ -263,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-json", metavar="PATH", default=None,
         help="write the profile as JSON ('-' = stdout, suppresses the tables)",
     )
+    p_prof.add_argument(
+        "--memory", metavar="PATH", default=None,
+        help="attach a memory-telemetry snapshot (a sweep --stats-json "
+             "file, or any JSON dict of gauges) to the profile",
+    )
 
     p_diff = sub.add_parser(
         "diff",
@@ -367,6 +375,123 @@ def build_parser() -> argparse.ArgumentParser:
         "--host-key", default=None,
         help="gate within this host class (default: the current host's key)",
     )
+    p_bc.add_argument(
+        "--attribute", action="store_true",
+        help="on gate failure, look both commits up in the run-history "
+             "index and print the ranked regression attribution",
+    )
+    p_bc.add_argument(
+        "--history", default=".repro-history", metavar="DIR",
+        help="[--attribute] run-history index directory "
+             "(default .repro-history)",
+    )
+    p_bl = bench_sub.add_parser(
+        "list",
+        help="enumerate the ledger's series × host × methodology with "
+             "point counts and latest values",
+    )
+    p_bl.add_argument("--ledger", default="BENCH_ledger.jsonl", metavar="PATH")
+    p_bl.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="write the listing as JSON ('-' = stdout, suppresses the table)",
+    )
+
+    p_hist = sub.add_parser(
+        "history",
+        help="cross-run history index: ingest run artifacts (reports, "
+             "audits, profiles, ledger points, traces) and query them",
+    )
+    hist_sub = p_hist.add_subparsers(dest="history_command", required=True)
+
+    def add_history_dir(p):
+        p.add_argument(
+            "--history", default=".repro-history", metavar="DIR",
+            help="index directory (default .repro-history)",
+        )
+
+    p_hi = hist_sub.add_parser(
+        "ingest",
+        help="index one or more artifact files (content-detected; "
+             "traces are profiled on ingest)",
+    )
+    add_history_dir(p_hi)
+    p_hi.add_argument("paths", nargs="+", help="artifact files to ingest")
+    p_hi.add_argument("--commit", default="",
+                      help="commit id to stamp on the records")
+    p_hi.add_argument("--series", default="",
+                      help="series name to stamp on the records")
+    p_hi.add_argument(
+        "--config", action="append", default=[], metavar="KEY=VALUE",
+        help="extra config knob to stamp (repeatable; REPRO_* env vars "
+             "set at ingest time are captured automatically)",
+    )
+    p_hi.add_argument(
+        "--require-version", action="store_true",
+        help="refuse bench points lacking a repro_version stamp "
+             "(the recorded-file shape gate)",
+    )
+    p_hl = hist_sub.add_parser("list", help="list indexed runs")
+    add_history_dir(p_hl)
+    p_hl.add_argument("--kind", default=None,
+                      help="filter: report/audit/profile/ledger/bench/stats")
+    p_hl.add_argument("--limit", type=int, default=None,
+                      help="keep only the newest N records")
+    p_hs = hist_sub.add_parser(
+        "show", help="print one indexed run's verbatim artifact as JSON"
+    )
+    add_history_dir(p_hs)
+    p_hs.add_argument("id", help="run id (unique prefix accepted)")
+    p_hq = hist_sub.add_parser(
+        "query", help="query index records as JSON (the scripting surface)"
+    )
+    add_history_dir(p_hq)
+    p_hq.add_argument("--kind", default=None)
+    p_hq.add_argument("--series", default=None)
+    p_hq.add_argument("--commit", default=None,
+                      help="commit filter (prefix match, both directions)")
+    p_hq.add_argument("--host-key", default=None)
+    p_hq.add_argument("--limit", type=int, default=None)
+    p_hq.add_argument(
+        "--emit-json", metavar="PATH", default="-",
+        help="output path (default '-' = stdout)",
+    )
+
+    p_attr = sub.add_parser(
+        "attribute",
+        help="regression attribution: diff two runs at the profile level "
+             "and rank the per-span deltas with round-count verdicts",
+    )
+    p_attr.add_argument(
+        "a", help="baseline run: an index id (prefix ok) or a "
+                  "report/profile JSON or trace file path",
+    )
+    p_attr.add_argument("b", help="candidate run (same forms as A)")
+    p_attr.add_argument(
+        "--history", default=".repro-history", metavar="DIR",
+        help="index directory ids are resolved in (default .repro-history)",
+    )
+    p_attr.add_argument("--top", type=int, default=None,
+                        help="keep only the top-K spans by |Δ|")
+    p_attr.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="write the repro.attrib/1 report as JSON ('-' = stdout, "
+             "suppresses the tables)",
+    )
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render the run-history index as one self-contained static "
+             "HTML page (no external requests, no JS)",
+    )
+    p_dash.add_argument(
+        "--history", default=".repro-history", metavar="DIR",
+        help="index directory (default .repro-history)",
+    )
+    p_dash.add_argument(
+        "-o", "--out", default="dashboard.html", metavar="PATH",
+        help="output HTML path ('-' = stdout; default dashboard.html)",
+    )
+    p_dash.add_argument("--title", default="repro perf dashboard")
 
     sub.add_parser("workloads", help="list the available workload generators")
     return parser
@@ -376,7 +501,8 @@ def _make_obs(args) -> Observation | None:
     """An Observation when any sink was requested on the CLI, else None."""
     if args.emit_json is None and args.trace_out is None:
         return None
-    return Observation(trace_path=args.trace_out)
+    memory = MemoryTelemetry() if memory_telemetry_enabled() else None
+    return Observation(trace_path=args.trace_out, memory=memory)
 
 
 def _emit(args, obs: Observation | None, command: str, result: dict,
@@ -437,6 +563,17 @@ def cmd_sort(args) -> int:
             f"{plan['prefetched_read_rounds']} read rounds gathered "
             f"in {plan['read_gathers']} batches "
             f"(max {plan['max_read_gather_blocks']} blocks)",
+            file=sys.stderr,
+        )
+    if not args.quiet and sys.stderr.isatty() and memory_telemetry_enabled():
+        # Same out-of-band discipline as [io-plan]: memory gauges are
+        # telemetry, never part of the deterministic stdout/payloads.
+        mem = machine.mem_snapshot()
+        print(
+            f"[mem] arena high-water {mem['high_water_blocks']} blocks "
+            f"(slab {mem['slab_bytes']} bytes, {mem['grow_events']} grows); "
+            f"ledger high-water {mem['ledger_high_water_records']} records; "
+            f"peak RSS {peak_rss_kb()} kB",
             file=sys.stderr,
         )
     audit = auditor.finish_pdm(machine, res).to_dict() if auditor else None
@@ -917,6 +1054,14 @@ def _sweep_stats_table(stats: dict, journal_stats: dict | None = None) -> Table:
         t.add("plan read rounds gathered", io_plan["prefetched_read_rounds"])
         t.add("plan read gathers", io_plan["read_gathers"])
         t.add("plan max gather blocks", io_plan["max_read_gather_blocks"])
+    memory = stats.get("memory")
+    if memory and any(memory.values()):
+        t.add("mem high-water blocks", memory.get("high_water_blocks", 0))
+        t.add("mem slab bytes", memory.get("slab_bytes", 0))
+        t.add("mem slab grow events", memory.get("grow_events", 0))
+        t.add("mem ledger high-water records",
+              memory.get("ledger_high_water_records", 0))
+        t.add("mem peak RSS kB", memory.get("peak_rss_kb", 0))
     if journal_stats is not None:
         t.add("journal resumed", journal_stats["resumed"])
         t.add("journal recorded done", journal_stats["recorded_done"])
@@ -1011,7 +1156,24 @@ def cmd_profile(args) -> int:
     """Profile a saved trace: hotspots, critical path, I/O attribution."""
     import json
 
-    profile = profile_trace(args.trace, top=args.top, bins=args.bins)
+    memory = None
+    if args.memory:
+        with open(args.memory, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") == "repro.sweep_stats/1":
+            # A sweep --stats-json dump: the gauges live under runner.
+            memory = (doc.get("runner") or {}).get("memory")
+        elif isinstance(doc, dict):
+            memory = doc
+        if not memory or not any(memory.values()):
+            print(
+                f"[profile] {args.memory} holds no memory gauges "
+                "(was the sweep run with REPRO_MEM_TELEMETRY off?)",
+                file=sys.stderr,
+            )
+            memory = None
+    profile = profile_trace(args.trace, top=args.top, bins=args.bins,
+                            memory=memory)
     if args.emit_json:
         text = json.dumps(profile, indent=2)
         if args.emit_json == "-":
@@ -1212,6 +1374,60 @@ def cmd_bench(args) -> int:
         t.print()
         return 0
 
+    if args.bench_command == "list":
+        import json
+
+        ledger = BenchLedger(args.ledger)
+        groups: dict[tuple, list[dict]] = {}
+        for entry in ledger.read():
+            gk = (
+                entry.get("series", "?"),
+                entry.get("host_key", "?"),
+                int(entry.get("min_of", 1) or 1),
+            )
+            groups.setdefault(gk, []).append(entry)
+        rows = []
+        for (series, hk, min_of), entries in sorted(groups.items()):
+            latest = entries[-1]
+            rows.append({
+                "series": series,
+                "host_key": hk,
+                "min_of": min_of,
+                "points": len(entries),
+                "latest_seconds": latest.get("seconds"),
+                "latest_records_per_sec": latest.get("records_per_sec"),
+                "latest_us_per_record": latest.get("us_per_record"),
+                "latest_commit": latest.get("commit"),
+            })
+        doc = {"schema": "repro.bench_list/1", "ledger": args.ledger,
+               "groups": rows}
+        show = True
+        if args.emit_json:
+            text = json.dumps(doc, indent=2)
+            if args.emit_json == "-":
+                print(text)
+                show = False
+            else:
+                with open(args.emit_json, "w") as fh:
+                    fh.write(text + "\n")
+        if show:
+            t = Table(
+                ["series", "host", "min of", "points", "latest s",
+                 "rec/s", "µs/rec", "commit"],
+                title=f"bench ledger · {args.ledger}",
+            )
+            for r in rows:
+                t.add(
+                    r["series"], r["host_key"], r["min_of"], r["points"],
+                    r["latest_seconds"], r["latest_records_per_sec"],
+                    r["latest_us_per_record"], r["latest_commit"],
+                )
+            t.print()
+            if not rows:
+                print(f"[bench] {args.ledger} holds no points",
+                      file=sys.stderr)
+        return 0
+
     # bench compare
     ledger = BenchLedger(args.ledger)
     key = args.host_key or host_key()
@@ -1245,12 +1461,253 @@ def cmd_bench(args) -> int:
         t.print()
         print()
     verdict = "OK" if result.ok else "REGRESSION"
+    # min_of and host_key are identical across the two points by
+    # construction (compare_entries refuses to gate across them).
     print(
         f"bench compare: {verdict} ({args.series} @ {latest.get('commit')} "
         f"vs {baseline.get('commit')}: {baseline.get('seconds')}s -> "
-        f"{latest.get('seconds')}s, threshold {args.threshold})"
+        f"{latest.get('seconds')}s, min_of={latest.get('min_of', 1)}, "
+        f"host={latest.get('host_key', '?')}, threshold {args.threshold})"
     )
+    if not result.ok and getattr(args, "attribute", False):
+        _bench_attribute(args, baseline, latest)
     return 0 if result.ok else 1
+
+
+def _bench_attribute(args, baseline: dict, latest: dict) -> None:
+    """Best-effort attribution of a failed gate from the history index.
+
+    Looks the two ledger commits up in the run-history index (profiles
+    preferred, reports accepted) and prints the ranked attribution; a
+    missing index or missing runs degrade to a pointer, never an error —
+    the gate's exit code is the compare's, not the attribution's.
+    """
+    from .obs import RunHistory, attribute_runs, render_attrib
+
+    history = RunHistory(args.history)
+
+    def _find_run(commit: str):
+        for kind in ("profile", "report"):
+            records = history.records(kind=kind, commit=commit or None)
+            if records:
+                return records[-1]
+        return None
+
+    rec_a = _find_run(baseline.get("commit", ""))
+    rec_b = _find_run(latest.get("commit", ""))
+    if rec_a is None or rec_b is None:
+        missing = [
+            c for c, r in (
+                (baseline.get("commit"), rec_a), (latest.get("commit"), rec_b),
+            ) if r is None
+        ]
+        print(
+            f"[bench] no indexed profile/report for commit(s) "
+            f"{', '.join(str(c) for c in missing)} in {args.history}; "
+            "ingest run artifacts with `repro history ingest --commit ...` "
+            "to enable attribution",
+            file=sys.stderr,
+        )
+        return
+    attrib = attribute_runs(
+        history.load_artifact(rec_a), history.load_artifact(rec_b),
+        a_meta=rec_a, b_meta=rec_b, top=10,
+    )
+    print("attribution (from run-history index):")
+    for t in render_attrib(attrib):
+        t.print()
+        print()
+    for finding in attrib["findings"]:
+        print(f"  - {finding}")
+
+
+def cmd_history(args) -> int:
+    """Dispatch ``repro history ingest|list|show|query``."""
+    import json
+
+    from .obs import RunHistory
+
+    history = RunHistory(args.history)
+
+    if args.history_command == "ingest":
+        config = {}
+        for spec in args.config:
+            key, sep, value = spec.partition("=")
+            if not sep or not key:
+                print(f"bad --config {spec!r} (expected KEY=VALUE)",
+                      file=sys.stderr)
+                return 2
+            config[key] = value
+        new = dup = 0
+        for path in args.paths:
+            try:
+                records = history.ingest_path(
+                    path, commit=args.commit, series=args.series,
+                    config=config, require_version=args.require_version,
+                )
+            except (ValueError, OSError) as exc:
+                print(f"[history] error ingesting {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+            for record in records:
+                if record.get("duplicate"):
+                    dup += 1
+                else:
+                    new += 1
+                    print(f"indexed {record['id']} ({record['kind']}) "
+                          f"from {path}")
+        stats = history.stats
+        print(
+            f"[history] {new} new, {dup} duplicate; index now holds "
+            f"{stats['records']} records in {args.history}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.history_command == "list":
+        records = history.records(kind=args.kind, limit=args.limit)
+        t = Table(
+            ["id", "kind", "commit", "series", "host", "summary"],
+            title=f"run history · {args.history}",
+        )
+        for r in records:
+            summary = r.get("summary") or {}
+            brief = ", ".join(
+                f"{k}={summary[k]}" for k in list(summary)[:3]
+            )
+            t.add(
+                r["id"], r["kind"], r.get("commit") or "-",
+                r.get("series") or "-", r.get("host_key") or "-",
+                brief[:48],
+            )
+        t.print()
+        if not records:
+            print(f"[history] no records in {args.history}", file=sys.stderr)
+        return 0
+
+    if args.history_command == "show":
+        try:
+            record = history.get(args.id)
+        except KeyError as exc:
+            print(f"[history] {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(json.dumps(
+            {"record": record, "artifact": history.load_artifact(record)},
+            indent=2,
+        ))
+        return 0
+
+    # query
+    records = history.records(
+        kind=args.kind, series=args.series, commit=args.commit,
+        host_key=args.host_key, limit=args.limit,
+    )
+    doc = {
+        "schema": "repro.run_index_query/1",
+        "root": args.history,
+        "n": len(records),
+        "records": records,
+    }
+    text = json.dumps(doc, indent=2)
+    if args.emit_json == "-":
+        print(text)
+    else:
+        with open(args.emit_json, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+def _resolve_attrib_input(history, ref: str, label: str):
+    """(doc, meta) for one ``repro attribute`` operand.
+
+    A path wins over an id: report/profile JSON loads directly, anything
+    line-oriented is treated as a trace and profiled on the fly.  Ids
+    (unique prefixes accepted) resolve through the history index.
+    """
+    import json
+    import os
+
+    if os.path.exists(ref):
+        with open(ref, "rb") as fh:
+            head = fh.read(2)
+        if head[:2] == b"\x1f\x8b":  # gzip: a trace for sure
+            return profile_trace(ref), {"source": ref}
+        with open(ref, encoding="utf-8") as fh:
+            first_line = fh.readline()
+            try:
+                doc = json.loads(first_line + fh.read())
+            except json.JSONDecodeError:
+                doc = None
+        if isinstance(doc, dict) and doc.get("schema"):
+            return doc, {"source": ref}
+        try:
+            first = json.loads(first_line)
+        except json.JSONDecodeError:
+            first = None
+        if isinstance(first, dict) and "ev" in first:
+            return profile_trace(ref), {"source": ref}
+        raise ValueError(
+            f"{label} ({ref}): not a schema-stamped JSON document or trace"
+        )
+    record = history.get(ref)  # KeyError with a useful message on miss
+    return history.load_artifact(record), record
+
+
+def cmd_attribute(args) -> int:
+    """Attribute a perf delta between two runs, ranked by |Δ self time|."""
+    import json
+
+    from .obs import RunHistory, attribute_runs, render_attrib
+
+    history = RunHistory(args.history)
+    try:
+        a_doc, a_meta = _resolve_attrib_input(history, args.a, "run A")
+        b_doc, b_meta = _resolve_attrib_input(history, args.b, "run B")
+        attrib = attribute_runs(
+            a_doc, b_doc, a_meta=a_meta, b_meta=b_meta, top=args.top
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"[attribute] error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    show = True
+    if args.emit_json:
+        text = json.dumps(attrib, indent=2)
+        if args.emit_json == "-":
+            print(text)
+            show = False
+        else:
+            with open(args.emit_json, "w") as fh:
+                fh.write(text + "\n")
+    if show:
+        for t in render_attrib(attrib):
+            t.print()
+            print()
+        for finding in attrib["findings"]:
+            print(f"  - {finding}")
+        if not attrib["findings"]:
+            total = attrib["total"]
+            print(f"no finding above the noise floor "
+                  f"(total {total['a_s']}s -> {total['b_s']}s)")
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    """Render the history index as one self-contained HTML page."""
+    from .obs import RunHistory, render_dashboard
+
+    history = RunHistory(args.history)
+    html = render_dashboard(history, title=args.title)
+    if args.out == "-":
+        print(html, end="")
+        return 0
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    stats = history.stats
+    print(
+        f"wrote {args.out} ({len(html)} bytes, self-contained) from "
+        f"{stats['records']} indexed records in {args.history}"
+    )
+    return 0
 
 
 def cmd_workloads(_args) -> int:
@@ -1278,6 +1735,9 @@ def main(argv: list[str] | None = None) -> int:
         "top": cmd_top,
         "export-trace": cmd_export_trace,
         "bench": cmd_bench,
+        "history": cmd_history,
+        "attribute": cmd_attribute,
+        "dashboard": cmd_dashboard,
         "workloads": cmd_workloads,
     }[args.command]
     return handler(args)

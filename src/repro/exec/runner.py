@@ -53,8 +53,14 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..exceptions import InjectedWorkerCrash, PoisonedPayloadError, TaskTimeout
+from ..obs.memory import memory_telemetry_enabled, peak_rss_kb
 from ..obs.telemetry import PROGRESS_SCHEMA, TelemetryWriter, activate_telemetry
-from ..pdm.machine import collect_plan_stats, merge_plan_snapshots
+from ..pdm.machine import (
+    collect_mem_stats,
+    collect_plan_stats,
+    merge_mem_snapshots,
+    merge_plan_snapshots,
+)
 from ..resilience import FaultInjector, activate, exec_decision, grid_fingerprint
 from .cache import ResultCache
 from .fingerprint import SCHEMA_SALT, fingerprint
@@ -155,10 +161,16 @@ def _execute(
     collected ambiently and ride back under the reserved ``_plan_stats``
     key; the runner pops that key before the payload is validated,
     cached, or returned, so payload purity is untouched (cache bytes and
-    results never see it).
+    results never see it).  Memory gauges (arena occupancy high waters,
+    the internal-memory ledger peak, worker peak RSS) ride the same way
+    under ``_mem_stats`` when ``REPRO_MEM_TELEMETRY`` is on.
     """
     gate = None
-    with collect_plan_stats() as plan_stats:
+    mem_fns = None
+    with ExitStack() as outer:
+        plan_stats = outer.enter_context(collect_plan_stats())
+        if memory_telemetry_enabled():
+            mem_fns = outer.enter_context(collect_mem_stats())
         if plan is None and telemetry is None:
             payload = run_task(task, params)
         else:
@@ -178,6 +190,11 @@ def _execute(
     fused = merge_plan_snapshots(s.snapshot() for s in plan_stats)
     if any(fused.values()):
         payload["_plan_stats"] = fused
+    if mem_fns is not None:
+        mem = merge_mem_snapshots(fn() for fn in mem_fns)
+        mem["peak_rss_kb"] = peak_rss_kb()
+        if any(mem.values()):
+            payload["_mem_stats"] = mem
     return payload
 
 
@@ -306,6 +323,7 @@ class ParallelRunner:
         self._scope = obs.scope("resilience") if obs is not None else None
         self._failed_payloads: dict[str, dict] = {}
         self._plan_snaps: list[dict] = []
+        self._mem_snaps: list[dict] = []
 
     # ------------------------------------------------------- obs plumbing
 
@@ -421,16 +439,26 @@ class ParallelRunner:
         return results  # type: ignore[return-value]
 
     def _absorb_plan(self, payload) -> None:
-        """Pop a cell's out-of-band ``_plan_stats`` sidecar, if present.
+        """Pop a cell's out-of-band sidecars (``_plan_stats``, ``_mem_stats``).
 
         Must run before the payload is validated, cached, or exposed in
-        a result: plan shape is telemetry, and a cached serve must be
-        byte-identical to a fresh execution.
+        a result: plan shape and memory gauges are telemetry, and a
+        cached serve must be byte-identical to a fresh execution.
         """
         if isinstance(payload, dict):
             side = payload.pop("_plan_stats", None)
             if side:
                 self._plan_snaps.append(side)
+            mem = payload.pop("_mem_stats", None)
+            if mem:
+                self._mem_snaps.append(mem)
+                self._tel(
+                    "cell_mem",
+                    **{k: mem[k] for k in (
+                        "high_water_blocks", "slab_bytes",
+                        "ledger_high_water_records", "peak_rss_kb",
+                    ) if k in mem},
+                )
 
     # ------------------------------------------------------ cell plumbing
 
@@ -743,6 +771,9 @@ class ParallelRunner:
             # Physical-fusion telemetry summed over the freshly executed
             # cells (cache hits ran no simulation, so contribute nothing).
             "io_plan": merge_plan_snapshots(self._plan_snaps),
+            # Memory gauges folded the same way (counters add, high
+            # waters max); all-zero when REPRO_MEM_TELEMETRY is off.
+            "memory": merge_mem_snapshots(self._mem_snaps),
         }
 
 

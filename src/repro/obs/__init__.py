@@ -48,11 +48,35 @@ And the *live* leg (PR 6) — observability while and across runs:
   host-keyed ``repro.bench_series/1`` perf-trajectory ledger behind
   ``repro bench record`` / ``repro bench compare``.
 
+And the *cross-run* analytics leg (PR 9) — observability across the
+whole history of runs:
+
+* :class:`RunHistory` (:mod:`~repro.obs.history`) — the append-friendly,
+  host-keyed ``repro.run_index/1`` index over every run artifact
+  (reports, audits, profiles, ledger points, bench sidecars, sweep
+  stats, raw traces), behind ``repro history ingest|list|show|query``;
+* :func:`attribute_runs` (:mod:`~repro.obs.attrib`) — the
+  regression-attribution engine: per-span self-time deltas cross-checked
+  against I/O-round counts and config deltas, ranked into a
+  ``repro.attrib/1`` diagnosis (``repro attribute``, ``repro bench
+  compare --attribute``);
+* :class:`MemoryTelemetry` (:mod:`~repro.obs.memory`) — per-phase peak
+  RSS sampling plus the store/machine arena gauges (high-water blocks,
+  slab growth, ledger records), out-of-band like ``_plan_stats`` so
+  payloads stay bit-identical telemetry on or off
+  (``REPRO_MEM_TELEMETRY``);
+* :func:`render_dashboard` (:mod:`~repro.obs.dashboard`) — the
+  self-contained static-HTML perf dashboard over the history index
+  (``repro dashboard``).
+
 See ``docs/observability.md`` for the event schema and metric names.
 """
 
+from .attrib import ATTRIB_SCHEMA, attribute_runs, render_attrib
 from .audit import AUDIT_SCHEMA, AuditCheck, AuditReport, TheoryAuditor, record_cell_audit
+from .dashboard import render_dashboard
 from .diff import DIFF_SCHEMA, DiffEntry, DiffResult, diff_runs, flatten, load_doc
+from .history import INDEX_SCHEMA, RunHistory
 from .export import EXPORT_SCHEMA, export_chrome_trace, write_chrome_trace
 from .ledger import (
     SERIES_SCHEMA,
@@ -60,6 +84,7 @@ from .ledger import (
     compare_entries,
     make_entry,
 )
+from .memory import MemoryTelemetry, memory_telemetry_enabled, peak_rss_kb
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import PROFILE_SCHEMA, profile_trace, render_profile
 from .report import RunReport, render_report, summarize_trace
@@ -129,4 +154,13 @@ __all__ = [
     "BenchLedger",
     "make_entry",
     "compare_entries",
+    "INDEX_SCHEMA",
+    "RunHistory",
+    "ATTRIB_SCHEMA",
+    "attribute_runs",
+    "render_attrib",
+    "MemoryTelemetry",
+    "memory_telemetry_enabled",
+    "peak_rss_kb",
+    "render_dashboard",
 ]

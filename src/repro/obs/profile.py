@@ -52,12 +52,16 @@ def profile_trace(
     events_or_path: str | Iterable[dict],
     top: int | None = None,
     bins: int = 20,
+    memory: dict | None = None,
 ) -> dict:
     """Profile a trace into hotspots, critical path, levels, and I/O stats.
 
     ``top`` truncates the hotspot table (None = all names); ``bins`` sets
     the utilization-timeline resolution.  Accepts a path (plain or
     gzipped JSONL; torn tails tolerated) or an iterable of event dicts.
+    ``memory`` attaches a memory-telemetry snapshot (e.g. from
+    :class:`~repro.obs.memory.MemoryTelemetry` or the runner's merged
+    ``stats["memory"]``) under the profile's ``memory`` key.
     """
     if isinstance(events_or_path, str):
         events = read_trace(events_or_path, tolerate_truncated_tail=True)
@@ -238,6 +242,9 @@ def profile_trace(
         timeline = slots
 
     total_rounds = sum(round_total.values())
+    memory_block = None
+    if memory:
+        memory_block = {k: v for k, v in memory.items() if v}
     return {
         "schema": PROFILE_SCHEMA,
         "total_wall_s": round(total_wall, 6),
@@ -258,6 +265,7 @@ def profile_trace(
             },
             "timeline": timeline,
         },
+        **({"memory": memory_block} if memory_block else {}),
     }
 
 
@@ -319,5 +327,23 @@ def render_profile(profile: dict):
                   title=f"I/O utilization timeline ({len(timeline)} bins)")
         for slot in timeline:
             t.add(slot["t0"], slot["rounds"], slot["mean_width"])
+        tables.append(t)
+
+    memory = profile.get("memory")
+    if memory:
+        t = Table(["metric", "value"], title="memory telemetry")
+        for key, label in (
+            ("high_water_blocks", "arena high-water blocks"),
+            ("resident_blocks", "resident blocks"),
+            ("slab_rows", "slab rows"),
+            ("slab_bytes", "slab bytes"),
+            ("grow_events", "slab grow events"),
+            ("ledger_high_water_records", "ledger high-water records"),
+            ("peak_rss_kb", "peak RSS kB"),
+        ):
+            if memory.get(key):
+                t.add(label, memory[key])
+        for sample in memory.get("phase_rss") or []:
+            t.add(f"RSS after {sample.get('phase')} (kB)", sample.get("rss_kb"))
         tables.append(t)
     return tables

@@ -56,6 +56,7 @@ import threading
 import time
 from contextlib import contextmanager
 
+from .memory import memory_telemetry_enabled, peak_rss_kb
 from .tracer import read_trace
 
 __all__ = [
@@ -180,6 +181,10 @@ class ProgressSink:
         self._clock = clock
         self._last_flush = clock()
         self._since_flush = 0
+        # Memory telemetry rides the same lines (an RSS field on phase/
+        # progress records) when REPRO_MEM_TELEMETRY is on; like the
+        # timestamps, it never enters a payload.
+        self._rss = memory_telemetry_enabled()
         self.rounds = 0
         self.spans = 0
         self.events = 0
@@ -205,7 +210,10 @@ class ProgressSink:
                 (event.get("attrs") or {}).get("level", 0) == 0
             ):
                 self.phase = name
-                self.writer.emit("phase", phase=name)
+                if self._rss:
+                    self.writer.emit("phase", phase=name, rss_kb=peak_rss_kb())
+                else:
+                    self.writer.emit("phase", phase=name)
         elif kind == "end":
             self.spans += 1
         self._since_flush += 1
@@ -226,6 +234,8 @@ class ProgressSink:
         }
         if self.max_balance_factor is not None:
             fields["max_balance_factor"] = self.max_balance_factor
+        if self._rss:
+            fields["rss_kb"] = peak_rss_kb()
         self.writer.emit("progress", **fields)
 
     def close(self) -> None:
@@ -276,6 +286,8 @@ def aggregate_progress(events: list[dict]) -> dict:
         "finished": False,
         "running": [],
     }
+    peak_rss = 0
+    mem_high_water = 0
     t_start = None
     t_last = None
     started: dict[str, dict] = {}  # key -> {"ts", "phase", "rounds"}
@@ -300,6 +312,12 @@ def aggregate_progress(events: list[dict]) -> dict:
             src = ev.get("src", "")
             cur = cell_progress.setdefault(src, {})
             cur.update({k: ev[k] for k in ("phase", "rounds") if k in ev})
+            peak_rss = max(peak_rss, int(ev.get("rss_kb") or 0))
+        elif kind == "cell_mem":
+            peak_rss = max(peak_rss, int(ev.get("peak_rss_kb") or 0))
+            mem_high_water = max(
+                mem_high_water, int(ev.get("high_water_blocks") or 0)
+            )
         elif kind == "cell_retry":
             state["retried"] += 1
         elif kind == "cell_finish":
@@ -348,6 +366,10 @@ def aggregate_progress(events: list[dict]) -> dict:
         state["eta_s"] = round(
             remaining * mean_s / max(1, state["jobs"]), 1
         )
+    if peak_rss:
+        state["peak_rss_kb"] = peak_rss
+    if mem_high_water:
+        state["mem_high_water_blocks"] = mem_high_water
     return state
 
 
@@ -370,6 +392,8 @@ def render_progress_line(state: dict) -> str:
         parts.append(f"{state['rounds']} rounds")
     if state.get("records_per_sec"):
         parts.append(f"{state['records_per_sec']:g} rec/s")
+    if state.get("peak_rss_kb"):
+        parts.append(f"rss {state['peak_rss_kb'] / 1024:.0f} MiB")
     parts.append(f"elapsed {state.get('elapsed_s', 0.0):.1f}s")
     if state.get("eta_s") is not None:
         parts.append(f"eta {state['eta_s']:.1f}s")
@@ -395,6 +419,10 @@ def progress_tables(state: dict):
     t.add("records sorted", state.get("records", 0))
     if state.get("records_per_sec") is not None:
         t.add("records/sec", state["records_per_sec"])
+    if state.get("peak_rss_kb"):
+        t.add("peak RSS kB", state["peak_rss_kb"])
+    if state.get("mem_high_water_blocks"):
+        t.add("mem high-water blocks", state["mem_high_water_blocks"])
     t.add("elapsed s", state.get("elapsed_s", 0.0))
     if state.get("eta_s") is not None:
         t.add("eta s", state["eta_s"])

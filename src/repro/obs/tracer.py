@@ -175,6 +175,11 @@ class Tracer:
         self._stack: list[Span] = []
         self._next_id = 1
         self.enabled = True
+        #: Optional span-end observer (``observe_span_end(name, attrs)``)
+        #: — the memory-telemetry sampler attaches here.  Span begin/end
+        #: is the cold path (one pair per phase, not per I/O), so the
+        #: detached cost is a single ``is not None`` test.
+        self.memory = None
         self._events: list[dict] | None = [] if keep_events else None
         # Columnar fast path (see obs/columnar.py): activated lazily by
         # the first scalar_channel() request.  None = classic dict-per-
@@ -260,6 +265,8 @@ class Tracer:
         if error:
             record["error"] = error
         self._emit(record)
+        if self.memory is not None:
+            self.memory.observe_span_end(span.name, span.attrs)
 
     def close(self) -> None:
         """Close any dangling spans and flush the sink."""
@@ -363,6 +370,7 @@ class NullTracer:
 
     enabled = False
     events: list = []
+    memory = None
 
     def span(self, name: str, **attrs) -> _NullSpan:
         """The shared reusable no-op span."""
@@ -397,11 +405,17 @@ class Observation:
     """
 
     def __init__(self, registry: MetricsRegistry | None = None, tracer: Tracer | None = None,
-                 trace_path: str | None = None):
+                 trace_path: str | None = None, memory=None):
         if tracer is None:
             tracer = Tracer(JsonlSink(trace_path)) if trace_path else Tracer()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.memory.MemoryTelemetry` sampler —
+        #: wired onto the tracer's span-end path so top-level phase
+        #: boundaries get peak-RSS samples (out of band, never traced).
+        self.memory = memory
+        if memory is not None:
+            tracer.memory = memory
         #: Callbacks the sorts register on every BalanceEngine they build
         #: (signature ``cb(engine, info)`` — see
         #: :meth:`repro.core.balance.BalanceEngine.add_round_observer`).
@@ -419,6 +433,7 @@ class Observation:
             obs = cls.__new__(cls)
             obs.registry = MetricsRegistry("disabled")
             obs.tracer = NULL_TRACER
+            obs.memory = None
             obs.engine_observers = []
             cls._DISABLED = obs
         return cls._DISABLED

@@ -212,6 +212,53 @@ def collect_plan_stats():
         _PLAN_COLLECTOR = prev
 
 
+#: Memory gauges that add across machines/cells vs. high-water marks.
+_MEM_SUM_KEYS = ("machines", "grow_events")
+_MEM_MAX_KEYS = (
+    "slab_rows", "slab_bytes", "resident_blocks", "high_water_blocks",
+    "ledger_high_water_records", "peak_rss_kb",
+)
+
+
+def merge_mem_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold :meth:`mem_snapshot` dicts: counters add, high waters max.
+
+    The memory-telemetry analogue of :func:`merge_plan_snapshots` — used
+    to aggregate arena/ledger gauges across the machines of one grid cell
+    and across the cells of a sweep, strictly out of band (stderr
+    summaries, ``--stats-json``, the progress channel — never payloads).
+    """
+    out = {k: 0 for k in _MEM_SUM_KEYS + _MEM_MAX_KEYS}
+    for snap in snapshots:
+        out["machines"] += int(snap.get("machines", 1))
+        out["grow_events"] += int(snap.get("grow_events", 0))
+        for k in _MEM_MAX_KEYS:
+            out[k] = max(out[k], int(snap.get(k, 0) or 0))
+    return out
+
+
+#: Ambient (per-process) collector: when active, every machine created
+#: registers its bound ``mem_snapshot`` here (a callable, not a dict —
+#: gauges are read lazily so the snapshot reflects lifetime high waters).
+_MEM_COLLECTOR: list | None = None
+
+
+@contextmanager
+def collect_mem_stats():
+    """Collect the ``mem_snapshot`` callable of every machine built here.
+
+    Yields the live list of zero-argument callables; invoke them after
+    the block and fold through :func:`merge_mem_snapshots`.  Nestable,
+    exactly like :func:`collect_plan_stats`.
+    """
+    global _MEM_COLLECTOR
+    prev, _MEM_COLLECTOR = _MEM_COLLECTOR, []
+    try:
+        yield _MEM_COLLECTOR
+    finally:
+        _MEM_COLLECTOR = prev
+
+
 class _IOPlan:
     """Pending physically-deferred write rounds (logically already done).
 
@@ -306,12 +353,15 @@ class ParallelDiskMachine:
                 checksums = self._fault.wants_store_checksums
         self.store = make_store(store, self.D, self.B, checksums=bool(checksums))
         self._mem_used = 0
+        self._mem_high_water = 0
         self._alloc_ptr = 0
         # Fused I/O plans (optional; None keeps the hot path untouched).
         self._plan: _IOPlan | None = None
         self.plan_stats = IOPlanStats()
         if _PLAN_COLLECTOR is not None:
             _PLAN_COLLECTOR.append(self.plan_stats)
+        if _MEM_COLLECTOR is not None:
+            _MEM_COLLECTOR.append(self.mem_snapshot)
         # Observability (optional; None keeps the hot path untouched).
         self._obs = None
         self._obs_scope = None
@@ -993,6 +1043,8 @@ class ParallelDiskMachine:
                 f"memory overflow: {self._mem_used} + {n_records} > M={self.M}"
             )
         self._mem_used += n_records
+        if self._mem_used > self._mem_high_water:
+            self._mem_high_water = self._mem_used
 
     def mem_release(self, n_records: int) -> None:
         """Return ``n_records`` of internal memory to the ledger."""
@@ -1003,6 +1055,20 @@ class ParallelDiskMachine:
                 f"memory underflow: releasing {n_records} with only {self._mem_used} in use"
             )
         self._mem_used -= n_records
+
+    def mem_snapshot(self) -> dict:
+        """Memory gauges: store occupancy + the internal-memory ledger.
+
+        Out-of-band telemetry (stderr, ``--stats-json``, the progress
+        channel) — never part of a payload.  ``ledger_high_water_records``
+        is the lifetime peak of :attr:`memory_in_use`, i.e. how close the
+        run actually came to the configured ``M``.
+        """
+        snap = self.store.mem_snapshot()
+        snap["machines"] = 1
+        snap["ledger_high_water_records"] = int(self._mem_high_water)
+        snap["M"] = self.M
+        return snap
 
     # -------------------------------------------------------------- misc
 

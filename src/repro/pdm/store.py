@@ -113,6 +113,11 @@ class ArenaBlockStore:
         self._rows = np.full((self.D, 0), -1, dtype=np.int64)
         self._free_rows: list[int] = []
         self._next_row = 0
+        # Occupancy gauges (telemetry only — never read by sort logic, so
+        # they can stay always-on without touching payload purity).
+        self._resident = 0
+        self.high_water_blocks = 0
+        self.grow_events = 0
 
     @property
     def checksums(self) -> bool:
@@ -158,6 +163,7 @@ class ArenaBlockStore:
         grown = np.empty((new_cap, self.B), dtype=RECORD_DTYPE)
         grown[:cap] = self._arena
         self._arena = grown
+        self.grow_events += 1
 
     def _alloc_rows(self, k: int) -> np.ndarray:
         """Hand out ``k`` arena rows, recycling freed rows first."""
@@ -211,6 +217,7 @@ class ArenaBlockStore:
         if free:
             self._free_rows.extend(rows.tolist())
             self._rows[disks, slots] = -1
+            self._resident -= rows.size
             if self._sums is not None:
                 for d, s in zip(disks.tolist(), slots.tolist()):
                     self._sums.pop((d, s), None)
@@ -238,18 +245,25 @@ class ArenaBlockStore:
                     start, start + k, dtype=np.int64
                 )
                 self._arena[start : start + k] = data
+                self._resident += k
+                if self._resident > self.high_water_blocks:
+                    self.high_water_blocks = self._resident
                 if self._sums is not None:
                     for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
                         self._sums[(d, s)] = _block_sum(data[i])
                 return
             rows = self._alloc_rows(k)
             self._rows[disks, slots] = rows
+            self._resident += k
         else:
             missing = rows < 0
             n_missing = int(np.count_nonzero(missing))
             if n_missing:
                 rows[missing] = self._alloc_rows(n_missing)
                 self._rows[disks, slots] = rows
+                self._resident += n_missing
+        if self._resident > self.high_water_blocks:
+            self.high_water_blocks = self._resident
         self._arena[rows] = data
         if self._sums is not None:
             for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
@@ -285,6 +299,7 @@ class ArenaBlockStore:
             if row >= 0:
                 self._rows[disk, slot] = -1
                 self._free_rows.append(row)
+                self._resident -= 1
                 if self._sums is not None:
                     self._sums.pop((int(disk), int(slot)), None)
 
@@ -308,6 +323,7 @@ class ArenaBlockStore:
                     if r >= 0:
                         free.append(r)
                         rows_map[d, s] = -1
+                        self._resident -= 1
             return
         inside = slots < cap
         if not inside.all():
@@ -333,9 +349,11 @@ class ArenaBlockStore:
         if live.all():
             self._free_rows.extend(rows.tolist())
             self._rows[disks, slots] = -1
+            self._resident -= rows.size
         elif live.any():
             self._free_rows.extend(rows[live].tolist())
             self._rows[disks[live], slots[live]] = -1
+            self._resident -= int(np.count_nonzero(live))
 
     # -------------------------------------------------------------- misc
 
@@ -347,6 +365,25 @@ class ArenaBlockStore:
     def n_blocks(self) -> int:
         """Blocks currently resident (across all disks)."""
         return int(np.count_nonzero(self._rows >= 0))
+
+    def mem_snapshot(self) -> dict:
+        """Occupancy / high-water gauges (telemetry only, never payloads).
+
+        ``resident_blocks`` is an O(1) counter kept in lockstep with the
+        row map (the differential suite pins it against :meth:`n_blocks`);
+        ``high_water_blocks`` is its lifetime maximum; ``grow_events``
+        counts actual slab reallocations (geometric growth means O(log)
+        of the peak footprint).
+        """
+        return {
+            "backend": self.name,
+            "slab_rows": int(self._arena.shape[0]),
+            "slab_bytes": int(self._arena.nbytes),
+            "resident_blocks": int(self._resident),
+            "high_water_blocks": int(self.high_water_blocks),
+            "free_rows": len(self._free_rows),
+            "grow_events": int(self.grow_events),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -382,6 +419,11 @@ class DictBlockStore:
             {} if checksums else None
         )
         self._disks: list[dict[int, np.ndarray]] = [dict() for _ in range(self.D)]
+        # Occupancy gauges mirroring the arena backend (grow_events stays
+        # 0 here: dicts have no slab to reallocate).
+        self._resident = 0
+        self.high_water_blocks = 0
+        self.grow_events = 0
 
     @property
     def checksums(self) -> bool:
@@ -424,6 +466,7 @@ class DictBlockStore:
                 out[i] = store[s]
                 if free:
                     del store[s]
+                    self._resident -= 1
             return out
         pairs = list(zip(disks.tolist(), slots.tolist()))
         for i, (d, s) in enumerate(pairs):
@@ -435,16 +478,22 @@ class DictBlockStore:
             self._verify("read", d, s, out[i])
         if free:
             for d, s in pairs:
-                self._disks[d].pop(s, None)
+                if self._disks[d].pop(s, None) is not None:
+                    self._resident -= 1
                 self._sums.pop((d, s), None)
         return out
 
     def write_batch(self, disks: np.ndarray, slots: np.ndarray, data: np.ndarray) -> None:
         """Store each row of a ``(k, B)`` matrix as its own defensive copy."""
         for i, (d, s) in enumerate(zip(disks.tolist(), slots.tolist())):
-            self._disks[d][s] = np.array(data[i], dtype=RECORD_DTYPE)
+            store = self._disks[d]
+            if s not in store:
+                self._resident += 1
+            store[s] = np.array(data[i], dtype=RECORD_DTYPE)
             if self._sums is not None:
                 self._sums[(d, s)] = _block_sum(data[i])
+        if self._resident > self.high_water_blocks:
+            self.high_water_blocks = self._resident
 
     # --------------------------------------------------------- lifecycle
 
@@ -463,14 +512,16 @@ class DictBlockStore:
 
     def free(self, disk: int, slot: int) -> None:
         """Drop one block (no-op when absent, like ``dict.pop(slot, None)``)."""
-        self._disks[disk].pop(slot, None)
+        if self._disks[disk].pop(slot, None) is not None:
+            self._resident -= 1
         if self._sums is not None:
             self._sums.pop((int(disk), int(slot)), None)
 
     def free_batch(self, disks: np.ndarray, slots: np.ndarray) -> None:
         """Drop many blocks (no-ops for absent addresses)."""
         for d, s in zip(disks.tolist(), slots.tolist()):
-            self._disks[d].pop(s, None)
+            if self._disks[d].pop(s, None) is not None:
+                self._resident -= 1
             if self._sums is not None:
                 self._sums.pop((d, s), None)
 
@@ -483,6 +534,23 @@ class DictBlockStore:
     def n_blocks(self) -> int:
         """Blocks currently resident (across all disks)."""
         return sum(len(store) for store in self._disks)
+
+    def mem_snapshot(self) -> dict:
+        """Occupancy / high-water gauges (same shape as the arena backend).
+
+        There is no slab here, so ``slab_rows``/``slab_bytes`` report the
+        resident footprint itself (dicts allocate exactly what they hold).
+        """
+        itemsize = RECORD_DTYPE.itemsize
+        return {
+            "backend": self.name,
+            "slab_rows": int(self._resident),
+            "slab_bytes": int(self._resident) * self.B * itemsize,
+            "resident_blocks": int(self._resident),
+            "high_water_blocks": int(self.high_water_blocks),
+            "free_rows": 0,
+            "grow_events": 0,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DictBlockStore(D={self.D}, B={self.B}, blocks={self.n_blocks()})"

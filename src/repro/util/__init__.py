@@ -1,6 +1,6 @@
 """Shared utilities: order statistics, pairwise hashing, validation, host capture."""
 
-from .host import capture_host, host_key, usable_cores
+from .host import capture_host, host_key, peak_rss_kb, usable_cores
 from .order_stats import paper_median, select_kth, median_of_medians
 from .pairwise import PairwiseSpace, next_prime
 from .validation import (
@@ -13,6 +13,7 @@ from .validation import (
 __all__ = [
     "capture_host",
     "host_key",
+    "peak_rss_kb",
     "usable_cores",
     "paper_median",
     "select_kth",

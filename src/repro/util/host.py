@@ -23,7 +23,7 @@ import hashlib
 import os
 import platform
 
-__all__ = ["capture_host", "host_key", "usable_cores"]
+__all__ = ["capture_host", "host_key", "peak_rss_kb", "usable_cores"]
 
 
 def usable_cores() -> int:
@@ -36,6 +36,25 @@ def usable_cores() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def peak_rss_kb() -> int:
+    """Lifetime peak resident-set size of this process, in kibibytes.
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — a monotone high-water
+    mark the kernel keeps for free, so sampling it perturbs nothing
+    (the memory-telemetry design rule).  Linux reports the value in KiB,
+    macOS in bytes; both are normalized to KiB.  Returns 0 where the
+    ``resource`` module is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - macOS only
+        rss //= 1024
+    return int(rss)
 
 
 def capture_host() -> dict:
