@@ -185,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
              "backoff*2^k before retrying (default 0.05)",
     )
     p_sw.add_argument(
+        "--backoff-max", type=float, default=5.0, metavar="SECONDS",
+        help="cap on the cumulative backoff sleep per cell (default 5.0), "
+             "so permanent-fault plans with deep retry budgets cannot "
+             "stall the sweep unboundedly; negative disables the cap",
+    )
+    p_sw.add_argument(
         "--fault-plan", default=None, metavar="PATH|JSON",
         help="seeded chaos plan (repro.fault_plan/1 JSON file, or inline "
              "JSON starting with '{'); see docs/resilience.md",
@@ -215,6 +221,126 @@ def build_parser() -> argparse.ArgumentParser:
              "as JSON to PATH ('-' = stdout)",
     )
     add_obs_args(p_sw)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the sort service: JSONL-over-TCP jobs through the exec "
+             "layer with admission control, quotas, and graceful drain",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; see --port-file)",
+    )
+    p_srv.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH once listening (readiness "
+             "signal for scripts and CI)",
+    )
+    p_srv.add_argument(
+        "--queue", type=int, default=64, metavar="Q",
+        help="bounded admission queue: submissions beyond Q active jobs "
+             "are shed with a repro.reject/1 response (default 64)",
+    )
+    p_srv.add_argument(
+        "--quota-burst", type=int, default=None, metavar="N",
+        help="per-tenant token-bucket burst: each tenant may have N new "
+             "executions outstanding before quota rejects (default: no "
+             "quotas; coalesced and cached submissions are never charged)",
+    )
+    p_srv.add_argument(
+        "--quota-rate", type=float, default=0.0, metavar="PER_SEC",
+        help="token refill rate per tenant (default 0 = no refill, "
+             "which makes quota tests exact)",
+    )
+    p_srv.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: serial in-process driver)",
+    )
+    p_srv.add_argument("--retries", type=int, default=0,
+                       help="extra attempts per job after the first")
+    p_srv.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-attempt budget (pool mode; hung workers "
+                            "trigger a pool rebuild)")
+    p_srv.add_argument("--backoff", type=float, default=0.05, metavar="SECONDS",
+                       help="deterministic exponential backoff base")
+    p_srv.add_argument("--backoff-max", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="cumulative backoff cap per job (negative "
+                            "disables)")
+    p_srv.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-hashed result cache (warm hits answer instantly; "
+             "defaults to the journal's cells/ store when --journal is set)",
+    )
+    p_srv.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="job-granular checkpoint log: admitted jobs survive SIGTERM "
+             "and are resubmitted by `repro serve --resume`",
+    )
+    p_srv.add_argument(
+        "--resume", action="store_true",
+        help="resubmit the journal's admitted-but-unfinished jobs on start",
+    )
+    p_srv.add_argument(
+        "--fault-plan", default=None, metavar="PATH|JSON",
+        help="live chaos drill: seeded faults injected into the running "
+             "service (responses stay bit-identical; docs/resilience.md)",
+    )
+    p_srv.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="SIGTERM drain: stop accepting, wait this long for in-flight "
+             "jobs, then exit (queued jobs resume via the journal)",
+    )
+    p_srv.add_argument(
+        "--hold", action="store_true",
+        help="admission-only mode: queue and journal jobs without starting "
+             "the execution driver (drain/resume and shedding drills)",
+    )
+    p_srv.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="append repro.serve/1 structured lifecycle events as JSONL",
+    )
+    p_srv.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="stream serve.job spans + serve.* events to a JSONL trace "
+             "(request timelines via `repro export-trace`)",
+    )
+    p_srv.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write the repro.serve_stats/1 counter document on exit "
+             "('-' = stdout)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a parameter grid to a running `repro serve` instance "
+             "(the CLI client used by tests and CI)",
+    )
+    add_grid_args(p_sub)
+    p_sub.add_argument("--host", default="127.0.0.1", help="service address")
+    p_sub.add_argument("--port", type=int, required=True, help="service port")
+    p_sub.add_argument("--tenant", default="anon", help="quota/fair-share lane")
+    p_sub.add_argument(
+        "--wait-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-job completion wait budget (default 120)",
+    )
+    p_sub.add_argument(
+        "--submit-retries", type=int, default=50, metavar="N",
+        help="how many repro.reject/1 refusals to absorb per job "
+             "(honouring retry-after hints) before giving up",
+    )
+    p_sub.add_argument(
+        "--no-wait", action="store_true",
+        help="enqueue only: exit after admission without waiting for "
+             "completion (drain/resume drills; jobs finish server-side)",
+    )
+    p_sub.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write client + service counters as JSON ('-' = stdout), "
+             "parity with `repro sweep --stats-json`",
+    )
+    add_obs_args(p_sub)
 
     p_rep = sub.add_parser("report", help="summarize a saved JSONL trace")
     p_rep.add_argument("trace",
@@ -804,8 +930,15 @@ _SWEEP_COLUMNS = {
 #: run's report against the fault-free run — the chaos-determinism gate.
 _SWEEP_PARAM_EXCLUDES = (
     "command", "emit_json", "trace_out", "jobs", "cache_dir",
-    "retries", "timeout", "backoff", "fault_plan", "journal", "resume",
-    "telemetry", "live", "stats_json",
+    "retries", "timeout", "backoff", "backoff_max", "fault_plan",
+    "journal", "resume", "telemetry", "live", "stats_json",
+)
+
+#: ``repro submit`` keeps the same report-params surface as ``sweep`` —
+#: the transport flags are excluded so a submit report diffs clean
+#: against the serial sweep of the same grid (the service canary gate).
+_SUBMIT_PARAM_EXCLUDES = _SWEEP_PARAM_EXCLUDES + (
+    "host", "port", "tenant", "wait_timeout", "submit_retries", "no_wait",
 )
 
 
@@ -836,12 +969,7 @@ def cmd_sweep(args) -> int:
     from .exceptions import ParameterError
     from .exec import ParallelRunner, merge_metrics, merge_trace_events, write_merged_trace
     from .obs import LiveProgressView, TelemetryWriter, summarize_trace
-    from .resilience import (
-        FaultPlan,
-        SweepJournal,
-        grid_fingerprint,
-        inject_cache_faults,
-    )
+    from .resilience import FaultPlan, SweepJournal, inject_cache_faults
 
     task, specs = _sweep_specs(args)
     keys = [spec.fingerprint() for spec in specs]
@@ -861,16 +989,22 @@ def cmd_sweep(args) -> int:
     cache_dir = args.cache_dir
     if args.journal:
         journal = SweepJournal(args.journal)
+        # A journal belongs to one grid: attaching a different grid —
+        # resuming or not — would orphan the recorded checkpoints and
+        # poison later resumes, so both paths refuse with the same
+        # both-fingerprints diagnostic.
+        recorded, requested = journal.verify_grid(keys)
+        if recorded is not None and recorded != requested:
+            verb = "resume" if args.resume else "attach"
+            print(
+                f"[sweep] error: journal {args.journal} records a "
+                f"different grid (fingerprint {recorded} != "
+                f"{requested}); refusing to {verb} (use a fresh "
+                f"--journal DIR for a new grid)",
+                file=sys.stderr,
+            )
+            return 2
         if args.resume:
-            start = journal.last_start()
-            if start is not None and start.get("grid") != grid_fingerprint(keys):
-                print(
-                    f"[sweep] error: journal {args.journal} records a "
-                    f"different grid (fingerprint {start.get('grid')} != "
-                    f"{grid_fingerprint(keys)}); refusing to resume",
-                    file=sys.stderr,
-                )
-                return 2
             key_set = set(keys)
             journal.resumed = sum(
                 1 for k, st in journal.completed().items()
@@ -905,6 +1039,7 @@ def cmd_sweep(args) -> int:
         retries=args.retries,
         timeout=args.timeout,
         backoff=args.backoff,
+        backoff_max=None if args.backoff_max < 0 else args.backoff_max,
         fault_plan=plan,
         journal=journal,
         telemetry=writer,
@@ -1041,6 +1176,10 @@ def _sweep_stats_table(stats: dict, journal_stats: dict | None = None) -> Table:
     t.add("retries", stats["retried"])
     t.add("timeouts", stats["timeouts"])
     t.add("pool rebuilds", stats["pool_rebuilds"])
+    backoff_max = stats.get("backoff_max")
+    t.add("backoff cap (s)", "off" if backoff_max is None else backoff_max)
+    t.add("backoff slept (s)", stats.get("backoff_slept", 0))
+    t.add("backoff capped", stats.get("backoff_capped", 0))
     cache = stats["cache"]
     t.add("cache hits", cache["hits"])
     t.add("cache misses", cache["misses"])
@@ -1068,6 +1207,284 @@ def _sweep_stats_table(stats: dict, journal_stats: dict | None = None) -> Table:
         t.add("journal recorded failed", journal_stats["recorded_failed"])
         t.add("journal total done", journal_stats["total_done"])
     return t
+
+
+def cmd_serve(args) -> int:
+    """Run the sort service until SIGTERM/SIGINT drains it.
+
+    The exec layer behind ``repro sweep`` — runner, cache, retries,
+    fault plans, journal — wrapped in the admission pipeline of
+    :class:`~repro.serve.SortService`.  Exit codes: 0 after a clean
+    drain, 2 on usage errors (bad fault plan, ``--resume`` without
+    ``--journal``).
+    """
+    import asyncio
+    import json
+    import signal
+
+    from .exceptions import ParameterError
+    from .exec import JobRunner
+    from .resilience import FaultPlan, SweepJournal, inject_cache_faults
+    from .serve import FairShareScheduler, SortService
+
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.load(args.fault_plan)
+        except ParameterError as exc:
+            print(f"[serve] error: {exc}", file=sys.stderr)
+            return 2
+    if args.resume and not args.journal:
+        print("[serve] error: --resume requires --journal DIR", file=sys.stderr)
+        return 2
+    journal = None
+    cache_dir = args.cache_dir
+    if args.journal:
+        journal = SweepJournal(args.journal)
+        if cache_dir is None:
+            cache_dir = journal.cells_dir
+    if plan is not None and cache_dir:
+        damaged = inject_cache_faults(cache_dir, plan)
+        if damaged:
+            print(
+                f"[serve] fault plan damaged {damaged} cache entr"
+                f"{'y' if damaged == 1 else 'ies'}",
+                file=sys.stderr,
+            )
+    obs = Observation(trace_path=args.trace_out)
+    runner = JobRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        obs=obs,
+        retries=args.retries,
+        timeout=args.timeout,
+        backoff=args.backoff,
+        backoff_max=None if args.backoff_max < 0 else args.backoff_max,
+        fault_plan=plan,
+        journal=journal,
+        scheduler=FairShareScheduler(),
+    )
+    service = SortService(
+        runner,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue,
+        quota_burst=args.quota_burst,
+        quota_rate=args.quota_rate,
+        obs=obs,
+        log_path=args.log,
+        journal=journal,
+        resume=args.resume,
+        drain_grace=args.drain_grace,
+        hold=args.hold,
+        port_file=args.port_file,
+    )
+    service.on_ready = lambda: print(
+        f"[serve] listening on {service.host}:{service.port} "
+        f"queue={args.queue} jobs={runner.jobs or 1} "
+        f"quota={args.quota_burst or 'off'} "
+        f"{'HOLD ' if args.hold else ''}"
+        f"{'chaos ' if plan is not None else ''}"
+        f"(SIGTERM drains; grace {args.drain_grace}s)",
+        file=sys.stderr,
+    )
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, service.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await service.run()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    runner.close()
+    stats = service.stats()
+    if service.resumed:
+        print(f"[serve] resumed {service.resumed} journalled jobs", file=sys.stderr)
+    c = stats["serve"]
+    print(
+        f"[serve] drained in {c['drain_seconds']}s: "
+        f"admitted={c['admitted']} coalesced={c['coalesced']} "
+        f"cache_hits={c['cache_hits']} shed={c['shed']} "
+        f"quota_rejected={c['quota_rejected']} completed={c['completed']} "
+        f"failed={c['failed']} cancelled={c['cancelled']} "
+        f"pending={c['queue_depth']}",
+        file=sys.stderr,
+    )
+    obs.close()
+    if args.stats_json:
+        text = json.dumps(stats, indent=2)
+        if args.stats_json == "-":
+            print(text)
+        else:
+            with open(args.stats_json, "w") as fh:
+                fh.write(text + "\n")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a grid to a running service and print the sweep-shaped table.
+
+    The result/metrics/trace sections of ``--emit-json`` are built
+    exactly like ``repro sweep``'s, so a submit report diffs at
+    threshold 0 against the serial sweep of the same grid (ignore
+    ``command`` and ``*.cached``) — the service canary gate.  Exit
+    codes: 0 all jobs done, 2 transport/usage errors (including a job
+    shed beyond the retry budget), 3 when any job failed.
+    """
+    import json
+
+    from .exec import merge_metrics, merge_trace_events, write_merged_trace
+    from .serve import Rejected, ServeClient, ServeError
+
+    task, specs = _sweep_specs(args)
+    client = ServeClient(
+        host=args.host, port=args.port, tenant=args.tenant,
+        timeout=max(args.wait_timeout, 10.0),
+    )
+    admitted: list[tuple] = []  # (spec, job id, disposition)
+    rows = []
+    failures = []
+    ok_payloads = []
+    dispositions = {"new": 0, "coalesced": 0, "cached": 0}
+    try:
+        client.connect()
+        for spec in specs:
+            resp = client.submit_admitted(
+                spec.task, dict(spec.params), retries=args.submit_retries
+            )
+            job = resp["job"]
+            dispositions[job.get("disposition", "new")] += 1
+            admitted.append((spec, job["id"]))
+        if args.no_wait:
+            print(
+                f"[submit] enqueued jobs={len(specs)} "
+                f"new={dispositions['new']} "
+                f"coalesced={dispositions['coalesced']} "
+                f"cached={dispositions['cached']} (not waiting)",
+                file=sys.stderr,
+            )
+            if args.stats_json:
+                doc = {
+                    "schema": "repro.submit_stats/1",
+                    "client": {**client.counters,
+                               "dispositions": dispositions, "failed": 0},
+                    "serve": client.stats()["stats"],
+                }
+                text = json.dumps(doc, indent=2)
+                if args.stats_json == "-":
+                    print(text)
+                else:
+                    with open(args.stats_json, "w") as fh:
+                        fh.write(text + "\n")
+            return 0
+        for spec, job_id in admitted:
+            resp = client.wait(
+                job_id, timeout=args.wait_timeout, include="payload"
+            )
+            job = resp.get("job", {})
+            status = job.get("status")
+            if status == "done":
+                payload = job.get("payload") or {"result": job.get("result")}
+                ok_payloads.append(payload)
+                rows.append({
+                    **payload["result"], "params": dict(spec.params),
+                    "cached": bool(job.get("cached")),
+                })
+            elif status == "failed":
+                failure = job.get("failure", {})
+                failures.append({
+                    "params": dict(spec.params),
+                    "error": job.get("error"),
+                    "attempts": failure.get("attempts"),
+                    "key": job_id,
+                })
+            else:
+                failures.append({
+                    "params": dict(spec.params),
+                    "error": {
+                        "type": "Incomplete",
+                        "message": f"job {status} after {args.wait_timeout}s wait",
+                    },
+                    "attempts": job.get("attempts"),
+                    "key": job_id,
+                })
+        stats_doc = client.stats()["stats"] if args.stats_json else None
+    except (ServeError, Rejected) as exc:
+        print(f"[submit] error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+    columns, row_fn = _SWEEP_COLUMNS[task]
+    t = Table(columns, title=f"submit · {task} · {len(specs)} jobs")
+    for row in rows:
+        params = row["params"]
+        t.add(*row_fn(params, row, row["cached"]))
+
+    if args.trace_out:
+        write_merged_trace(ok_payloads, args.trace_out)
+    show_table = True
+    if args.emit_json is not None or args.trace_out is not None:
+        report = RunReport(
+            command="submit",
+            params={
+                k: v for k, v in vars(args).items()
+                if k not in _SUBMIT_PARAM_EXCLUDES
+            },
+            result={
+                "task": task,
+                "n_cells": len(specs),
+                "rows": rows,
+                "n_failed": len(failures),
+                "failures": failures,
+            },
+            metrics=merge_metrics(ok_payloads).export(),
+            trace_summary=summarize_trace(merge_trace_events(ok_payloads)),
+        )
+        if args.emit_json:
+            report.write(args.emit_json)
+            show_table = args.emit_json != "-"
+    if show_table:
+        t.print()
+        if failures:
+            ft = Table(
+                ["task", "error", "message", "attempts"],
+                title=f"failed jobs · {len(failures)}",
+            )
+            for f in failures:
+                err = f.get("error") or {}
+                ft.add(
+                    task, err.get("type"),
+                    str(err.get("message", ""))[:60], f.get("attempts"),
+                )
+            ft.print()
+    print(
+        f"[submit] jobs={len(specs)} new={dispositions['new']} "
+        f"coalesced={dispositions['coalesced']} cached={dispositions['cached']} "
+        f"reject_retries={client.counters['reject_retries']} "
+        f"failed={len(failures)}",
+        file=sys.stderr,
+    )
+    if args.stats_json:
+        doc = {
+            "schema": "repro.submit_stats/1",
+            "client": {**client.counters, "dispositions": dispositions,
+                       "failed": len(failures)},
+            "serve": stats_doc,
+        }
+        text = json.dumps(doc, indent=2)
+        if args.stats_json == "-":
+            print(text)
+        else:
+            with open(args.stats_json, "w") as fh:
+                fh.write(text + "\n")
+    return 3 if failures else 0
 
 
 def cmd_report(args) -> int:
@@ -1728,6 +2145,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "hierarchy": cmd_hierarchy,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "report": cmd_report,
         "audit": cmd_audit,
         "profile": cmd_profile,

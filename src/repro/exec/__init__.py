@@ -34,7 +34,10 @@ from .cache import CACHE_ENTRY_SCHEMA, ResultCache, payload_digest
 from .fingerprint import SCHEMA_SALT, canonical_params, fingerprint
 from .merge import merge_metrics, merge_trace_events, write_merged_trace
 from .runner import (
+    DEFAULT_BACKOFF_MAX,
     FAILURES_SCHEMA,
+    Job,
+    JobRunner,
     ParallelRunner,
     RunResult,
     RunSpec,
@@ -45,7 +48,10 @@ from .tasks import get_task, run_task, task, task_names
 
 __all__ = [
     "CACHE_ENTRY_SCHEMA",
+    "DEFAULT_BACKOFF_MAX",
     "FAILURES_SCHEMA",
+    "Job",
+    "JobRunner",
     "ResultCache",
     "SCHEMA_SALT",
     "payload_digest",

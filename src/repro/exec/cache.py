@@ -73,13 +73,19 @@ class ResultCache:
         return os.path.join(self.directory, f"{key}.json")  # type: ignore[arg-type]
 
     def _quarantine(self, key: str, obs=None) -> None:
-        """Move a damaged entry aside (``*.quarantine``) and count it."""
-        self.corrupt += 1
+        """Move a damaged entry aside (``*.quarantine``) and count it.
+
+        Only the reader whose ``os.replace`` actually moved the file
+        counts the corruption: two readers racing on the same damaged
+        entry both report a miss, but exactly one quarantine file
+        results and ``corrupt`` increments once.
+        """
         path = self._path(key)
         try:
             os.replace(path, path + ".quarantine")
-        except OSError:  # pragma: no cover - raced unlink; miss either way
-            pass
+        except OSError:
+            return  # a racing reader (or unlink) already moved it; miss either way
+        self.corrupt += 1
         if obs is not None:
             obs.event("cache.quarantined", key=key[:16])
             obs.scope("resilience").counter("cache.quarantined").inc()

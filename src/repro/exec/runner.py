@@ -45,12 +45,13 @@ futures into the cache before shutting the pool down with
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..exceptions import InjectedWorkerCrash, PoisonedPayloadError, TaskTimeout
 from ..obs.memory import memory_telemetry_enabled, peak_rss_kb
@@ -66,7 +67,18 @@ from .cache import ResultCache
 from .fingerprint import SCHEMA_SALT, fingerprint
 from .tasks import run_task
 
-__all__ = ["RunSpec", "RunResult", "ParallelRunner", "grid", "FAILURES_SCHEMA"]
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "ParallelRunner",
+    "Job",
+    "JobRunner",
+    "grid",
+    "FAILURES_SCHEMA",
+    "DEFAULT_BACKOFF_MAX",
+    "error_record",
+    "failure_payload",
+]
 
 #: Schema tag of the structured payload a cell gets when it exhausts its
 #: retry budget.  Failure payloads are never cached and never carry a
@@ -76,6 +88,37 @@ FAILURES_SCHEMA = "repro.failures/1"
 #: Schema tag a ``corrupt``-mode ``exec.task`` fault stamps on its poisoned
 #: payload — guaranteed to fail the runner's schema validation.
 _POISON_SCHEMA = "repro.poisoned/0"
+
+#: Default cap on the *total* deterministic-backoff sleep one cell may
+#: accumulate across its retries.  Without a cap, a permanent-fault plan
+#: with a generous retry budget sleeps ``backoff · (2^k - 1)`` per cell —
+#: minutes of dead air for payloads that were never going to arrive.
+DEFAULT_BACKOFF_MAX = 5.0
+
+
+def error_record(attempt: int, exc: BaseException) -> dict:
+    """One structured entry in a cell's error history."""
+    return {
+        "attempt": attempt,
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def failure_payload(
+    task: str, params: dict, key: str, errors: list[dict], retries: int
+) -> dict:
+    """The structured ``repro.failures/1`` record for an exhausted cell."""
+    return {
+        "schema": FAILURES_SCHEMA,
+        "task": task,
+        "params": dict(params),
+        "key": key,
+        "attempts": len(errors),
+        "retries": retries,
+        "error": errors[-1],
+        "errors": errors,
+    }
 
 
 @dataclass(frozen=True)
@@ -248,6 +291,12 @@ class ParallelRunner:
     backoff:
         Base of the deterministic exponential backoff: attempt ``k``
         (0-based) sleeps ``backoff · 2^k`` before its retry.
+    backoff_max:
+        Cap on the *cumulative* backoff sleep per cell (seconds,
+        default :data:`DEFAULT_BACKOFF_MAX`); once a cell has slept its
+        budget, further retries fire immediately.  ``None`` disables
+        the cap (the pre-cap behaviour, unbounded under permanent
+        fault plans with high retry budgets).
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan`; every attempt of
         every cell then runs under its own deterministic
@@ -282,6 +331,7 @@ class ParallelRunner:
         retries: int = 0,
         timeout: float | None = None,
         backoff: float = 0.05,
+        backoff_max: float | None = DEFAULT_BACKOFF_MAX,
         fault_plan=None,
         journal=None,
         telemetry=None,
@@ -302,10 +352,13 @@ class ParallelRunner:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         if backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if backoff_max is not None and backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {backoff_max}")
         self.cache = cache if cache is not None else ResultCache(cache_dir)
         self.retries = int(retries)
         self.timeout = timeout
         self.backoff = float(backoff)
+        self.backoff_max = None if backoff_max is None else float(backoff_max)
         self.fault_plan = fault_plan
         self.journal = journal
         if isinstance(telemetry, str):
@@ -319,6 +372,8 @@ class ParallelRunner:
         self.failed = 0
         self.timeouts = 0
         self.pool_rebuilds = 0
+        self.backoff_capped = 0
+        self._backoff_slept: dict[str, float] = {}
         self._obs = obs
         self._scope = obs.scope("resilience") if obs is not None else None
         self._failed_payloads: dict[str, dict] = {}
@@ -490,29 +545,35 @@ class ParallelRunner:
 
     def _failure_payload(self, spec: RunSpec, key: str, errors: list[dict]) -> dict:
         """The structured ``repro.failures/1`` record for an exhausted cell."""
-        return {
-            "schema": FAILURES_SCHEMA,
-            "task": spec.task,
-            "params": dict(spec.params),
-            "key": key,
-            "attempts": len(errors),
-            "retries": self.retries,
-            "error": errors[-1],
-            "errors": errors,
-        }
+        return failure_payload(spec.task, spec.params, key, errors, self.retries)
 
     @staticmethod
     def _error_record(attempt: int, exc: BaseException) -> dict:
-        return {
-            "attempt": attempt,
-            "type": type(exc).__name__,
-            "message": str(exc),
-        }
+        return error_record(attempt, exc)
+
+    def _backoff_delay(self, key: str, attempt: int) -> float:
+        """The capped deterministic backoff slot for one retry of ``key``.
+
+        The exponential schedule ``backoff · 2^attempt`` is clipped so a
+        cell's *cumulative* sleep never exceeds ``backoff_max`` — a
+        permanent-fault plan with a deep retry budget then degrades to
+        immediate retries instead of stalling the sweep unboundedly.
+        """
+        delay = self.backoff * (2 ** attempt)
+        if self.backoff_max is not None:
+            spent = self._backoff_slept.get(key, 0.0)
+            budget = max(0.0, self.backoff_max - spent)
+            if delay > budget:
+                delay = budget
+                self.backoff_capped += 1
+        if delay > 0:
+            self._backoff_slept[key] = self._backoff_slept.get(key, 0.0) + delay
+        return delay
 
     def _note_retry(self, key: str, attempt: int, exc: BaseException) -> None:
         """Count one retry and sleep its deterministic backoff slot."""
         self.retried += 1
-        delay = self.backoff * (2 ** attempt)
+        delay = self._backoff_delay(key, attempt)
         self._event(
             "retry.attempt",
             key=key[:16],
@@ -767,6 +828,9 @@ class ParallelRunner:
             "failed": self.failed,
             "timeouts": self.timeouts,
             "pool_rebuilds": self.pool_rebuilds,
+            "backoff_max": self.backoff_max,
+            "backoff_slept": round(sum(self._backoff_slept.values()), 4),
+            "backoff_capped": self.backoff_capped,
             "cache": self.cache.stats,
             # Physical-fusion telemetry summed over the freshly executed
             # cells (cache hits ran no simulation, so contribute nothing).
@@ -783,3 +847,639 @@ def default_jobs() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Incremental job API (submit / poll / cancel) — the service-facing runner.
+# ---------------------------------------------------------------------------
+
+#: Terminal job statuses; everything else is still in flight.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One admitted unit of work in a :class:`JobRunner`.
+
+    The job id **is** the spec's content fingerprint, which is what makes
+    request coalescing natural: two clients submitting the same spec get
+    the same job.  ``meta`` carries admission-side annotations (tenant,
+    source connection) that never enter the payload — payloads stay pure
+    functions of ``(task, params)``.
+    """
+
+    spec: RunSpec
+    key: str
+    seq: int
+    meta: dict = field(default_factory=dict)
+    status: str = "queued"
+    attempt: int = 0
+    errors: list = field(default_factory=list)
+    payload: dict | None = None
+    cached: bool = False
+    subscribers: int = 1
+    cancel_requested: bool = False
+    #: Earliest monotonic time the next attempt may start (retry backoff).
+    not_before: float = 0.0
+    #: Cumulative backoff delay charged to this job (capped by the runner).
+    slept: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+
+class JobRunner:
+    """Incremental submit/poll/cancel execution over the exec layer.
+
+    Where :class:`ParallelRunner` maps a fixed spec list to completion,
+    ``JobRunner`` is the long-running variant a service needs: jobs are
+    **admitted** one at a time (with an optional capacity limit for
+    deterministic load shedding), coalesced by content fingerprint,
+    served from the shared :class:`ResultCache` when warm, and executed
+    by a background driver thread that reuses the same retry / backoff /
+    crash-attribution / pool-rebuild machinery as the batch runner —
+    chaos payloads therefore stay bit-identical to a fault-free serial
+    run (the service-grade chaos-determinism gate).
+
+    Concurrency contract: every public method is safe to call from any
+    thread.  Listeners registered with :meth:`add_listener` are invoked
+    from the driver thread (or the submitting thread, for cache hits and
+    queued-job cancels) **while the runner lock is held** — they must be
+    non-blocking and must not call back into the runner (bridge to an
+    event loop with ``call_soon_threadsafe``).
+
+    ``scheduler`` is an optional pick-next hook: a callable given the
+    list of runnable jobs (admission order) that returns the one to run
+    next — the seam the serve layer uses for fair-share scheduling.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+        cache: ResultCache | None = None,
+        obs=None,
+        retries: int = 0,
+        timeout: float | None = None,
+        backoff: float = 0.05,
+        backoff_max: float | None = DEFAULT_BACKOFF_MAX,
+        fault_plan=None,
+        journal=None,
+        scheduler: Callable[[list[Job]], Job] | None = None,
+    ):
+        requested = int(jobs) if jobs else 0
+        usable = default_jobs()
+        self.jobs_requested = requested
+        self.jobs = min(requested, usable) if requested > 1 else requested
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache or cache_dir, not both")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if backoff_max is not None and backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {backoff_max}")
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.retries = int(retries)
+        self.timeout = timeout
+        self.backoff = float(backoff)
+        self.backoff_max = None if backoff_max is None else float(backoff_max)
+        self.fault_plan = fault_plan
+        self.journal = journal
+        self.scheduler = scheduler
+        self._obs = obs
+        self._scope = obs.scope("resilience") if obs is not None else None
+        self._cond = threading.Condition()
+        self._jobs: dict[str, Job] = {}
+        self._queue: list[Job] = []
+        self._running: set[str] = set()
+        self._listeners: list[Callable[[Job, str], None]] = []
+        self._seq = 0
+        self._stop = False
+        self._thread: threading.Thread | None = None
+        self.driver_error: str | None = None
+        # Counters (all mutated under the lock).
+        self.admitted = 0
+        self.coalesced = 0
+        self.cache_hits = 0
+        self.shed = 0
+        self.executed = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.retried = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self.backoff_capped = 0
+        self._rebuilds_since_progress = 0
+
+    # ----------------------------------------------------------- plumbing
+
+    def _event(self, name: str, **fields) -> None:
+        if self._obs is not None:
+            self._obs.event(name, **fields)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self._scope is not None:
+            self._scope.counter(name).inc(n)
+
+    def add_listener(self, fn: Callable[[Job, str], None]) -> None:
+        """Register a transition callback ``fn(job, status)``.
+
+        Fired on ``running`` and on every terminal transition, under the
+        runner lock — see the class docstring for the contract.
+        """
+        with self._cond:
+            self._listeners.append(fn)
+
+    def _notify_locked(self, job: Job, status: str) -> None:
+        for fn in list(self._listeners):
+            try:
+                fn(job, status)
+            except Exception:  # noqa: BLE001 - listeners must not kill the driver
+                pass
+
+    def _journal_job(self, job: Job, status: str) -> None:
+        if self.journal is None:
+            return
+        if status == "admitted":
+            self.journal.job(
+                job.key, "admitted", task=job.spec.task,
+                params=dict(job.spec.params), meta=job.meta or None,
+            )
+        else:
+            self.journal.job(job.key, status)
+
+    # ---------------------------------------------------------- admission
+
+    def _next_seq_locked(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def active_count(self) -> int:
+        """Jobs admitted but not yet terminal (queued + running)."""
+        with self._cond:
+            return len(self._queue) + len(self._running)
+
+    def probe(self, key: str) -> str | None:
+        """``"active"`` / ``"cached"`` / None — what a submit would find.
+
+        Admission layers use this to decide whether a request will cost
+        execution capacity *before* charging quotas: coalesced joins and
+        warm cache hits are free.
+        """
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is not None and not job.terminal:
+                return "active"
+        if key in self.cache:
+            return "cached"
+        return None
+
+    def submit(
+        self,
+        spec: RunSpec,
+        meta: dict | None = None,
+        limit: int | None = None,
+    ) -> tuple[Job | None, str]:
+        """Admit one spec; returns ``(job, disposition)``.
+
+        Dispositions:
+
+        * ``"coalesced"`` — an identical spec is already in flight; the
+          caller shares its job (no new capacity consumed);
+        * ``"cached"`` — the content-hashed cache is warm; a terminal
+          ``done`` job is returned immediately (no capacity consumed);
+        * ``"new"`` — admitted to the queue (journalled when attached);
+        * ``"shed"`` — ``limit`` active jobs already exist; ``job`` is
+          None and nothing was admitted.  Shedding is deterministic:
+          with a bound of Q, exactly the submissions beyond the Q
+          currently-active jobs are shed, never an admitted one.
+        """
+        key = spec.fingerprint()
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is not None and not job.terminal:
+                job.subscribers += 1
+                self.coalesced += 1
+                self._count("job.coalesced")
+                return job, "coalesced"
+            payload = self.cache.get(key, obs=self._obs)
+            if payload is not None:
+                job = Job(
+                    spec=spec, key=key, seq=self._next_seq_locked(),
+                    meta=dict(meta or {}), status="done",
+                    payload=payload, cached=True,
+                )
+                self._jobs[key] = job
+                self.cache_hits += 1
+                self.completed += 1
+                self._count("job.cache_hit")
+                self._notify_locked(job, "done")
+                return job, "cached"
+            if limit is not None and len(self._queue) + len(self._running) >= limit:
+                self.shed += 1
+                self._count("job.shed")
+                return None, "shed"
+            job = Job(
+                spec=spec, key=key, seq=self._next_seq_locked(),
+                meta=dict(meta or {}),
+            )
+            self._jobs[key] = job
+            self._queue.append(job)
+            self.admitted += 1
+            self._count("job.admitted")
+            self._journal_job(job, "admitted")
+            self._cond.notify_all()
+            return job, "new"
+
+    def poll(self, key: str) -> Job | None:
+        """The job for ``key`` (terminal jobs stay addressable), or None."""
+        with self._cond:
+            return self._jobs.get(key)
+
+    def wait(self, key: str, timeout: float | None = None) -> Job | None:
+        """Block until ``key``'s job is terminal (or ``timeout`` elapses)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                job = self._jobs.get(key)
+                if job is None or job.terminal:
+                    return job
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return job
+                self._cond.wait(timeout=remaining)
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    def cancel(self, key: str) -> Job | None:
+        """Cancel a job: queued → cancelled now; running → best effort.
+
+        A running job in pool mode is torn down through the same
+        pool-rebuild machinery as a hung worker (the worker cannot be
+        interrupted in place); in serial mode the current attempt runs
+        to completion and the cancellation lands before the next one.
+        """
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is None or job.terminal:
+                return job
+            job.cancel_requested = True
+            if job.status == "queued":
+                self._queue.remove(job)
+                self._finish_locked(job, "cancelled")
+            else:
+                self._cond.notify_all()
+            return job
+
+    # ------------------------------------------------------------- driver
+
+    def start(self) -> "JobRunner":
+        """Launch the background driver thread (idempotent)."""
+        with self._cond:
+            if self._thread is not None:
+                return self
+            self._stop = False
+            self._thread = threading.Thread(
+                target=self._drive, name="repro-job-driver", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    @property
+    def driver_alive(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def close(self, timeout: float | None = 10.0) -> bool:
+        """Stop the driver; queued jobs stay admitted (journalled) for resume.
+
+        In-flight work is allowed to finish; returns False if the driver
+        did not exit within ``timeout`` (it is a daemon thread, so a
+        genuinely wedged worker cannot block process exit).
+        """
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        return not thread.is_alive()
+
+    def _finish_locked(self, job: Job, status: str, payload: dict | None = None) -> None:
+        job.status = status
+        if payload is not None:
+            job.payload = payload
+        if status == "done":
+            self.completed += 1
+        elif status == "failed":
+            self.failed += 1
+        elif status == "cancelled":
+            self.cancelled += 1
+        self._count(f"job.{status}")
+        self._event("job.finished", key=job.key[:16], status=status)
+        self._journal_job(job, status)
+        self._notify_locked(job, status)
+        self._cond.notify_all()
+
+    def _charge_locked(self, job: Job, exc: BaseException) -> None:
+        """Account one failed attempt: retry with capped backoff, or fail."""
+        job.errors.append(error_record(job.attempt, exc))
+        if job.cancel_requested:
+            self._finish_locked(job, "cancelled")
+            return
+        if job.attempt >= self.retries:
+            payload = failure_payload(
+                job.spec.task, job.spec.params, job.key, job.errors, self.retries
+            )
+            self._finish_locked(job, "failed", payload=payload)
+            return
+        delay = self.backoff * (2 ** job.attempt)
+        if self.backoff_max is not None:
+            budget = max(0.0, self.backoff_max - job.slept)
+            if delay > budget:
+                delay = budget
+                self.backoff_capped += 1
+        job.slept += delay
+        self.retried += 1
+        self._count("retry.attempt")
+        self._event(
+            "retry.attempt", key=job.key[:16], attempt=job.attempt + 1,
+            error=type(exc).__name__, backoff=delay,
+        )
+        job.attempt += 1
+        job.status = "queued"
+        job.not_before = time.monotonic() + delay
+        self._queue.append(job)
+        self._cond.notify_all()
+
+    def _settle_locked(self, payload_or_exc, job: Job) -> None:
+        """Terminal-ize one finished attempt (payload or exception)."""
+        if isinstance(payload_or_exc, BaseException):
+            self._charge_locked(job, payload_or_exc)
+            return
+        self.cache.put(job.key, payload_or_exc)
+        self.executed += 1
+        self._rebuilds_since_progress = 0
+        self._finish_locked(job, "done", payload=payload_or_exc)
+
+    def _absorb(self, payload) -> None:
+        """Drop the out-of-band sidecars a worker may attach."""
+        if isinstance(payload, dict):
+            payload.pop("_plan_stats", None)
+            payload.pop("_mem_stats", None)
+
+    def _pick_locked(self, now: float) -> Job | None:
+        ready = [j for j in self._queue if j.not_before <= now]
+        if not ready:
+            return None
+        ready.sort(key=lambda j: j.seq)
+        if self.scheduler is not None:
+            job = self.scheduler(ready)
+        else:
+            job = ready[0]
+        self._queue.remove(job)
+        return job
+
+    def _next_delay_locked(self, now: float) -> float | None:
+        pending = [j.not_before - now for j in self._queue if j.not_before > now]
+        return min(pending) if pending else None
+
+    def _drive(self) -> None:
+        try:
+            if self.jobs > 1:
+                self._drive_pool()
+            else:
+                self._drive_serial()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via readiness
+            with self._cond:
+                self.driver_error = f"{type(exc).__name__}: {exc}"
+                self._cond.notify_all()
+            raise
+
+    def _drive_serial(self) -> None:
+        while True:
+            with self._cond:
+                job = None
+                while not self._stop:
+                    now = time.monotonic()
+                    job = self._pick_locked(now)
+                    if job is not None:
+                        break
+                    self._cond.wait(timeout=self._next_delay_locked(now))
+                if job is None:
+                    return
+                if job.cancel_requested:
+                    self._finish_locked(job, "cancelled")
+                    continue
+                job.status = "running"
+                self._running.add(job.key)
+                self._notify_locked(job, "running")
+            try:
+                payload = _execute(
+                    job.spec.task, job.spec.params, self.fault_plan,
+                    job.key, job.attempt, False, None,
+                )
+                self._absorb(payload)
+                _validate_payload(payload, job.spec.task)
+                outcome = payload
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                outcome = exc
+            with self._cond:
+                self._running.discard(job.key)
+                self._settle_locked(outcome, job)
+
+    def _drive_pool(self) -> None:
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        inflight: dict = {}   # future -> job
+        deadlines: dict = {}  # future -> monotonic deadline (or None)
+
+        def rebuild_locked(reason: str):
+            nonlocal pool
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self.pool_rebuilds += 1
+            self._rebuilds_since_progress += 1
+            self._event("runner.pool_rebuilt", reason=reason)
+            self._count("pool_rebuilds")
+
+        def settle_future_locked(f, job: Job) -> bool:
+            """Process one completed future; False iff the pool broke."""
+            try:
+                payload = f.result()
+                self._absorb(payload)
+                _validate_payload(payload, job.spec.task)
+            except BrokenProcessPool:
+                return False
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                self._settle_locked(exc, job)
+                return True
+            self._settle_locked(payload, job)
+            return True
+
+        def attribute_crash_locked(job: Job) -> None:
+            rule = (
+                exec_decision(self.fault_plan, job.key, job.attempt)
+                if self.fault_plan is not None
+                else None
+            )
+            if job.cancel_requested:
+                self._finish_locked(job, "cancelled")
+            elif rule is not None and rule.effect == "crash":
+                self._charge_locked(
+                    job,
+                    InjectedWorkerCrash(
+                        f"injected {rule.mode} worker crash "
+                        f"(attempt {job.attempt})"
+                    ),
+                )
+            elif self._rebuilds_since_progress > self.jobs + self.retries + 2:
+                self._charge_locked(job, RuntimeError("worker process crashed"))
+            else:
+                job.status = "queued"  # innocent: resubmit at the same attempt
+                self._queue.append(job)
+
+        try:
+            while True:
+                with self._cond:
+                    now = time.monotonic()
+                    while not self._stop and len(inflight) < self.jobs:
+                        job = self._pick_locked(now)
+                        if job is None:
+                            break
+                        if job.cancel_requested:
+                            self._finish_locked(job, "cancelled")
+                            continue
+                        job.status = "running"
+                        self._running.add(job.key)
+                        self._notify_locked(job, "running")
+                        f = pool.submit(
+                            _execute, job.spec.task, job.spec.params,
+                            self.fault_plan, job.key, job.attempt, True, None,
+                        )
+                        inflight[f] = job
+                        deadlines[f] = now + self.timeout if self.timeout else None
+                    if not inflight:
+                        if self._stop:
+                            return
+                        self._cond.wait(timeout=self._next_delay_locked(now))
+                        continue
+                done, _ = wait(set(inflight), timeout=0.05, return_when=FIRST_COMPLETED)
+                with self._cond:
+                    crashed: list[Job] = []
+                    for f in done:
+                        job = inflight.pop(f)
+                        deadlines.pop(f, None)
+                        self._running.discard(job.key)
+                        if not settle_future_locked(f, job):
+                            crashed.append(job)
+                    if crashed:
+                        # Pool is broken: drain what finished, bucket the rest.
+                        for f, job in list(inflight.items()):
+                            self._running.discard(job.key)
+                            if f.done() and settle_future_locked(f, job):
+                                continue
+                            crashed.append(job)
+                        inflight.clear()
+                        deadlines.clear()
+                        rebuild_locked("crash")
+                        for job in crashed:
+                            attribute_crash_locked(job)
+                        continue
+                    now = time.monotonic()
+                    expired = any(
+                        d is not None and now > d for d in deadlines.values()
+                    )
+                    cancels = any(j.cancel_requested for j in inflight.values())
+                    if not (expired or cancels):
+                        continue
+                    # A wedged (or cancelled) worker can't be interrupted:
+                    # rebuild, charge the victims, resubmit the innocents.
+                    victims: list[tuple[Job, str]] = []
+                    innocents: list[Job] = []
+                    for f, job in list(inflight.items()):
+                        d = deadlines.get(f)
+                        self._running.discard(job.key)
+                        if f.done():
+                            if not settle_future_locked(f, job):
+                                victims.append((job, "crash"))
+                        elif job.cancel_requested:
+                            victims.append((job, "cancel"))
+                        elif d is not None and now > d:
+                            victims.append((job, "timeout"))
+                        else:
+                            innocents.append(job)
+                    inflight.clear()
+                    deadlines.clear()
+                    rebuild_locked("cancel" if cancels else "timeout")
+                    for job, why in victims:
+                        if why == "cancel":
+                            self._finish_locked(job, "cancelled")
+                        elif why == "timeout":
+                            self.timeouts += 1
+                            self._count("timeouts")
+                            self._charge_locked(
+                                job,
+                                TaskTimeout(
+                                    f"cell exceeded the {self.timeout}s "
+                                    f"per-attempt timeout (attempt {job.attempt})"
+                                ),
+                            )
+                        else:
+                            attribute_crash_locked(job)
+                    for job in innocents:
+                        job.status = "queued"
+                        self._queue.append(job)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict:
+        """Admission + execution counters (service-facing superset)."""
+        with self._cond:
+            return {
+                "jobs": self.jobs or 1,
+                "jobs_requested": self.jobs_requested or 1,
+                "admitted": self.admitted,
+                "coalesced": self.coalesced,
+                "cache_hits": self.cache_hits,
+                "shed": self.shed,
+                "executed": self.executed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "retried": self.retried,
+                "timeouts": self.timeouts,
+                "pool_rebuilds": self.pool_rebuilds,
+                "backoff_max": self.backoff_max,
+                "backoff_capped": self.backoff_capped,
+                "queued": len(self._queue),
+                "running": len(self._running),
+                "driver_alive": self.driver_alive,
+                "driver_error": self.driver_error,
+                "cache": self.cache.stats,
+            }

@@ -13,6 +13,9 @@ a mail attachment or an artifact download:
 * **phase breakdown** stacked bars for the most recent profiled runs;
 * **memory high-water trend** (arena high-water blocks and peak RSS
   from ingested sweep stats / profiles);
+* **service health** (admission/shed/quota/drain counters from ingested
+  ``repro serve --stats-json`` dumps — the CI smoke and nightly chaos
+  drill each record one);
 * the **league-table placeholder** the ROADMAP's cross-algorithm era
   (Guidesort / Histogram Sort with Sampling) will fill in.
 
@@ -299,6 +302,49 @@ def _memory_section(records: list[dict]) -> str:
     return "".join(parts)
 
 
+def _serve_section(records: list[dict]) -> str:
+    """Service-health cards from ingested ``repro.serve_stats/1`` dumps."""
+    serves = [r for r in records if r.get("kind") == "serve"]
+    if not serves:
+        return (
+            '<p class="placeholder">no service runs indexed — ingest a '
+            "<code>repro serve --stats-json</code> dump (the CI smoke and "
+            "nightly chaos drill record one per drill)</p>"
+        )
+    rows = []
+    for r in serves[-8:]:
+        s = r.get("summary") or {}
+        rows.append(
+            f"<tr><td>{_esc(r.get('commit') or r['id'][:14])}</td>"
+            + "".join(
+                f'<td class="num">{_fmt(s.get(k))}</td>'
+                for k in (
+                    "admitted", "coalesced", "cache_hits", "shed",
+                    "quota_rejected", "retried", "failed", "drain_seconds",
+                    "resumed",
+                )
+            )
+            + "</tr>"
+        )
+    shed = [float((r.get("summary") or {}).get("shed") or 0) for r in serves]
+    retried = [
+        float((r.get("summary") or {}).get("retried") or 0) for r in serves
+    ]
+    chart = _polyline_chart([("shed", shed), ("retried", retried)])
+    return (
+        _legend(["shed", "retried"]) + chart
+        + "<table><tr><th>run</th>"
+        + "".join(
+            f'<th class="num">{h}</th>'
+            for h in (
+                "admitted", "coalesced", "cache hits", "shed", "quota rej.",
+                "retried", "failed", "drain s", "resumed",
+            )
+        )
+        + f"</tr>{''.join(rows)}</table>"
+    )
+
+
 def render_dashboard(
     history: RunHistory,
     title: str = "repro perf dashboard",
@@ -326,6 +372,8 @@ def render_dashboard(
         _phase_section(history, records),
         '<h2 id="memory">Memory high-water trend</h2>',
         _memory_section(records),
+        '<h2 id="service">Service health (sort-as-a-service drills)</h2>',
+        _serve_section(records),
         '<h2 id="league">Algorithm league table</h2>',
         '<p class="placeholder">placeholder — the cross-algorithm '
         "constant-factor league table (Balance Sort vs Guidesort vs "

@@ -55,6 +55,7 @@ _SCHEMA_KINDS = {
     "repro.bench_point/1": "bench",
     "repro.bench_result/1": "bench",
     "repro.sweep_stats/1": "stats",
+    "repro.serve_stats/1": "serve",
 }
 
 #: Environment knobs captured as run configuration at ingest time (only
@@ -144,6 +145,19 @@ def _summarize(kind: str, doc: dict) -> dict:
         for k in ("high_water_blocks", "peak_rss_kb"):
             if memory.get(k):
                 summary[k] = memory[k]
+        return summary
+    if kind == "serve":
+        serve = doc.get("serve") or {}
+        summary = {k: serve[k] for k in (
+            "admitted", "coalesced", "cache_hits", "shed", "quota_rejected",
+            "completed", "failed", "cancelled", "drain_seconds", "resumed",
+        ) if k in serve}
+        runner = doc.get("runner") or {}
+        if "retried" in runner:
+            summary["retried"] = runner["retried"]
+        tenants = doc.get("tenants")
+        if isinstance(tenants, dict):
+            summary["tenants"] = len(tenants)
         return summary
     return {}
 

@@ -78,6 +78,31 @@ class SweepJournal:
         else:
             self.recorded_failed += 1
 
+    def job(
+        self,
+        key: str,
+        status: str,
+        task: str | None = None,
+        params: dict | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        """Checkpoint one service job transition (job-granular records).
+
+        ``status`` ∈ ``admitted | done | failed | cancelled``.  The
+        ``admitted`` record carries the spec (task + params) so a
+        restarted service can resubmit every job that never reached a
+        terminal state — the payload of a ``done`` job lives in the
+        ``cells/`` store, so resumed completions are byte-identical.
+        """
+        record: dict = {"ev": "job", "key": key, "status": status}
+        if task is not None:
+            record["task"] = task
+        if params is not None:
+            record["params"] = params
+        if meta:
+            record["meta"] = meta
+        self._append(record)
+
     # ------------------------------------------------------------- reading
 
     def read(self) -> list[dict]:
@@ -115,12 +140,54 @@ class SweepJournal:
                 start = record
         return start
 
+    def verify_grid(self, keys: Sequence[str]) -> tuple[str | None, str]:
+        """``(recorded_fingerprint, requested_fingerprint)`` for ``keys``.
+
+        ``recorded_fingerprint`` is None for a fresh journal.  Callers
+        must refuse to attach when both exist and differ — appending a
+        new grid to an old journal orphans the original checkpoints and
+        poisons later resumes (the ``--resume`` mismatch diagnostic
+        names both fingerprints).
+        """
+        start = self.last_start()
+        recorded = start.get("grid") if start is not None else None
+        return recorded, grid_fingerprint(keys)
+
+    def pending_jobs(self) -> list[dict]:
+        """Admitted-but-not-terminal job records, in admission order.
+
+        The last status per key wins, so a job admitted, completed, and
+        re-admitted later (say, after its cache entry was evicted) is
+        pending again.  This is what a restarted service resubmits.
+        """
+        jobs: dict[str, dict] = {}
+        order: list[str] = []
+        for record in self.read():
+            if record.get("ev") != "job":
+                continue
+            key = record.get("key")
+            if not key:
+                continue
+            if record.get("status") == "admitted":
+                if key not in jobs:
+                    order.append(key)
+                merged = dict(jobs.get(key) or {})
+                merged.update(record)
+                jobs[key] = merged
+            elif key in jobs:
+                jobs[key]["status"] = record.get("status", "done")
+        return [jobs[k] for k in order if jobs[k].get("status") == "admitted"]
+
     # --------------------------------------------------------------- stats
 
     @property
     def stats(self) -> dict:
         """Session counters plus the all-sessions completion tally."""
         completed = self.completed()
+        job_status: dict[str, str] = {}
+        for record in self.read():
+            if record.get("ev") == "job" and record.get("key"):
+                job_status[record["key"]] = record.get("status", "admitted")
         return {
             "directory": self.directory,
             "recorded_done": self.recorded_done,
@@ -128,6 +195,10 @@ class SweepJournal:
             "resumed": self.resumed,
             "total_done": sum(1 for s in completed.values() if s == "done"),
             "total_failed": sum(1 for s in completed.values() if s == "failed"),
+            "jobs_seen": len(job_status),
+            "jobs_pending": sum(
+                1 for s in job_status.values() if s == "admitted"
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

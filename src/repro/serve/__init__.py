@@ -1,0 +1,54 @@
+"""Sort-as-a-service: admission control over the deterministic exec layer.
+
+The robustness shell that lets many concurrent clients hammer the
+Nodine–Vitter reproduction engine without compromising its bit-identical
+payload guarantees:
+
+* :mod:`repro.serve.protocol` — the JSONL wire schemas
+  (``repro.serve/1``, ``repro.reject/1``, ``repro.job/1``,
+  ``repro.serve_stats/1``);
+* :mod:`repro.serve.quota` — per-tenant token buckets and the
+  fair-share scheduler hook;
+* :mod:`repro.serve.service` — :class:`SortService`, the asyncio
+  front-end (``repro serve``) with bounded admission, deterministic
+  load shedding, request coalescing, graceful SIGTERM drain, and
+  journal-backed resume;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking
+  client behind ``repro submit`` and the CI canary.
+
+See ``docs/resilience.md`` ("Running as a service") for the lifecycle
+and the chaos-drill walkthrough.
+"""
+
+from .client import Rejected, ServeClient, ServeError
+from .protocol import (
+    JOB_SCHEMA,
+    REJECT_REASONS,
+    REJECT_SCHEMA,
+    SERVE_SCHEMA,
+    SERVE_STATS_SCHEMA,
+    job_record,
+    reject,
+    response,
+)
+from .quota import FairShareScheduler, TokenBucket
+from .service import ServiceThread, SortService, serve_in_thread
+
+__all__ = [
+    "JOB_SCHEMA",
+    "REJECT_REASONS",
+    "REJECT_SCHEMA",
+    "SERVE_SCHEMA",
+    "SERVE_STATS_SCHEMA",
+    "FairShareScheduler",
+    "Rejected",
+    "ServeClient",
+    "ServeError",
+    "ServiceThread",
+    "SortService",
+    "TokenBucket",
+    "job_record",
+    "reject",
+    "response",
+    "serve_in_thread",
+]

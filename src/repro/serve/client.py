@@ -1,0 +1,197 @@
+"""A minimal blocking JSONL client for the sort service.
+
+Used by ``repro submit`` (and the CI smoke) so nothing hand-rolls
+sockets: one connection, one JSON object per line each way.  The client
+honours ``repro.reject/1`` responses — :meth:`submit_admitted` backs off
+by the server's ``retry_after`` hint and retries until admitted (or the
+bounded retry budget runs out), which is what lets a canary loop hammer
+a quota-limited, load-shedding service and still account for every job.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from .protocol import REJECT_SCHEMA
+
+__all__ = ["ServeClient", "ServeError", "Rejected"]
+
+
+class ServeError(RuntimeError):
+    """Transport-level failure talking to the service."""
+
+
+class Rejected(RuntimeError):
+    """A request was refused (``repro.reject/1``) beyond the retry budget."""
+
+    def __init__(self, doc: dict):
+        super().__init__(doc.get("message", doc.get("reason", "rejected")))
+        self.doc = doc
+
+    @property
+    def reason(self) -> str:
+        return self.doc.get("reason", "")
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.SortService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant: str = "anon",
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._fh = None
+        #: Client-side accounting (the ``repro submit`` stats surface).
+        self.counters = {
+            "requests": 0,
+            "rejects": 0,
+            "reject_retries": 0,
+        }
+
+    # -------------------------------------------------------------- wiring
+
+    def connect(self) -> "ServeClient":
+        """Open the TCP connection (idempotent); returns ``self``."""
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+            self._fh = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (safe to call twice or never-opened)."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+            self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def request(self, doc: dict) -> dict:
+        """One request → one response (raises :class:`ServeError` on EOF)."""
+        self.connect()
+        self.counters["requests"] += 1
+        try:
+            self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            line = self._fh.readline()
+        except OSError as exc:
+            raise ServeError(f"service connection failed: {exc}") from exc
+        if not line:
+            raise ServeError("service closed the connection")
+        resp = json.loads(line)
+        if resp.get("schema") == REJECT_SCHEMA:
+            self.counters["rejects"] += 1
+        return resp
+
+    # ----------------------------------------------------------------- ops
+
+    def submit(
+        self,
+        task: str,
+        params: dict,
+        wait: bool = False,
+        include: str = "result",
+        timeout: float | None = None,
+    ) -> dict:
+        """One ``submit`` request; returns the raw response document."""
+        doc = {
+            "op": "submit",
+            "task": task,
+            "params": params,
+            "tenant": self.tenant,
+            "wait": wait,
+            "include": include,
+        }
+        if timeout is not None:
+            doc["timeout"] = timeout
+        return self.request(doc)
+
+    def submit_admitted(
+        self,
+        task: str,
+        params: dict,
+        wait: bool = False,
+        include: str = "result",
+        timeout: float | None = None,
+        retries: int = 50,
+        max_sleep: float = 2.0,
+    ) -> dict:
+        """Submit, honouring reject retry-after hints, until admitted.
+
+        Raises :class:`Rejected` once ``retries`` refusals have been
+        absorbed — a shed or quota'd job is *never* silently dropped on
+        the client side either.
+        """
+        attempt = 0
+        while True:
+            resp = self.submit(
+                task, params, wait=wait, include=include, timeout=timeout
+            )
+            if resp.get("ok"):
+                return resp
+            if attempt >= retries:
+                raise Rejected(resp)
+            attempt += 1
+            self.counters["reject_retries"] += 1
+            time.sleep(min(resp.get("retry_after", 0.1) or 0.1, max_sleep))
+
+    def poll(self, job_id: str, include: str = "result") -> dict:
+        """Fetch a job record without waiting."""
+        return self.request({"op": "poll", "id": job_id, "include": include})
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, include: str = "result"
+    ) -> dict:
+        """Block server-side until the job is terminal (or ``timeout``)."""
+        return self.request(
+            {"op": "wait", "id": job_id, "timeout": timeout, "include": include}
+        )
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued (or best-effort a running) job."""
+        return self.request({"op": "cancel", "id": job_id})
+
+    def healthz(self) -> dict:
+        """Liveness probe (always ``ok`` while the process serves)."""
+        return self.request({"op": "healthz"})
+
+    def readyz(self) -> dict:
+        """Readiness probe (false while draining/held, with the reason)."""
+        return self.request({"op": "readyz"})
+
+    def stats(self) -> dict:
+        """The ``repro.serve_stats/1`` counter document."""
+        return self.request({"op": "stats"})
+
+    def drain(self) -> dict:
+        """Ask the service to begin a graceful drain."""
+        return self.request({"op": "drain"})

@@ -1,0 +1,101 @@
+"""The sort-as-a-service wire protocol: JSONL requests over one socket.
+
+Every request is one JSON object on one line; every response is one JSON
+object on one line, stamped with a schema tag so ``repro diff`` can gate
+it like any other result surface:
+
+* ``repro.serve/1`` — an accepted operation's response envelope;
+* ``repro.reject/1`` — a 429-style refusal (load shed, quota, drain,
+  malformed request) carrying a ``retry_after`` hint in seconds;
+* ``repro.job/1`` — a job-status record embedded in responses (the job
+  id is the spec's content fingerprint, so identical submissions from
+  different clients name the same job);
+* ``repro.serve_stats/1`` — the service counter document (``stats`` op,
+  ``--stats-json``, and the run-history/dashboard ingest surface).
+
+Operations: ``submit`` (task + params, optional ``wait``), ``poll`` /
+``wait`` / ``cancel`` (by job id), ``healthz`` / ``readyz`` / ``stats``
+/ ``drain``.  Responses to ``submit`` carry a ``disposition`` —
+``new`` (admitted), ``coalesced`` (joined an in-flight twin), or
+``cached`` (served from the content-hashed ResultCache) — which is how
+tests and CI assert admission behaviour without scraping logs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "REJECT_SCHEMA",
+    "JOB_SCHEMA",
+    "SERVE_STATS_SCHEMA",
+    "REJECT_REASONS",
+    "OPS",
+    "job_record",
+    "response",
+    "reject",
+]
+
+SERVE_SCHEMA = "repro.serve/1"
+REJECT_SCHEMA = "repro.reject/1"
+JOB_SCHEMA = "repro.job/1"
+SERVE_STATS_SCHEMA = "repro.serve_stats/1"
+
+#: The operations a client may request.
+OPS = ("submit", "poll", "wait", "cancel", "healthz", "readyz", "stats", "drain")
+
+#: Why a request can be refused (the ``reason`` field of a reject).
+REJECT_REASONS = ("queue_full", "quota", "draining", "bad_request", "unknown_job")
+
+
+def job_record(job, disposition: str | None = None, include: str = "result") -> dict:
+    """The ``repro.job/1`` status record for one runner job.
+
+    ``include`` controls how much of a finished payload rides along:
+    ``"status"`` (none), ``"result"`` (the task's result summary —
+    the default), or ``"payload"`` (the full payload, for bit-identity
+    gates).  Failure records always include the structured error.
+    """
+    record: dict = {
+        "schema": JOB_SCHEMA,
+        "id": job.key,
+        "task": job.spec.task,
+        "status": job.status,
+        "attempts": job.attempt + (1 if job.status != "queued" else 0),
+        "cached": job.cached,
+    }
+    tenant = (job.meta or {}).get("tenant")
+    if tenant is not None:
+        record["tenant"] = tenant
+    if disposition is not None:
+        record["disposition"] = disposition
+    payload = job.payload
+    if payload is not None:
+        if job.status == "failed":
+            record["error"] = payload.get("error")
+            record["failure"] = payload
+        elif job.status == "done" and include == "result":
+            record["result"] = payload.get("result")
+        elif job.status == "done" and include == "payload":
+            record["payload"] = payload
+    return record
+
+
+def response(op: str, **fields) -> dict:
+    """A ``repro.serve/1`` success envelope."""
+    doc = {"schema": SERVE_SCHEMA, "ok": True, "op": op}
+    doc.update(fields)
+    return doc
+
+
+def reject(op: str, reason: str, message: str, retry_after: float | None = None) -> dict:
+    """A ``repro.reject/1`` refusal with an optional retry-after hint."""
+    doc: dict = {
+        "schema": REJECT_SCHEMA,
+        "ok": False,
+        "op": op,
+        "reason": reason,
+        "message": message,
+    }
+    if retry_after is not None:
+        doc["retry_after"] = round(float(retry_after), 3)
+    return doc

@@ -176,6 +176,13 @@ class TestIngestPath:
             history.ingest_path(str(path))
 
     def test_config_env_and_explicit_merge(self, tmp_path, monkeypatch):
+        # The snapshot reads the ambient environment, so clear every
+        # captured knob first — CI legitimately runs the whole suite
+        # under e.g. REPRO_KERNEL_BACKEND=compiled.
+        from repro.obs.history import _CONFIG_ENV
+
+        for env_name, _ in _CONFIG_ENV:
+            monkeypatch.delenv(env_name, raising=False)
         monkeypatch.setenv("REPRO_IO_PLAN", "0")
         history = RunHistory(str(tmp_path / "h"))
         record = history.ingest_doc(_report(), config={"extra": "1"})

@@ -506,3 +506,186 @@ class TestSweepJournal:
         runner.map([SPEC])
         assert j.recorded_failed == 1
         assert list(j.completed().values()) == ["failed"]
+
+
+class TestJournalJobRecords:
+    """Job-granular checkpoints (``{"ev": "job"}``) used by the service."""
+
+    def test_pending_jobs_admission_order(self, tmp_path):
+        j = SweepJournal(str(tmp_path / "j"))
+        j.job("k1", "admitted", task="t", params={"n": 1})
+        j.job("k2", "admitted", task="t", params={"n": 2})
+        j.job("k1", "done")
+        fresh = SweepJournal(str(tmp_path / "j"))
+        pending = fresh.pending_jobs()
+        assert [p["key"] for p in pending] == ["k2"]
+        assert pending[0]["params"] == {"n": 2}
+        assert fresh.stats["jobs_seen"] == 2
+        assert fresh.stats["jobs_pending"] == 1
+
+    def test_readmission_after_terminal_re_pends(self, tmp_path):
+        j = SweepJournal(str(tmp_path / "j"))
+        j.job("k1", "admitted", task="t", params={})
+        j.job("k1", "cancelled")
+        j.job("k1", "admitted", task="t", params={})
+        assert [p["key"] for p in j.pending_jobs()] == ["k1"]
+
+    def test_verify_grid_names_both_fingerprints(self, tmp_path):
+        j = SweepJournal(str(tmp_path / "j"))
+        j.begin("t", ["a", "b"])
+        recorded, requested = j.verify_grid(["a", "c"])
+        assert recorded == grid_fingerprint(["a", "b"])
+        assert requested == grid_fingerprint(["a", "c"])
+        assert recorded != requested
+        same_rec, same_req = j.verify_grid(["b", "a"])
+        assert same_rec == same_req
+
+
+class TestJournalGridMismatchCLI:
+    """Satellite regression: a journal recorded for grid A refuses grid B
+    with exit 2 and a diagnostic naming *both* fingerprints — on resume
+    AND on plain (non-resume) attach, which used to silently append a
+    second grid start."""
+
+    GRID_A = ["sweep", "--task", "hierarchy", "--n", "256", "--h", "16"]
+    GRID_B = ["sweep", "--task", "hierarchy", "--n", "512", "--h", "16"]
+
+    @staticmethod
+    def _main(argv):
+        from repro.cli import main
+        return main(argv)
+
+    def _mismatch_err(self, capsys, jdir):
+        import re
+
+        err = capsys.readouterr().err
+        assert "different grid" in err
+        m = re.search(r"fingerprint (\w+) != (\w+)", err)
+        assert m, f"diagnostic must name both fingerprints: {err!r}"
+        recorded = SweepJournal(jdir).last_start()["grid"]
+        assert m.group(1) == recorded
+        assert m.group(2) != recorded
+        return err
+
+    def test_resume_mismatch_exit_two_names_fingerprints(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert self._main(self.GRID_A + ["--journal", jdir]) == 0
+        capsys.readouterr()
+        rc = self._main(self.GRID_B + ["--journal", jdir, "--resume"])
+        assert rc == 2
+        err = self._mismatch_err(capsys, jdir)
+        assert "refusing to resume" in err
+
+    def test_plain_attach_mismatch_also_refused(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert self._main(self.GRID_A + ["--journal", jdir]) == 0
+        capsys.readouterr()
+        rc = self._main(self.GRID_B + ["--journal", jdir])
+        assert rc == 2
+        err = self._mismatch_err(capsys, jdir)
+        assert "refusing to attach" in err
+        # and the journal still records exactly the original grid
+        starts = [r for r in SweepJournal(jdir).read()
+                  if r.get("ev") == "start"]
+        assert len(starts) == 1
+
+    def test_matching_grid_still_attaches(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert self._main(self.GRID_A + ["--journal", jdir]) == 0
+        assert self._main(self.GRID_A + ["--journal", jdir]) == 0
+        capsys.readouterr()
+
+
+class TestBackoffCap:
+    """Satellite: ``--backoff-max`` bounds cumulative per-cell backoff."""
+
+    def test_cap_bounds_cumulative_sleep(self):
+        import time as _time
+
+        p = plan(rule(mode="permanent"))
+        runner = ParallelRunner(jobs=0, retries=6, backoff=0.2,
+                                backoff_max=0.3, fault_plan=p)
+        t0 = _time.monotonic()
+        out = runner.map([SPEC])[0]
+        elapsed = _time.monotonic() - t0
+        assert out.payload["schema"] == FAILURES_SCHEMA
+        stats = runner.stats
+        # uncapped schedule would sleep 0.2 * (1+2+4+8+16+32) = 12.6 s
+        assert elapsed < 3.0
+        assert stats["backoff_max"] == 0.3
+        assert stats["backoff_capped"] >= 1
+        assert stats["backoff_slept"] <= 0.3 + 1e-6
+
+    def test_cap_disabled_with_none(self):
+        runner = ParallelRunner(jobs=0, backoff_max=None)
+        assert runner.stats["backoff_max"] is None
+        runner.map([SPEC])
+        assert runner.stats["backoff_slept"] == 0.0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="backoff_max"):
+            ParallelRunner(jobs=0, backoff_max=-1.0)
+
+    def test_cap_surfaced_in_sweep_stderr(self, capsys):
+        from repro.cli import main
+
+        rc = main(["sweep", "--task", "hierarchy", "--n", "256", "--h", "16",
+                   "--backoff-max", "2.5"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "backoff" in err
+
+
+class TestQuarantineRace:
+    """Satellite: two readers racing one corrupt entry must both miss,
+    produce exactly one ``*.quarantine`` file, and count the corruption
+    exactly once between them (only the reader whose ``os.replace`` wins
+    increments)."""
+
+    def test_two_racing_readers_count_once(self, tmp_path):
+        import threading
+
+        cache_dir = str(tmp_path)
+        seed = ResultCache(cache_dir)
+        seed.put("k1", {"schema": "x", "result": {"v": 1}})
+        path = tmp_path / "k1.json"
+        path.write_text(path.read_text().replace('"v":1', '"v":2'))
+
+        readers = [ResultCache(cache_dir) for _ in range(2)]
+        barrier = threading.Barrier(2)
+        results = [None, None]
+        errors = []
+
+        def read(i):
+            try:
+                barrier.wait(timeout=10)
+                results[i] = readers[i].get("k1")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert results == [None, None]  # both miss
+        quarantined = [n for n in os.listdir(cache_dir)
+                       if n.endswith(".quarantine")]
+        assert quarantined == ["k1.json.quarantine"]
+        assert not path.exists()
+        assert readers[0].corrupt + readers[1].corrupt == 1
+        assert readers[0].misses + readers[1].misses == 2
+
+    def test_loser_still_misses_after_quarantine(self, tmp_path):
+        # Sequential shape of the same race: second reader finds the
+        # entry already quarantined → plain miss, no second count.
+        cache_dir = str(tmp_path)
+        seed = ResultCache(cache_dir)
+        seed.put("k1", {"schema": "x", "result": {"v": 1}})
+        path = tmp_path / "k1.json"
+        path.write_text(path.read_text().replace('"v":1', '"v":2'))
+        first, second = ResultCache(cache_dir), ResultCache(cache_dir)
+        assert first.get("k1") is None and first.corrupt == 1
+        assert second.get("k1") is None and second.corrupt == 0
+        assert first.corrupt + second.corrupt == 1
